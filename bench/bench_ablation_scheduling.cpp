@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation A: overlap-aware scheduling vs plain round-robin packing.
+ *
+ * The overlap schedule reserves a counter slot to repeat one event
+ * across consecutive configurations (the paper's Fig. 2 design),
+ * which lengthens the rotation but chains statistical relationships
+ * across slices.  This bench quantifies what that buys BayesPerf.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/scheduler.h"
+#include "workloads/hibench.h"
+
+using namespace bperf;
+
+int
+main()
+{
+    const auto uarch = sim::makeX86Skylake();
+    const auto monitored = bench::evaluationEventSet(uarch);
+
+    std::cout << "# Ablation A: overlap-aware schedule vs round-robin "
+                 "(BayesPerf error, KMeans + TeraSort)\n";
+    TablePrinter t({"workload", "schedule", "configs", "BayesPerf err %",
+                    "Linux err %"});
+
+    std::uint64_t seed = 61000;
+    for (const char *name : {"KMeans", "TeraSort", "PageRank"}) {
+        const auto workload = wl::makeHibench(name);
+        for (bool overlap : {true, false}) {
+            bench::ComparisonConfig cfg;
+            cfg.numSlices = bench::defaultSlices();
+            cfg.truthSeed = ++seed;
+            cfg.samplingSeed = seed * 13;
+            cfg.pollSeed = seed * 57;
+            cfg.useOverlapSchedule = overlap;
+            const auto errs =
+                bench::compareEstimators(uarch, workload, monitored, cfg);
+
+            core::OverlapScheduler scheduler(
+                uarch, {.reserveOverlapSlot = overlap});
+            std::vector<sim::EventId> with_fixed = uarch.fixedEvents();
+            with_fixed.insert(with_fixed.end(), monitored.begin(),
+                              monitored.end());
+            const auto schedule = scheduler.build(with_fixed);
+
+            t.addRow({name, overlap ? "overlap" : "round-robin",
+                      std::to_string(schedule.configs.size()),
+                      formatDouble(errs[2].derivedErrorPct, 1),
+                      formatDouble(errs[0].derivedErrorPct, 1)});
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Fig. 10: training loss of the RL scheduler vs iteration
+ * when its HPC inputs come from Linux scaling, CounterMiner,
+ * BayesPerf on the CPU (accurate but stale), and accelerated
+ * BayesPerf (accurate and timely).
+ *
+ * Paper shape: BayesPerf(Acc) converges ~37% earlier than Linux,
+ * BayesPerf(CPU) ~28.5% earlier, CounterMiner ~12.5% earlier.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "mlsched/rl_scheduler.h"
+
+using namespace bperf;
+
+int
+main()
+{
+    struct Setup
+    {
+        const char *name;
+        double error_pct;
+        double staleness;
+    };
+    // Input noise levels follow the measured Fig. 6 error aggregates;
+    // the CPU implementation's inference latency makes its features
+    // partially stale (the paper's timeliness effect).
+    const Setup setups[] = {
+        {"Linux", 45.0, 0.0},
+        {"CM", 33.0, 0.0},
+        {"BayesPerf (CPU)", 10.0, 0.45},
+        {"BayesPerf (Acc)", 10.0, 0.0},
+    };
+
+    const std::size_t iterations = bench::quickMode() ? 800 : 2500;
+
+    std::vector<std::vector<double>> curves;
+    std::vector<std::string> names;
+
+    for (const auto &s : setups) {
+        ml::EnvConfig env;
+        env.noise.errorPct = s.error_pct;
+        env.noise.staleness = s.staleness;
+        env.seed = 77;
+        ml::RlConfig rl;
+        rl.iterations = iterations;
+        rl.seed = 5;
+        ml::RlScheduler scheduler(env, rl);
+        const ml::TrainingCurve curve = scheduler.train();
+        names.push_back(s.name);
+        curves.push_back(curve.loss);
+    }
+
+    // Adaptive convergence threshold: 75% of the way from the Linux
+    // curve's starting loss down to its plateau, so the comparison is
+    // meaningful at any run length.
+    double start = 0.0, plateau = 0.0;
+    const std::size_t head = std::min<std::size_t>(50, iterations / 10);
+    for (std::size_t i = 0; i < head; ++i) {
+        start += curves[0][i];
+        plateau += curves[0][curves[0].size() - 1 - i];
+    }
+    start /= static_cast<double>(head);
+    plateau /= static_cast<double>(head);
+    const double threshold = plateau + 0.5 * (start - plateau);
+
+    std::vector<std::size_t> converged;
+    for (const auto &curve : curves) {
+        ml::TrainingCurve tc;
+        tc.loss = curve;
+        converged.push_back(tc.iterationsToConverge(threshold));
+    }
+
+    // Print the curves subsampled.
+    const std::size_t step = iterations / 30;
+    std::vector<double> xs;
+    std::vector<std::vector<double>> series(curves.size());
+    for (std::size_t i = 0; i < iterations; i += step) {
+        xs.push_back(static_cast<double>(i));
+        for (std::size_t c = 0; c < curves.size(); ++c)
+            series[c].push_back(curves[c][i]);
+    }
+    printSeries(std::cout,
+                "Fig. 10: RL training loss (normalized makespan) vs "
+                "iteration",
+                "iteration", xs, names, series);
+
+    std::cout << "\n# convergence (smoothed loss < "
+              << formatDouble(threshold, 2) << ")\n";
+    TablePrinter t({"inputs", "iterations", "reduction vs Linux %"});
+    const double base = static_cast<double>(converged[0]);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const double it = static_cast<double>(converged[i]);
+        t.addRow({names[i], formatDouble(it, 0),
+                  formatDouble(100.0 * (base - it) / base, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "# paper: CM -12.5%, BayesPerf(CPU) -28.5%, "
+                 "BayesPerf(Acc) -37%\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Fig. 3: average overhead (cycles) of reading one counter
+ * under Linux's read() syscall, userspace rdpmc, the CPU
+ * implementation of BayesPerf, the accelerated BayesPerf, and online
+ * CounterMiner.
+ *
+ * Paper shape (log2 axis 1024..32768): rdpmc < Linux ≈ BayesPerf(Acc)
+ * (<2% over Linux) ≪ BayesPerf(CPU) (~9x Linux) and CounterMiner
+ * highest.  BayesPerf(CPU) and CounterMiner are measured on this
+ * host; the others are modeled.
+ */
+
+#include <iostream>
+
+#include "accel/latency.h"
+#include "common/table.h"
+
+using namespace bperf;
+
+int
+main()
+{
+    accel::AcceleratorConfig cfg;
+    cfg.hostInterface = accel::HostInterface::Capi;
+    accel::Accelerator acc_capi(cfg);
+    cfg.hostInterface = accel::HostInterface::PcieDma;
+    accel::Accelerator acc_pcie(cfg);
+
+    accel::ReadLatencyModel model;
+    const auto report = model.report(acc_capi);
+
+    std::cout << "# Fig. 3: average overhead of reading counters "
+                 "(cycles, x86 host)\n";
+    TablePrinter t({"mechanism", "cycles", "vs Linux", "source"});
+    const double linux_cycles = static_cast<double>(report[0].cycles);
+    for (const auto &r : report) {
+        t.addRow({r.name, formatDouble(static_cast<double>(r.cycles), 0),
+                  formatDouble(static_cast<double>(r.cycles) /
+                                   linux_cycles,
+                               2),
+                  r.measured ? "measured" : "modeled"});
+    }
+    t.print(std::cout);
+
+    const auto capi = model.bayesPerfAccelCycles(acc_capi);
+    const auto pcie = model.bayesPerfAccelCycles(acc_pcie);
+    std::cout << "\n# accelerator read overhead over native Linux read: "
+              << formatDouble(100.0 * (static_cast<double>(capi) /
+                                           linux_cycles -
+                                       1.0),
+                              1)
+              << "% (CAPI/ppc64), "
+              << formatDouble(100.0 * (static_cast<double>(pcie) /
+                                           linux_cycles -
+                                       1.0),
+                              1)
+              << "% (PCIe DMA/x86)\n";
+    std::cout << "# paper: accelerator adds <2% (CAPI); x86 path ~15.8% "
+                 "slower than CAPI; BayesPerf(CPU) ~9x native\n";
+    return 0;
+}

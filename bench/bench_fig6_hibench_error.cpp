@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Fig. 6 and the section 6.2 aggregates: error in
+ * performance counter measurements across the 29 HiBench workloads
+ * for Linux, CounterMiner and BayesPerf, on the x86 and ppc64
+ * configurations.
+ *
+ * Paper shape: Linux ~39.25% (x86) / 40.1% (ppc64); CounterMiner
+ * ~29.28% / 28.31%; BayesPerf 8.06% / 7.6% (4.87x / 5.28x reduction).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "workloads/hibench.h"
+
+using namespace bperf;
+
+int
+main()
+{
+    const auto x86 = sim::makeX86Skylake();
+    const auto ppc = sim::makePower9();
+
+    TablePrinter table({"workload", "Linux(x86)", "Linux(ppc64)", "CM(x86)",
+                        "CM(ppc64)", "BayesPerf(x86)", "BayesPerf(ppc64)"});
+
+    RunningStats linux_x86, linux_ppc, cm_x86, cm_ppc, bp_x86, bp_ppc;
+
+    std::uint64_t seed = 5000;
+    for (const auto &name : wl::hibenchNames()) {
+        const auto workload = wl::makeHibench(name);
+
+        bench::ComparisonConfig cfg;
+        cfg.numSlices = bench::defaultSlices();
+        cfg.truthSeed = ++seed;
+        cfg.samplingSeed = seed * 31;
+        cfg.pollSeed = seed * 57;
+
+        const auto ex = bench::compareEstimators(
+            x86, workload, bench::evaluationEventSet(x86), cfg);
+        const auto ep = bench::compareEstimators(
+            ppc, workload, bench::evaluationEventSet(ppc), cfg);
+
+        table.addRow(name,
+                     {ex[0].derivedErrorPct, ep[0].derivedErrorPct,
+                      ex[1].derivedErrorPct, ep[1].derivedErrorPct,
+                      ex[2].derivedErrorPct, ep[2].derivedErrorPct},
+                     1);
+        linux_x86.push(ex[0].derivedErrorPct);
+        linux_ppc.push(ep[0].derivedErrorPct);
+        cm_x86.push(ex[1].derivedErrorPct);
+        cm_ppc.push(ep[1].derivedErrorPct);
+        bp_x86.push(ex[2].derivedErrorPct);
+        bp_ppc.push(ep[2].derivedErrorPct);
+    }
+
+    std::cout << "# Fig. 6: error in performance counter measurements "
+                 "across HiBench\n";
+    table.print(std::cout);
+
+    std::cout << "\n# Section 6.2 aggregates (paper: Linux 39.25/40.1, "
+                 "CM 29.28/28.31, BayesPerf 8.06/7.6)\n";
+    TablePrinter agg({"estimator", "x86 avg err %", "ppc64 avg err %",
+                      "x86 reduction", "ppc64 reduction"});
+    agg.addRow("Linux", {linux_x86.mean(), linux_ppc.mean(), 1.0, 1.0});
+    agg.addRow("CounterMiner",
+               {cm_x86.mean(), cm_ppc.mean(),
+                linux_x86.mean() / cm_x86.mean(),
+                linux_ppc.mean() / cm_ppc.mean()});
+    agg.addRow("BayesPerf",
+               {bp_x86.mean(), bp_ppc.mean(),
+                linux_x86.mean() / bp_x86.mean(),
+                linux_ppc.mean() / bp_ppc.mean()});
+    agg.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Fig. 7: normalized improvement in counter error for
+ * BayesPerf over the Linux and CounterMiner baselines, per HiBench
+ * workload and architecture.
+ *
+ * Paper shape: improvements mostly between 2x and 7x, averaging
+ * ~4.9x/5.3x vs Linux and ~3.6x/3.7x vs CounterMiner.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "workloads/hibench.h"
+
+using namespace bperf;
+
+int
+main()
+{
+    const auto x86 = sim::makeX86Skylake();
+    const auto ppc = sim::makePower9();
+
+    TablePrinter table({"workload", "vs Linux(x86)", "vs Linux(ppc64)",
+                        "vs CM(x86)", "vs CM(ppc64)"});
+    RunningStats vs_linux_x86, vs_linux_ppc, vs_cm_x86, vs_cm_ppc;
+
+    std::uint64_t seed = 15000;
+    for (const auto &name : wl::hibenchNames()) {
+        const auto workload = wl::makeHibench(name);
+        bench::ComparisonConfig cfg;
+        cfg.numSlices = bench::defaultSlices();
+        cfg.truthSeed = ++seed;
+        cfg.samplingSeed = seed * 13;
+        cfg.pollSeed = seed * 57;
+
+        const auto ex = bench::compareEstimators(
+            x86, workload, bench::evaluationEventSet(x86), cfg);
+        const auto ep = bench::compareEstimators(
+            ppc, workload, bench::evaluationEventSet(ppc), cfg);
+
+        const double lx = ana::normalizedImprovement(
+            ex[0].derivedErrorPct, ex[2].derivedErrorPct);
+        const double lp = ana::normalizedImprovement(
+            ep[0].derivedErrorPct, ep[2].derivedErrorPct);
+        const double cx = ana::normalizedImprovement(
+            ex[1].derivedErrorPct, ex[2].derivedErrorPct);
+        const double cp = ana::normalizedImprovement(
+            ep[1].derivedErrorPct, ep[2].derivedErrorPct);
+        table.addRow(name, {lx, lp, cx, cp}, 2);
+        vs_linux_x86.push(lx);
+        vs_linux_ppc.push(lp);
+        vs_cm_x86.push(cx);
+        vs_cm_ppc.push(cp);
+    }
+
+    std::cout << "# Fig. 7: normalized improvement in counter error "
+                 "(BayesPerf / baseline)\n";
+    table.print(std::cout);
+    std::cout << "\n# averages: vs Linux "
+              << formatDouble(vs_linux_x86.mean(), 2) << "x (x86), "
+              << formatDouble(vs_linux_ppc.mean(), 2) << "x (ppc64); vs CM "
+              << formatDouble(vs_cm_x86.mean(), 2) << "x (x86), "
+              << formatDouble(vs_cm_ppc.mean(), 2) << "x (ppc64)\n";
+    return 0;
+}

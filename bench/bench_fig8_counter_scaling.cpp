@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Fig. 8: error scaling with the number of multiplexed
+ * events (10..35) for the KMeans workload, on x86 and ppc64, for
+ * Linux, CounterMiner, BayesPerf and WM+Pin.
+ *
+ * Paper shape: Linux grows steeply; WM+Pin tracks Linux (it only
+ * corrects instruction counts); CounterMiner sits in between;
+ * BayesPerf stays low and nearly flat (error reduced by up to ~34%
+ * absolute vs Linux at 35 events).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "workloads/hibench.h"
+
+using namespace bperf;
+
+namespace {
+
+void
+runArch(const sim::MicroarchDescriptor &uarch, const char *label)
+{
+    const auto workload = wl::makeHibench("KMeans");
+    const std::vector<double> counts = {10, 15, 20, 25, 30, 35};
+    std::vector<double> e_linux, e_cm, e_bp, e_wm;
+
+    std::uint64_t seed = 31000;
+    for (double n : counts) {
+        bench::ComparisonConfig cfg;
+        cfg.numSlices = bench::defaultSlices();
+        cfg.truthSeed = ++seed;
+        cfg.samplingSeed = seed * 13;
+        cfg.pollSeed = seed * 57;
+        cfg.includeWmPin = true;
+        const auto errs = bench::compareEstimators(
+            uarch, workload,
+            bench::paddedEventSet(uarch, static_cast<std::size_t>(n)),
+            cfg);
+        // Order: Linux, CounterMiner, WM+Pin, BayesPerf.
+        e_linux.push_back(errs[0].eventErrorPct);
+        e_cm.push_back(errs[1].eventErrorPct);
+        e_wm.push_back(errs[2].eventErrorPct);
+        e_bp.push_back(errs[3].eventErrorPct);
+    }
+
+    printSeries(std::cout,
+                std::string("Fig. 8: error vs #events, KMeans (") + label +
+                    ")",
+                "events", counts,
+                {"Linux", "CounterMiner", "BayesPerf", "WM+Pin"},
+                {e_linux, e_cm, e_bp, e_wm}, 1);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto x86 = sim::makeX86Skylake();
+    const auto ppc = sim::makePower9();
+    runArch(x86, "x86");
+    std::cout << "\n";
+    runArch(ppc, "ppc64");
+    std::cout << "# paper: Linux/WM+Pin grow with events; BayesPerf "
+                 "stays low and flat\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reproduces the section 6.3 decision-quality results: average
+ * shuffle completion improvement of the ML-based schedulers over a
+ * static placement, and the further improvement from feeding them
+ * BayesPerf-corrected counters.
+ *
+ * Paper: ML schedulers improve shuffle time by 15.1±2.2% (CF) and
+ * 22.3±7.9% (RL); adding BayesPerf gives a further 8.7±0.9% and
+ * 19±3.4% reduction respectively.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "mlsched/collab_filter.h"
+#include "mlsched/rl_scheduler.h"
+
+using namespace bperf;
+
+namespace {
+
+/** Static baseline: always the local NIC of the data's NUMA node. */
+double
+staticPolicy(ml::ShuffleEnv &env, std::size_t episodes)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < episodes; ++i) {
+        const ml::Episode ep = env.sample();
+        total += env.completionTime(ep, ep.numaNode) /
+                 env.isolatedTime(ep);
+    }
+    return total / static_cast<double>(episodes);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t eval_episodes = bench::quickMode() ? 400 : 1500;
+    const std::size_t train_iters = bench::quickMode() ? 2500 : 7000;
+    const double linux_noise = 38.0;
+    const double bp_noise = 10.0;
+
+    RunningStats cf_gain, rl_gain, cf_bp_gain, rl_bp_gain;
+
+    for (std::uint64_t trial = 0; trial < (bench::quickMode() ? 3u : 5u);
+         ++trial) {
+        const std::uint64_t seed = 400 + trial * 17;
+
+        ml::EnvConfig env_static;
+        env_static.noise.errorPct = linux_noise;
+        env_static.seed = seed;
+        ml::ShuffleEnv env(env_static);
+        const double base = staticPolicy(env, eval_episodes);
+
+        auto run_cf = [&](double noise) {
+            ml::EnvConfig cfg;
+            cfg.noise.errorPct = noise;
+            cfg.seed = seed + 1;
+            ml::CfScheduler scheduler(cfg, {});
+            scheduler.train(8000);
+            return scheduler.evaluate(eval_episodes);
+        };
+        auto run_rl = [&](double noise) {
+            ml::EnvConfig cfg;
+            cfg.noise.errorPct = noise;
+            cfg.seed = seed + 2;
+            ml::RlConfig rl;
+            rl.iterations = train_iters;
+            rl.seed = seed + 3;
+            ml::RlScheduler scheduler(cfg, rl);
+            scheduler.train();
+            return scheduler.evaluate(eval_episodes);
+        };
+
+        const double cf_linux = run_cf(linux_noise);
+        const double cf_bp = run_cf(bp_noise);
+        const double rl_linux = run_rl(linux_noise);
+        const double rl_bp = run_rl(bp_noise);
+
+        cf_gain.push(100.0 * (base - cf_linux) / base);
+        rl_gain.push(100.0 * (base - rl_linux) / base);
+        cf_bp_gain.push(100.0 * (cf_linux - cf_bp) / cf_linux);
+        rl_bp_gain.push(100.0 * (rl_linux - rl_bp) / rl_linux);
+    }
+
+    std::cout << "# Section 6.3: decision quality of the PCIe-aware "
+                 "schedulers\n";
+    TablePrinter t({"comparison", "improvement %", "stddev"});
+    t.addRow("CF scheduler vs static", {cf_gain.mean(), cf_gain.stddev()},
+             1);
+    t.addRow("RL scheduler vs static", {rl_gain.mean(), rl_gain.stddev()},
+             1);
+    t.addRow("CF + BayesPerf vs CF",
+             {cf_bp_gain.mean(), cf_bp_gain.stddev()}, 1);
+    t.addRow("RL + BayesPerf vs RL",
+             {rl_bp_gain.mean(), rl_bp_gain.stddev()}, 1);
+    t.print(std::cout);
+    std::cout << "# paper: 15.1±2.2 / 22.3±7.9 (vs static), further "
+                 "8.7±0.9 / 19±3.4 with BayesPerf\n";
+    return 0;
+}

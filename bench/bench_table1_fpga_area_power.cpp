@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Table 1: FPGA resource utilization and power for the
+ * x86-PCIe and ppc64-CAPI builds of the BayesPerf accelerator, plus
+ * the CPU-TDP efficiency comparison from section 6.1.
+ */
+
+#include <iostream>
+
+#include "accel/power.h"
+#include "common/table.h"
+
+using namespace bperf;
+
+namespace {
+
+void
+printBuild(const char *name, accel::BoardConfig config)
+{
+    const auto report = accel::buildAreaPowerReport(config);
+    std::cout << "\n## " << name << " component inventory\n";
+    TablePrinter parts({"component", "count", "LUT", "FF", "DSP", "BRAM",
+                        "URAM", "dyn W"});
+    for (const auto &c : report.components) {
+        parts.addRow({c.name, std::to_string(c.count),
+                      formatDouble(c.each.lut * c.count, 0),
+                      formatDouble(c.each.ff * c.count, 0),
+                      formatDouble(c.each.dsp * c.count, 0),
+                      formatDouble(c.each.bram * c.count, 0),
+                      formatDouble(c.each.uram * c.count, 0),
+                      formatDouble(c.dynamicWattsEach * c.count, 2)});
+    }
+    parts.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto x86 = accel::buildAreaPowerReport(accel::BoardConfig::X86Pcie);
+    const auto ppc =
+        accel::buildAreaPowerReport(accel::BoardConfig::Ppc64Capi);
+
+    std::cout << "# Table 1: area & power of the BayesPerf FPGA\n";
+    TablePrinter t({"config", "BRAM%", "DSP%", "FF%", "LUT%", "URAM%",
+                    "Vivado W", "Measured W"});
+    t.addRow("x86-PCIe",
+             {x86.utilBramPct, x86.utilDspPct, x86.utilFfPct,
+              x86.utilLutPct, x86.utilUramPct, x86.vivadoWatts,
+              x86.measuredWatts},
+             1);
+    t.addRow("ppc64-CAPI",
+             {ppc.utilBramPct, ppc.utilDspPct, ppc.utilFfPct,
+              ppc.utilLutPct, ppc.utilUramPct, ppc.vivadoWatts,
+              ppc.measuredWatts},
+             1);
+    t.print(std::cout);
+    std::cout << "# paper: x86 62/78/52/81/58, 11.2/17.2 W; "
+                 "ppc64 71/66/49/79/58, 10.5/16.1 W\n";
+
+    std::cout << "\n# power efficiency vs host CPU TDP (paper: 5.8x, "
+                 "11.8x)\n";
+    TablePrinter eff({"config", "CPU TDP W", "accel W", "ratio"});
+    eff.addRow("x86-PCIe",
+               {accel::hostTdpWatts(accel::BoardConfig::X86Pcie),
+                x86.measuredWatts,
+                accel::hostTdpWatts(accel::BoardConfig::X86Pcie) /
+                    x86.measuredWatts},
+               1);
+    eff.addRow("ppc64-CAPI",
+               {accel::hostTdpWatts(accel::BoardConfig::Ppc64Capi),
+                ppc.measuredWatts,
+                accel::hostTdpWatts(accel::BoardConfig::Ppc64Capi) /
+                    ppc.measuredWatts},
+               1);
+    eff.print(std::cout);
+
+    printBuild("x86-PCIe", accel::BoardConfig::X86Pcie);
+    printBuild("ppc64-CAPI", accel::BoardConfig::Ppc64Capi);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared harness used by the benchmark binaries that regenerate the
+ * paper's tables and figures: monitored-set construction, estimator
+ * comparison runs, and paper-style reporting.
+ */
+
+#ifndef BPERF_BENCH_BENCH_UTIL_H
+#define BPERF_BENCH_BENCH_UTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/error_metrics.h"
+#include "sim/ground_truth.h"
+#include "sim/microarch.h"
+#include "sim/workload_profile.h"
+
+namespace bperf {
+namespace bench {
+
+/** One estimator's error on one run. */
+struct EstimatorErrors
+{
+    std::string name;
+    /** Average error across the 10 standard derived metrics (%). */
+    double derivedErrorPct = 0.0;
+    /** Average per-event trace error (%). */
+    double eventErrorPct = 0.0;
+};
+
+/** Knobs for a comparison run. */
+struct ComparisonConfig
+{
+    std::size_t numSlices = 96;
+    std::uint64_t truthSeed = 1234;
+    std::uint64_t samplingSeed = 77;
+    std::uint64_t pollSeed = 991;
+    bool useOverlapSchedule = true;
+    bool includeWmPin = false;
+    bool includeBayesPerf = true;
+};
+
+/**
+ * The monitored event set of the paper's evaluation: the HPCs behind
+ * the 10 standard derived metrics plus their invariant-related
+ * neighbours — 29 distinct programmable events, as in section 2's
+ * derived-event example.
+ */
+std::vector<sim::EventId>
+evaluationEventSet(const sim::MicroarchDescriptor &uarch);
+
+/** First `n` events of a deterministic padded monitoring order. */
+std::vector<sim::EventId>
+paddedEventSet(const sim::MicroarchDescriptor &uarch, std::size_t n);
+
+/**
+ * Run one workload under sampling, score Linux / CounterMiner /
+ * (optionally WM+Pin) / BayesPerf against a polled reference run of
+ * the same execution.
+ */
+std::vector<EstimatorErrors>
+compareEstimators(const sim::MicroarchDescriptor &uarch,
+                  const sim::WorkloadProfile &workload,
+                  const std::vector<sim::EventId> &monitored,
+                  const ComparisonConfig &config);
+
+/** True when the BP_QUICK environment variable asks for short runs. */
+bool quickMode();
+
+/** numSlices, honoring quick mode. */
+std::size_t defaultSlices();
+
+} // namespace bench
+} // namespace bperf
+
+#endif // BPERF_BENCH_BENCH_UTIL_H

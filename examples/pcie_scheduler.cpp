@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Example: the section 6.3 feedback loop end to end.
+ *
+ * Trains the RL-based NIC scheduler twice — once on Linux-quality
+ * counter inputs and once on BayesPerf-quality inputs — then compares
+ * placement decisions and average shuffle completion against the
+ * static local-NIC policy.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "mlsched/collab_filter.h"
+#include "mlsched/rl_scheduler.h"
+
+using namespace bperf;
+
+int
+main()
+{
+    const std::size_t train_iters = 4000;
+    const std::size_t eval_episodes = 800;
+
+    auto trained_eval = [&](double noise_pct) {
+        ml::EnvConfig env;
+        env.noise.errorPct = noise_pct;
+        env.seed = 31;
+        ml::RlConfig rl;
+        rl.iterations = train_iters;
+        ml::RlScheduler scheduler(env, rl);
+        const auto curve = scheduler.train();
+        std::printf("  noise %4.1f%%: loss %0.3f -> %0.3f over %zu iters\n",
+                    noise_pct, curve.loss.front(), curve.loss.back(),
+                    curve.loss.size());
+        return scheduler.evaluate(eval_episodes);
+    };
+
+    std::puts("training the PCIe-aware RL scheduler...");
+    const double rl_linux = trained_eval(38.0);
+    const double rl_bp = trained_eval(10.0);
+
+    // Static baseline: always use the NIC local to the data.
+    ml::EnvConfig env_cfg;
+    env_cfg.noise.errorPct = 38.0;
+    env_cfg.seed = 77;
+    ml::ShuffleEnv env(env_cfg);
+    double static_time = 0.0;
+    for (std::size_t i = 0; i < eval_episodes; ++i) {
+        const ml::Episode ep = env.sample();
+        static_time += env.completionTime(ep, ep.numaNode) /
+                       env.isolatedTime(ep);
+    }
+    static_time /= static_cast<double>(eval_episodes);
+
+    std::cout << "\n";
+    TablePrinter t({"policy", "avg normalized makespan",
+                    "vs static %"});
+    t.addRow({"static (local NIC)", formatDouble(static_time, 3), "0.0"});
+    t.addRow({"RL + Linux counters", formatDouble(rl_linux, 3),
+              formatDouble(100.0 * (static_time - rl_linux) / static_time,
+                           1)});
+    t.addRow({"RL + BayesPerf counters", formatDouble(rl_bp, 3),
+              formatDouble(100.0 * (static_time - rl_bp) / static_time,
+                           1)});
+    t.print(std::cout);
+    return 0;
+}

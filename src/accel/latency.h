@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Read-path latency models for Fig. 3: the average cost, in host CPU
+ * cycles, of reading one counter value under each mechanism.
+ *
+ * Native paths (perf read() syscall, rdpmc) are constants taken from
+ * the well-known costs of those paths.  The BayesPerf-CPU and
+ * CounterMiner costs are *measured* on this host by timing the actual
+ * inference/mining code that must run per read, then converted to
+ * cycles at the configured host clock.  The accelerator path is the
+ * native read plus the shim's ring-buffer dereference, served by the
+ * Accelerator timing model.
+ */
+
+#ifndef BPERF_ACCEL_LATENCY_H
+#define BPERF_ACCEL_LATENCY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+
+namespace bperf {
+namespace accel {
+
+/** One bar of Fig. 3. */
+struct ReadLatency
+{
+    std::string name;
+    std::uint64_t cycles = 0;
+    bool measured = false; // measured on this host vs modeled
+};
+
+/** Configuration of the latency study. */
+struct LatencyModelConfig
+{
+    double hostClockGhz = 2.6;
+    /** Reads averaged when timing measured paths (paper: 100). */
+    std::size_t timedReads = 100;
+    /** Sites refreshed incrementally per BayesPerf-CPU read. */
+    std::size_t sitesPerRead = 1;
+    /** Variables in the active window (marginal update cost). */
+    std::size_t windowVariables = 96;
+    /** Trace length CounterMiner re-mines per online read. */
+    std::size_t counterMinerTrace = 192;
+};
+
+/**
+ * Produces the Fig. 3 latency set.
+ */
+class ReadLatencyModel
+{
+  public:
+    explicit ReadLatencyModel(LatencyModelConfig config = {});
+
+    /** perf_event read() syscall path. */
+    std::uint64_t linuxReadCycles() const;
+
+    /** Userspace rdpmc + scaling math. */
+    std::uint64_t rdpmcReadCycles() const;
+
+    /** CPU BayesPerf: incremental EP refresh, measured on this host. */
+    std::uint64_t bayesPerfCpuCycles() const;
+
+    /** Accelerated BayesPerf: native read + shim ring dereference. */
+    std::uint64_t bayesPerfAccelCycles(const Accelerator &accel) const;
+
+    /** Online CounterMiner: window re-mining, measured on this host. */
+    std::uint64_t counterMinerCycles() const;
+
+    /** All five bars, in the paper's order. */
+    std::vector<ReadLatency> report(const Accelerator &accel) const;
+
+  private:
+    LatencyModelConfig config_;
+};
+
+} // namespace accel
+} // namespace bperf
+
+#endif // BPERF_ACCEL_LATENCY_H

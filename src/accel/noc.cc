@@ -1,0 +1,57 @@
+#include "accel/noc.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace accel {
+
+ButterflyNoc::ButterflyNoc(NocConfig config) : config_(config)
+{
+    bp_assert(config_.ports >= 2, "NoC needs at least two ports");
+    bp_assert((config_.ports & (config_.ports - 1)) == 0,
+              "butterfly needs a power-of-two port count");
+    stages_ = 0;
+    for (std::size_t p = config_.ports; p > 1; p >>= 1)
+        ++stages_;
+}
+
+std::uint64_t
+ButterflyNoc::messageLatency(std::size_t src, std::size_t dst) const
+{
+    bp_assert(src < config_.ports && dst < config_.ports,
+              "NoC port out of range");
+    if (src == dst)
+        return config_.cyclesPerFlit * config_.flitsPerMessage;
+    return static_cast<std::uint64_t>(stages_) * config_.cyclesPerHop +
+           config_.flitsPerMessage * config_.cyclesPerFlit;
+}
+
+std::uint64_t
+ButterflyNoc::messageLatencyLoaded(std::size_t src, std::size_t dst,
+                                   double utilization) const
+{
+    bp_assert(utilization >= 0.0 && utilization < 1.0,
+              "NoC utilization must be in [0, 1)");
+    const double base = static_cast<double>(messageLatency(src, dst));
+    // M/D/1 mean waiting factor: 1 + u / (2 (1 - u)).
+    const double factor = 1.0 + utilization / (2.0 * (1.0 - utilization));
+    return static_cast<std::uint64_t>(std::llround(base * factor));
+}
+
+double
+ButterflyNoc::bisectionFlitsPerCycle() const
+{
+    return static_cast<double>(config_.ports) / 2.0 /
+           static_cast<double>(config_.cyclesPerFlit);
+}
+
+void
+ButterflyNoc::recordMessage()
+{
+    ++messages_;
+}
+
+} // namespace accel
+} // namespace bperf

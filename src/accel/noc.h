@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Butterfly network-on-chip model (CONNECT-generated in the paper).
+ *
+ * The BayesPerf accelerator connects its EP engines and MCMC sampler
+ * IPs through a 16-port butterfly NoC.  The model provides per-hop
+ * latency, serialization delay, and a simple contention estimate, and
+ * is used by the accelerator timing simulation.
+ */
+
+#ifndef BPERF_ACCEL_NOC_H
+#define BPERF_ACCEL_NOC_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bperf {
+namespace accel {
+
+/** NoC configuration. */
+struct NocConfig
+{
+    std::size_t ports = 16;
+    /** Cycles per router hop (pipeline depth of a CONNECT router). */
+    std::uint64_t cyclesPerHop = 2;
+    /** Payload flits per message. */
+    std::uint64_t flitsPerMessage = 4;
+    /** Cycles to serialize one flit onto a link. */
+    std::uint64_t cyclesPerFlit = 1;
+};
+
+/**
+ * Butterfly NoC latency/bandwidth model.
+ */
+class ButterflyNoc
+{
+  public:
+    explicit ButterflyNoc(NocConfig config = {});
+
+    const NocConfig &config() const { return config_; }
+
+    /** Number of router stages (log2 of the port count). */
+    std::size_t stages() const { return stages_; }
+
+    /**
+     * Zero-load latency in cycles of a message from `src` to `dst`.
+     * A butterfly traverses all stages regardless of destination;
+     * src == dst short-circuits locally.
+     */
+    std::uint64_t messageLatency(std::size_t src, std::size_t dst) const;
+
+    /**
+     * Latency under load: zero-load latency inflated by an M/D/1-ish
+     * queueing factor at the given utilization (0 <= u < 1).
+     */
+    std::uint64_t messageLatencyLoaded(std::size_t src, std::size_t dst,
+                                       double utilization) const;
+
+    /** Aggregate bisection bandwidth in flits per cycle. */
+    double bisectionFlitsPerCycle() const;
+
+    /** Record traffic for the utilization statistics. */
+    void recordMessage();
+    std::uint64_t messagesRouted() const { return messages_; }
+
+  private:
+    NocConfig config_;
+    std::size_t stages_;
+    std::uint64_t messages_ = 0;
+};
+
+} // namespace accel
+} // namespace bperf
+
+#endif // BPERF_ACCEL_NOC_H

@@ -1,0 +1,104 @@
+#include "accel/power.h"
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace accel {
+
+Resources
+Resources::operator+(const Resources &o) const
+{
+    return {lut + o.lut, ff + o.ff, dsp + o.dsp, bram + o.bram,
+            uram + o.uram};
+}
+
+Resources
+Resources::operator*(double k) const
+{
+    return {lut * k, ff * k, dsp * k, bram * k, uram * k};
+}
+
+Resources
+vu3pCapacity()
+{
+    // Xilinx Virtex UltraScale+ VU3P-2.
+    return {394080.0, 788160.0, 2280.0, 720.0, 320.0};
+}
+
+namespace {
+
+/** Design-wide static power (clock trees, leakage) in watts. */
+constexpr double kStaticWatts = 3.1;
+
+/** Board measurement / Vivado estimate ratio (regulators, GTY). */
+constexpr double kBoardFactor = 1.535;
+
+std::vector<Component>
+commonComponents()
+{
+    return {
+        // Four EP engines: cavity datapath, site storage, dispatch.
+        {"EP engine", 4, {30000, 36000, 260, 40, 24}, 0.75},
+        // Twelve AcMC2-generated MCMC sampler IPs.
+        {"MCMC sampler (AcMC2)", 12, {11000, 14000, 36, 12, 6}, 0.20},
+        // 16-port CONNECT butterfly NoC.
+        {"Butterfly NoC", 1, {18000, 26000, 0, 12, 0}, 0.45},
+        // Global EP controller (Alg. 1 line 7).
+        {"Global controller", 1, {9000, 12000, 24, 10, 2}, 0.15},
+        // Four LPDDR4 channel controllers + replication buffers.
+        {"DRAM subsystem", 1, {22000, 30000, 0, 60, 16}, 0.85},
+    };
+}
+
+} // namespace
+
+double
+hostTdpWatts(BoardConfig config)
+{
+    // Intel Xeon E5-2695 (100 W) and IBM Power9 (190 W) TDPs.
+    return config == BoardConfig::X86Pcie ? 100.0 : 190.0;
+}
+
+AreaPowerReport
+buildAreaPowerReport(BoardConfig config)
+{
+    AreaPowerReport report;
+    report.components = commonComponents();
+    if (config == BoardConfig::X86Pcie) {
+        // Xilinx XDMA PCIe3 x16 bridge + descriptor engines + the
+        // timestamp-scaling units of the x86 shim path.
+        report.components.push_back(
+            {"XDMA PCIe bridge", 1, {18500, 30000, 282, 60, 0}, 1.25});
+    } else {
+        // CAPI 2.0 PSL: coherent snoop filter is BRAM-heavy.
+        report.components.push_back(
+            {"CAPI 2.0 PSL", 1, {10300, 6200, 9, 125, 0}, 0.55});
+    }
+
+    Resources total;
+    double dynamic_watts = 0.0;
+    for (const auto &c : report.components) {
+        total = total + c.each * static_cast<double>(c.count);
+        dynamic_watts += c.dynamicWattsEach * static_cast<double>(c.count);
+    }
+    report.total = total;
+
+    const Resources cap = vu3pCapacity();
+    report.utilLutPct = 100.0 * total.lut / cap.lut;
+    report.utilFfPct = 100.0 * total.ff / cap.ff;
+    report.utilDspPct = 100.0 * total.dsp / cap.dsp;
+    report.utilBramPct = 100.0 * total.bram / cap.bram;
+    report.utilUramPct = 100.0 * total.uram / cap.uram;
+    bp_assert(report.utilLutPct <= 100.0 && report.utilFfPct <= 100.0 &&
+                  report.utilDspPct <= 100.0 &&
+                  report.utilBramPct <= 100.0 &&
+                  report.utilUramPct <= 100.0,
+              "design does not fit the VU3P");
+
+    report.vivadoWatts = kStaticWatts + dynamic_watts;
+    report.measuredWatts = report.vivadoWatts * kBoardFactor;
+    return report;
+}
+
+} // namespace accel
+} // namespace bperf

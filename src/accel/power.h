@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Area and power model of the BayesPerf accelerator on the
+ * AlphaData ADM-PCIE-9V3 board (Xilinx Virtex UltraScale+ VU3P),
+ * reproducing the paper's Table 1.
+ *
+ * The model is a structural inventory: per-component FPGA resource
+ * and power figures for the EP engines, AcMC2 sampler IPs, NoC,
+ * controller, DRAM subsystem, and the host interface (Xilinx XDMA on
+ * the x86-PCIe build, CAPI PSL on the ppc64 build), summed against
+ * the VU3P's capacity.  "Measured" power applies the board-level
+ * efficiency factor (regulators + transceivers) on top of the
+ * Vivado-style estimate.
+ */
+
+#ifndef BPERF_ACCEL_POWER_H
+#define BPERF_ACCEL_POWER_H
+
+#include <string>
+#include <vector>
+
+namespace bperf {
+namespace accel {
+
+/** Which board build. */
+enum class BoardConfig { X86Pcie, Ppc64Capi };
+
+/** FPGA resource bundle. */
+struct Resources
+{
+    double lut = 0;
+    double ff = 0;
+    double dsp = 0;
+    double bram = 0; // 36 Kb blocks
+    double uram = 0;
+
+    Resources operator+(const Resources &o) const;
+    Resources operator*(double k) const;
+};
+
+/** One named component of the design. */
+struct Component
+{
+    std::string name;
+    std::size_t count = 1;
+    Resources each;
+    double dynamicWattsEach = 0.0;
+};
+
+/** Capacity of the VU3P part. */
+Resources vu3pCapacity();
+
+/** Utilization percentages (of VU3P) and power for one build. */
+struct AreaPowerReport
+{
+    std::vector<Component> components;
+    Resources total;
+    double utilLutPct = 0;
+    double utilFfPct = 0;
+    double utilDspPct = 0;
+    double utilBramPct = 0;
+    double utilUramPct = 0;
+    double vivadoWatts = 0;   // estimate: static + dynamic
+    double measuredWatts = 0; // board measurement model
+};
+
+/** Build the component inventory and report for a board config. */
+AreaPowerReport buildAreaPowerReport(BoardConfig config);
+
+/** Host CPU TDP used for the paper's efficiency comparison (watts). */
+double hostTdpWatts(BoardConfig config);
+
+} // namespace accel
+} // namespace bperf
+
+#endif // BPERF_ACCEL_POWER_H

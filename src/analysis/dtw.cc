@@ -1,0 +1,83 @@
+#include "analysis/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace ana {
+
+namespace {
+
+DtwResult
+dtwImpl(const std::vector<double> &a, const std::vector<double> &b,
+        std::size_t band)
+{
+    bp_assert(!a.empty() && !b.empty(), "DTW of empty series");
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // Cost matrix with (n+1) x (m+1) sentinel borders.
+    std::vector<double> D((n + 1) * (m + 1), inf);
+    auto at = [&](std::size_t i, std::size_t j) -> double & {
+        return D[i * (m + 1) + j];
+    };
+    at(0, 0) = 0.0;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        const std::size_t j_lo =
+            band >= i ? 1 : std::max<std::size_t>(1, i - band);
+        const std::size_t j_hi = std::min(m, i + band);
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+            const double cost = std::abs(a[i - 1] - b[j - 1]);
+            const double best = std::min({at(i - 1, j), at(i, j - 1),
+                                          at(i - 1, j - 1)});
+            at(i, j) = cost + best;
+        }
+    }
+    bp_assert(std::isfinite(at(n, m)), "DTW band too narrow for a path");
+
+    // Backtrack.
+    DtwResult result;
+    result.distance = at(n, m);
+    std::size_t i = n, j = m;
+    while (i > 0 && j > 0) {
+        result.path.emplace_back(i - 1, j - 1);
+        const double diag = at(i - 1, j - 1);
+        const double up = at(i - 1, j);
+        const double left = at(i, j - 1);
+        if (diag <= up && diag <= left) {
+            --i;
+            --j;
+        } else if (up <= left) {
+            --i;
+        } else {
+            --j;
+        }
+    }
+    std::reverse(result.path.begin(), result.path.end());
+    return result;
+}
+
+} // namespace
+
+DtwResult
+dtw(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return dtwImpl(a, b, std::max(a.size(), b.size()));
+}
+
+DtwResult
+dtwBanded(const std::vector<double> &a, const std::vector<double> &b,
+          std::size_t band)
+{
+    const std::size_t min_band =
+        a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+    return dtwImpl(a, b, std::max(band, min_band));
+}
+
+} // namespace ana
+} // namespace bperf

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Dynamic time warping (Berndt & Clifford), used by the paper to
+ * align a sampled-counter trace with a polled reference trace before
+ * computing measurement error (section 2).
+ */
+
+#ifndef BPERF_ANALYSIS_DTW_H
+#define BPERF_ANALYSIS_DTW_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bperf {
+namespace ana {
+
+/** DTW alignment result. */
+struct DtwResult
+{
+    /** Total alignment cost (sum of |a_i - b_j| along the path). */
+    double distance = 0.0;
+
+    /** Warping path as (index into a, index into b) pairs. */
+    std::vector<std::pair<std::size_t, std::size_t>> path;
+};
+
+/**
+ * Full DTW with absolute-difference local cost.  Both inputs must be
+ * non-empty.  O(|a| * |b|) time and memory.
+ */
+DtwResult dtw(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * DTW with a Sakoe-Chiba band of half-width `band` (indices farther
+ * than `band` apart are not matched).  band >= |len(a) - len(b)| is
+ * required for a path to exist.
+ */
+DtwResult dtwBanded(const std::vector<double> &a,
+                    const std::vector<double> &b, std::size_t band);
+
+} // namespace ana
+} // namespace bperf
+
+#endif // BPERF_ANALYSIS_DTW_H

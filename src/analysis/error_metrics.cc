@@ -1,0 +1,78 @@
+#include "analysis/error_metrics.h"
+
+#include <cmath>
+
+#include "analysis/dtw.h"
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace bperf {
+namespace ana {
+
+double
+traceErrorPercent(const std::vector<double> &estimate,
+                  const std::vector<double> &reference, bool use_dtw)
+{
+    bp_assert(!estimate.empty() && !reference.empty(),
+              "error of empty series");
+
+    // Scale floor: deviations are measured relative to the typical
+    // magnitude of the reference so near-zero reference points do not
+    // blow the percentage up.
+    RunningStats ref_stats;
+    for (double r : reference)
+        ref_stats.push(std::abs(r));
+    const double floor = std::max(0.05 * ref_stats.mean(), 1e-12);
+
+    RunningStats err;
+    if (use_dtw) {
+        // Band keeps alignments local: counter traces are already
+        // time-synchronized, so only small phase slips may be
+        // forgiven — a wide band would absorb the very staleness
+        // error multiplexing introduces.
+        const std::size_t band =
+            std::max<std::size_t>(2, reference.size() / 48);
+        const DtwResult alignment = dtwBanded(estimate, reference, band);
+        for (const auto &[i, j] : alignment.path) {
+            const double denom = std::max(std::abs(reference[j]), floor);
+            err.push(std::abs(estimate[i] - reference[j]) / denom);
+        }
+    } else {
+        bp_assert(estimate.size() == reference.size(),
+                  "element-wise error needs equal lengths");
+        for (std::size_t t = 0; t < reference.size(); ++t) {
+            const double denom = std::max(std::abs(reference[t]), floor);
+            err.push(std::abs(estimate[t] - reference[t]) / denom);
+        }
+    }
+    return 100.0 * err.mean();
+}
+
+double
+derivedErrorPercent(const sim::MicroarchDescriptor &uarch,
+                    const std::vector<core::DerivedMetric> &metrics,
+                    std::size_t num_slices, const SeriesFn &estimate,
+                    const SeriesFn &reference, bool use_dtw)
+{
+    bp_assert(!metrics.empty(), "no derived metrics given");
+    RunningStats err;
+    for (const auto &metric : metrics) {
+        const auto est =
+            core::derivedSeries(metric, uarch, num_slices, estimate);
+        const auto ref =
+            core::derivedSeries(metric, uarch, num_slices, reference);
+        err.push(traceErrorPercent(est, ref, use_dtw));
+    }
+    return err.mean();
+}
+
+double
+normalizedImprovement(double baseline_error_pct, double estimator_error_pct)
+{
+    if (estimator_error_pct <= 0.0)
+        return 1.0;
+    return baseline_error_pct / estimator_error_pct;
+}
+
+} // namespace ana
+} // namespace bperf

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The paper's HPC error metric.
+ *
+ * Error is the magnitude of difference between corresponding HPC
+ * measurements from a sampling-mode run and a polling-mode reference
+ * run, with correspondence established by dynamic time warping
+ * (section 2).  Derived-event error averages the metric across the
+ * derived metrics of the evaluation.
+ */
+
+#ifndef BPERF_ANALYSIS_ERROR_METRICS_H
+#define BPERF_ANALYSIS_ERROR_METRICS_H
+
+#include <functional>
+#include <vector>
+
+#include "core/derived.h"
+#include "sim/microarch.h"
+
+namespace bperf {
+namespace ana {
+
+/** Per-event series lookup used by the error helpers. */
+using SeriesFn = std::function<std::vector<double>(sim::EventId)>;
+
+/**
+ * DTW-aligned mean absolute percentage error of an estimate series
+ * against a reference series, in percent.  With use_dtw false the
+ * alignment is the identity (element-wise comparison).
+ */
+double traceErrorPercent(const std::vector<double> &estimate,
+                         const std::vector<double> &reference,
+                         bool use_dtw = true);
+
+/**
+ * Average traceErrorPercent across a set of derived metrics, where
+ * each metric's series are computed from per-event series providers.
+ */
+double derivedErrorPercent(const sim::MicroarchDescriptor &uarch,
+                           const std::vector<core::DerivedMetric> &metrics,
+                           std::size_t num_slices, const SeriesFn &estimate,
+                           const SeriesFn &reference, bool use_dtw = true);
+
+/**
+ * Normalized similarity improvement of an estimator against a
+ * baseline: baseline_error / estimator_error (the paper's Fig. 7).
+ * Returns 1 when the estimator error is zero or negative.
+ */
+double normalizedImprovement(double baseline_error_pct,
+                             double estimator_error_pct);
+
+} // namespace ana
+} // namespace bperf
+
+#endif // BPERF_ANALYSIS_ERROR_METRICS_H

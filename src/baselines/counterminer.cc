@@ -1,0 +1,95 @@
+#include "baselines/counterminer.h"
+
+#include <cmath>
+#include <deque>
+
+#include "common/stats.h"
+
+namespace bperf {
+namespace baselines {
+
+std::vector<double>
+CounterMinerEstimator::series(const sim::PerfResult &run,
+                              sim::EventId event) const
+{
+    const sim::EventTrace &trace = run.traceFor(event);
+    std::vector<double> out(trace.slices.size(), 0.0);
+
+    std::deque<double> window; // surviving observed samples
+    double ewma = 0.0;
+    bool have_ewma = false;
+    std::size_t consecutive_drops = 0;
+
+    auto robust_estimate = [&]() {
+        if (window.empty())
+            return have_ewma ? ewma : 0.0;
+        std::vector<double> vals(window.begin(), window.end());
+        const double med = median(vals);
+        if (!have_ewma)
+            return med;
+        // Blend the EWMA with the window median.
+        return 0.5 * (ewma + med);
+    };
+
+    for (std::size_t t = 0; t < trace.slices.size(); ++t) {
+        const auto &sample = trace.slices[t];
+        if (sample.observed) {
+            const double v = sample.scaled();
+            bool keep = true;
+            if (consecutive_drops >= config_.maxConsecutiveDrops) {
+                // Distribution shift: restart from the new stage.
+                window.clear();
+                have_ewma = false;
+                consecutive_drops = 0;
+            } else if (window.size() >= 3) {
+                std::vector<double> vals(window.begin(), window.end());
+                const double m = mean(vals);
+                const double sd = stddev(vals);
+                // Drop the sample when its deviation is too unlikely
+                // even for the maximum of |window| draws.
+                const double score =
+                    gumbelOutlierScore(v, m, sd, window.size());
+                if (score < config_.outlierSignificance &&
+                    std::abs(v - m) > 2.0 * sd) {
+                    keep = false;
+                }
+            }
+            if (keep) {
+                window.push_back(v);
+                while (window.size() > config_.windowSize)
+                    window.pop_front();
+                ewma = have_ewma
+                           ? config_.ewmaAlpha * v +
+                                 (1.0 - config_.ewmaAlpha) * ewma
+                           : v;
+                have_ewma = true;
+                consecutive_drops = 0;
+                out[t] = v;
+            } else {
+                // Outlier: impute instead of trusting the read.
+                ++consecutive_drops;
+                out[t] = robust_estimate();
+            }
+        } else {
+            out[t] = robust_estimate();
+        }
+    }
+
+    // Backfill leading slices before the first observation.
+    double first = 0.0;
+    bool seen = false;
+    for (double v : out) {
+        if (v != 0.0) {
+            first = v;
+            seen = true;
+            break;
+        }
+    }
+    if (seen)
+        for (std::size_t t = 0; t < out.size() && out[t] == 0.0; ++t)
+            out[t] = first;
+    return out;
+}
+
+} // namespace baselines
+} // namespace bperf

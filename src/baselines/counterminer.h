@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CounterMiner baseline (Lv et al., MICRO'18), online variant.
+ *
+ * CounterMiner cleans multiplexed counter data by detecting outliers
+ * with a Gumbel (max-deviation) test over a sample window and
+ * replacing dropped or missing values with a robust location estimate
+ * of the surviving samples.  The original runs offline over the whole
+ * trace; the paper evaluates it online over a sliding window, which
+ * costs it accuracy — reproduced here.
+ */
+
+#ifndef BPERF_BASELINES_COUNTERMINER_H
+#define BPERF_BASELINES_COUNTERMINER_H
+
+#include "baselines/estimator.h"
+
+namespace bperf {
+namespace baselines {
+
+/** CounterMiner knobs. */
+struct CounterMinerConfig
+{
+    /** Observed samples kept in the sliding window. */
+    std::size_t windowSize = 8;
+
+    /** Gumbel-test significance for dropping a sample as outlier. */
+    double outlierSignificance = 0.03;
+
+    /** EWMA weight of the newest surviving sample in the imputation. */
+    double ewmaAlpha = 0.65;
+
+    /**
+     * After this many consecutive drops the next sample is accepted
+     * unconditionally and the window resets: the workload has moved
+     * to a new stage and the old distribution no longer applies.
+     * Without this, a stage change starves the estimator forever.
+     */
+    std::size_t maxConsecutiveDrops = 3;
+};
+
+/** Online CounterMiner estimator. */
+class CounterMinerEstimator : public Estimator
+{
+  public:
+    explicit CounterMinerEstimator(CounterMinerConfig config = {})
+        : config_(config)
+    {
+    }
+
+    std::string name() const override { return "CounterMiner"; }
+
+    std::vector<double> series(const sim::PerfResult &run,
+                               sim::EventId event) const override;
+
+  private:
+    CounterMinerConfig config_;
+};
+
+} // namespace baselines
+} // namespace bperf
+
+#endif // BPERF_BASELINES_COUNTERMINER_H

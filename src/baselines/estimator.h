@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Common interface for counter-value estimators.
+ *
+ * An estimator turns a measurement run (PerfResult) into a per-slice
+ * estimate series for each monitored event.  Implementations: Linux
+ * time-scaling, CounterMiner, WM+Pin, and the BayesPerf adapter.
+ */
+
+#ifndef BPERF_BASELINES_ESTIMATOR_H
+#define BPERF_BASELINES_ESTIMATOR_H
+
+#include <string>
+#include <vector>
+
+#include "sim/perf_session.h"
+
+namespace bperf {
+namespace baselines {
+
+/** Abstract per-event series estimator. */
+class Estimator
+{
+  public:
+    virtual ~Estimator() = default;
+
+    /** Display name used by benches. */
+    virtual std::string name() const = 0;
+
+    /** Per-slice estimates of `event` from a measurement run. */
+    virtual std::vector<double> series(const sim::PerfResult &run,
+                                       sim::EventId event) const = 0;
+};
+
+} // namespace baselines
+} // namespace bperf
+
+#endif // BPERF_BASELINES_ESTIMATOR_H

@@ -1,0 +1,13 @@
+#include "baselines/linux_scaling.h"
+
+namespace bperf {
+namespace baselines {
+
+std::vector<double>
+LinuxEstimator::series(const sim::PerfResult &run, sim::EventId event) const
+{
+    return run.traceFor(event).estimateSeries(policy_);
+}
+
+} // namespace baselines
+} // namespace bperf

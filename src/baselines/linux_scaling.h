@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Linux's built-in correction: scale raw counts by
+ * time_enabled / time_running and carry the latest scaled window
+ * forward (paper section 4, "Traditional approaches").
+ */
+
+#ifndef BPERF_BASELINES_LINUX_SCALING_H
+#define BPERF_BASELINES_LINUX_SCALING_H
+
+#include "baselines/estimator.h"
+
+namespace bperf {
+namespace baselines {
+
+/** The perf-default estimator. */
+class LinuxEstimator : public Estimator
+{
+  public:
+    explicit LinuxEstimator(
+        sim::ScalingPolicy policy = sim::ScalingPolicy::HoldLastScaled)
+        : policy_(policy)
+    {
+    }
+
+    std::string name() const override { return "Linux"; }
+
+    std::vector<double> series(const sim::PerfResult &run,
+                               sim::EventId event) const override;
+
+  private:
+    sim::ScalingPolicy policy_;
+};
+
+} // namespace baselines
+} // namespace bperf
+
+#endif // BPERF_BASELINES_LINUX_SCALING_H

@@ -1,0 +1,26 @@
+#include "baselines/wmpin.h"
+
+#include <algorithm>
+
+namespace bperf {
+namespace baselines {
+
+std::vector<double>
+WmPinEstimator::series(const sim::PerfResult &run, sim::EventId event) const
+{
+    LinuxEstimator linux_est;
+    std::vector<double> out = linux_est.series(run, event);
+
+    // Only the instruction count is corrected.
+    if (uarch_.event(event).role != sim::Role::Instructions)
+        return out;
+
+    const double overcount =
+        config_.interruptsPerSlice * config_.instructionsPerInterrupt;
+    for (double &v : out)
+        v = std::max(v - overcount, 0.0);
+    return out;
+}
+
+} // namespace baselines
+} // namespace bperf

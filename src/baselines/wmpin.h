@@ -1,0 +1,63 @@
+/**
+ * @file
+ * WM+Pin baseline (Weaver & McKee), as used in the paper's Fig. 8.
+ *
+ * Corrects only the retired-instruction count by removing the
+ * deterministic overcount contributed by serviced interrupts (one
+ * spurious instruction per hardware interrupt on the studied x86
+ * parts), using per-instruction traces gathered through Pin.  All
+ * other events pass through the Linux estimator unchanged, and the
+ * Pin instrumentation costs up to ~198x runtime overhead, which the
+ * estimator reports so benches can account for it.
+ */
+
+#ifndef BPERF_BASELINES_WMPIN_H
+#define BPERF_BASELINES_WMPIN_H
+
+#include "baselines/estimator.h"
+#include "baselines/linux_scaling.h"
+#include "sim/os_noise.h"
+
+namespace bperf {
+namespace baselines {
+
+/** WM+Pin knobs. */
+struct WmPinConfig
+{
+    /** Interrupt rate assumed by the correction (per slice). */
+    double interruptsPerSlice = 3.0;
+
+    /** Spurious instructions removed per interrupt. */
+    double instructionsPerInterrupt = 1.0;
+
+    /** Pin instrumentation slowdown (x), from the paper. */
+    double pinSlowdown = 198.2;
+};
+
+/** The instruction-count-only corrector. */
+class WmPinEstimator : public Estimator
+{
+  public:
+    WmPinEstimator(const sim::MicroarchDescriptor &uarch,
+                   WmPinConfig config = {})
+        : uarch_(uarch), config_(config)
+    {
+    }
+
+    std::string name() const override { return "WM+Pin"; }
+
+    std::vector<double> series(const sim::PerfResult &run,
+                               sim::EventId event) const override;
+
+    /** Runtime overhead factor of the Pin instrumentation. */
+    double overheadFactor() const { return config_.pinSlowdown; }
+
+  private:
+    const sim::MicroarchDescriptor &uarch_;
+    WmPinConfig config_;
+};
+
+} // namespace baselines
+} // namespace bperf
+
+#endif // BPERF_BASELINES_WMPIN_H

@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bperf {
+namespace detail {
+
+namespace {
+bool g_verbose = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    if (!g_verbose && (level == LogLevel::Inform || level == LogLevel::Warn))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+terminate(LogLevel level, const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "[%s] %s:%d: %s\n", levelName(level), file, line,
+                 msg.c_str());
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace bperf

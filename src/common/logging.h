@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Status-message and error-termination helpers.
+ *
+ * Mirrors the gem5 logging conventions: panic() for internal invariant
+ * violations (library bugs), fatal() for unrecoverable user errors
+ * (bad configuration, invalid arguments), and warn()/inform() for
+ * non-fatal status reporting.
+ */
+
+#ifndef BPERF_COMMON_LOGGING_H
+#define BPERF_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace bperf {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Emit a formatted message; terminates the process for Fatal/Panic. */
+[[noreturn]] void terminate(LogLevel level, const std::string &msg,
+                            const char *file, int line);
+
+void emit(LogLevel level, const std::string &msg);
+
+/** Enable/disable Inform/Warn output (used to keep test logs quiet). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace detail
+
+/**
+ * Abort with a message describing an internal invariant violation.
+ * Use when the condition indicates a bug in this library, never for
+ * user input errors.
+ */
+#define bp_panic(msg)                                                        \
+    do {                                                                     \
+        std::ostringstream bp_oss_;                                          \
+        bp_oss_ << msg;                                                      \
+        ::bperf::detail::terminate(::bperf::LogLevel::Panic, bp_oss_.str(),  \
+                                   __FILE__, __LINE__);                      \
+    } while (0)
+
+/**
+ * Exit with a message describing an unrecoverable user error (bad
+ * configuration, invalid arguments).
+ */
+#define bp_fatal(msg)                                                        \
+    do {                                                                     \
+        std::ostringstream bp_oss_;                                          \
+        bp_oss_ << msg;                                                      \
+        ::bperf::detail::terminate(::bperf::LogLevel::Fatal, bp_oss_.str(),  \
+                                   __FILE__, __LINE__);                      \
+    } while (0)
+
+/** Report a suspicious-but-survivable condition. */
+#define bp_warn(msg)                                                         \
+    do {                                                                     \
+        std::ostringstream bp_oss_;                                          \
+        bp_oss_ << msg;                                                      \
+        ::bperf::detail::emit(::bperf::LogLevel::Warn, bp_oss_.str());       \
+    } while (0)
+
+/** Report normal operating status. */
+#define bp_inform(msg)                                                       \
+    do {                                                                     \
+        std::ostringstream bp_oss_;                                          \
+        bp_oss_ << msg;                                                      \
+        ::bperf::detail::emit(::bperf::LogLevel::Inform, bp_oss_.str());     \
+    } while (0)
+
+/** Assert an internal invariant; compiled in all build types. */
+#define bp_assert(cond, msg)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            bp_panic("assertion failed: " #cond ": " << msg);                \
+        }                                                                    \
+    } while (0)
+
+} // namespace bperf
+
+#endif // BPERF_COMMON_LOGGING_H

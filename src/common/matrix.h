@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small dense matrix with the linear algebra the library needs:
+ * Cholesky and partial-pivot LU solves, matrix products, transpose.
+ *
+ * Used by exact linear-Gaussian inference (graph/exact), collaborative
+ * filtering, and the MLP in mlsched.  Not meant for large matrices.
+ */
+
+#ifndef BPERF_COMMON_MATRIX_H
+#define BPERF_COMMON_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace bperf {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix filled with `fill`. */
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &operator()(std::size_t r, std::size_t c);
+    double operator()(std::size_t r, std::size_t c) const;
+
+    Matrix operator+(const Matrix &other) const;
+    Matrix operator-(const Matrix &other) const;
+    Matrix operator*(const Matrix &other) const;
+    Matrix operator*(double scalar) const;
+
+    Matrix transpose() const;
+
+    /** Matrix-vector product. Requires v.size() == cols(). */
+    std::vector<double> apply(const std::vector<double> &v) const;
+
+    /**
+     * Solve A x = b for symmetric positive-definite A via Cholesky.
+     * Dies (panic) if the matrix is not SPD within tolerance.
+     */
+    std::vector<double> solveCholesky(const std::vector<double> &b) const;
+
+    /**
+     * Solve A x = b via LU with partial pivoting.
+     * Dies (panic) if the matrix is singular within tolerance.
+     */
+    std::vector<double> solveLU(const std::vector<double> &b) const;
+
+    /** Inverse via LU; requires a square non-singular matrix. */
+    Matrix inverse() const;
+
+    /**
+     * Inverse of a symmetric positive-definite matrix via a single
+     * Cholesky factorization (O(n^3) total, unlike column-by-column
+     * solves).  Dies if the matrix is not SPD within tolerance.
+     */
+    Matrix choleskyInverse() const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace bperf
+
+#endif // BPERF_COMMON_MATRIX_H

@@ -1,0 +1,232 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bperf {
+
+namespace {
+
+/** splitmix64 step, used only for seed expansion. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t s = seed_value;
+    for (auto &word : state_)
+        word = splitmix64(s);
+    hasCachedNormal_ = false;
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa; guaranteed in [0, 1).
+    return ((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    bp_assert(n > 0, "uniformInt requires n > 0");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t x;
+    do {
+        x = (*this)();
+    } while (x >= limit);
+    return x % n;
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::studentT(double nu)
+{
+    bp_assert(nu > 0.0, "studentT requires nu > 0");
+    // t = Z / sqrt(ChiSq(nu) / nu); ChiSq(nu) = Gamma(nu/2, 2).
+    const double z = normal();
+    const double chi2 = gamma(nu / 2.0, 2.0);
+    return z / std::sqrt(chi2 / nu);
+}
+
+double
+Rng::gamma(double shape, double scale)
+{
+    bp_assert(shape > 0.0 && scale > 0.0, "gamma requires positive params");
+    if (shape < 1.0) {
+        // Boost to shape + 1 then apply the standard correction.
+        const double u = uniform();
+        return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    }
+    // Marsaglia-Tsang squeeze method.
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x, v;
+        do {
+            x = normal();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return scale * d * v;
+        if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+            return scale * d * v;
+    }
+}
+
+double
+Rng::exponential(double rate)
+{
+    bp_assert(rate > 0.0, "exponential requires rate > 0");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    bp_assert(mean >= 0.0, "poisson requires mean >= 0");
+    if (mean == 0.0)
+        return 0;
+    if (mean > 64.0) {
+        // Normal approximation with continuity correction.
+        const double x = normal(mean, std::sqrt(mean));
+        return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+    }
+    // Knuth multiplication method.
+    const double limit = std::exp(-mean);
+    double p = 1.0;
+    std::uint64_t k = 0;
+    do {
+        ++k;
+        p *= uniform();
+    } while (p > limit);
+    return k - 1;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::binomial(std::uint64_t n, double p)
+{
+    if (n == 0 || p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+    const double np = static_cast<double>(n) * p;
+    if (np > 64.0 && static_cast<double>(n) * (1.0 - p) > 64.0) {
+        const double x = normal(np, std::sqrt(np * (1.0 - p)));
+        if (x <= 0.0)
+            return 0;
+        const auto k = static_cast<std::uint64_t>(x + 0.5);
+        return k > n ? n : k;
+    }
+    std::uint64_t k = 0;
+    for (std::uint64_t i = 0; i < n; ++i)
+        k += bernoulli(p) ? 1 : 0;
+    return k;
+}
+
+std::size_t
+Rng::categorical(const std::vector<double> &weights)
+{
+    bp_assert(!weights.empty(), "categorical requires weights");
+    double total = 0.0;
+    for (double w : weights) {
+        bp_assert(w >= 0.0, "categorical weights must be non-negative");
+        total += w;
+    }
+    bp_assert(total > 0.0, "categorical weights must not all be zero");
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng((*this)());
+}
+
+} // namespace bperf

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic components in the library draw from Rng, a
+ * xoshiro256++ generator with an explicit 64-bit seed, so that every
+ * simulation, inference run, and benchmark is reproducible.  The class
+ * satisfies UniformRandomBitGenerator and additionally provides the
+ * distributions used throughout the library (the standard library's
+ * distributions are not bit-reproducible across implementations).
+ */
+
+#ifndef BPERF_COMMON_RNG_H
+#define BPERF_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace bperf {
+
+/**
+ * xoshiro256++ pseudo-random generator with explicit distributions.
+ *
+ * Distribution sampling (normal, Student-t, gamma, Poisson, ...) is
+ * implemented in-class so results are identical across platforms and
+ * standard libraries.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Reseed the generator, fully resetting its state. */
+    void seed(std::uint64_t seed);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit output. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal via Box-Muller (cached second variate). */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Student-t with nu degrees of freedom (nu > 0). */
+    double studentT(double nu);
+
+    /** Gamma(shape, scale) via Marsaglia-Tsang. shape > 0, scale > 0. */
+    double gamma(double shape, double scale);
+
+    /** Exponential with the given rate (rate > 0). */
+    double exponential(double rate);
+
+    /** Poisson with the given mean (>= 0); normal approx for large mean. */
+    std::uint64_t poisson(double mean);
+
+    /** Bernoulli draw with probability p of true. */
+    bool bernoulli(double p);
+
+    /** Binomial(n, p) count; normal approximation for large n*p. */
+    std::uint64_t binomial(std::uint64_t n, double p);
+
+    /** Index drawn from unnormalized non-negative weights. */
+    std::size_t categorical(const std::vector<double> &weights);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniformInt(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+} // namespace bperf
+
+#endif // BPERF_COMMON_RNG_H

@@ -1,0 +1,213 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bperf {
+
+void
+RunningStats::push(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::stderrMean() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+median(std::vector<double> xs)
+{
+    bp_assert(!xs.empty(), "median of empty vector");
+    const std::size_t mid = xs.size() / 2;
+    std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+    double hi = xs[mid];
+    if (xs.size() % 2 == 1)
+        return hi;
+    std::nth_element(xs.begin(), xs.begin() + mid - 1, xs.begin() + mid);
+    return 0.5 * (hi + xs[mid - 1]);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    bp_assert(!xs.empty(), "percentile of empty vector");
+    bp_assert(p >= 0.0 && p <= 100.0, "percentile p out of range");
+    std::sort(xs.begin(), xs.end());
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+correlation(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    bp_assert(xs.size() == ys.size(), "correlation length mismatch");
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+meanAbsPercentError(const std::vector<double> &estimate,
+                    const std::vector<double> &truth)
+{
+    bp_assert(estimate.size() == truth.size(), "MAPE length mismatch");
+    if (estimate.empty())
+        return 0.0;
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (truth[i] == 0.0)
+            continue;
+        s += std::abs(estimate[i] - truth[i]) / std::abs(truth[i]);
+        ++n;
+    }
+    return n ? 100.0 * s / static_cast<double>(n) : 0.0;
+}
+
+double
+normalPdf(double x, double m, double s)
+{
+    bp_assert(s > 0.0, "normalPdf requires positive stddev");
+    const double z = (x - m) / s;
+    return std::exp(-0.5 * z * z) / (s * std::sqrt(2.0 * M_PI));
+}
+
+double
+normalLogPdf(double x, double m, double s)
+{
+    bp_assert(s > 0.0, "normalLogPdf requires positive stddev");
+    const double z = (x - m) / s;
+    return -0.5 * z * z - std::log(s) - 0.5 * std::log(2.0 * M_PI);
+}
+
+double
+normalCdf(double x, double m, double s)
+{
+    bp_assert(s > 0.0, "normalCdf requires positive stddev");
+    return 0.5 * std::erfc(-(x - m) / (s * std::sqrt(2.0)));
+}
+
+double
+studentTLogPdf(double x, double nu, double mu, double scale)
+{
+    bp_assert(nu > 0.0 && scale > 0.0, "studentTLogPdf bad params");
+    const double z = (x - mu) / scale;
+    const double a = std::lgamma((nu + 1.0) / 2.0) - std::lgamma(nu / 2.0);
+    const double b = -0.5 * std::log(nu * M_PI) - std::log(scale);
+    const double c = -(nu + 1.0) / 2.0 * std::log1p(z * z / nu);
+    return a + b + c;
+}
+
+double
+gumbelOutlierScore(double x, double sample_mean, double sample_std,
+                   std::size_t n)
+{
+    if (sample_std <= 0.0 || n < 2)
+        return 0.0;
+    // P(max of n standard normals >= |z|) = 1 - Phi(z)^n.
+    const double z = std::abs(x - sample_mean) / sample_std;
+    const double phi = normalCdf(z, 0.0, 1.0);
+    return 1.0 - std::pow(phi, static_cast<double>(n));
+}
+
+} // namespace bperf

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Streaming and batch descriptive statistics.
+ */
+
+#ifndef BPERF_COMMON_STATS_H
+#define BPERF_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace bperf {
+
+/**
+ * Numerically stable streaming moments (Welford's algorithm).
+ *
+ * Tracks count, mean, variance, min and max of a stream of doubles
+ * without storing the samples.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void push(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStats &other);
+
+    /** Remove all observations. */
+    void reset();
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Square root of variance(). */
+    double stddev() const;
+
+    /** Standard error of the mean. */
+    double stderrMean() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Mean of a vector (0 for empty input). */
+double mean(const std::vector<double> &xs);
+
+/** Unbiased sample variance of a vector (0 when size < 2). */
+double variance(const std::vector<double> &xs);
+
+/** Sample standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/** Median (by copy-and-nth_element). Requires non-empty input. */
+double median(std::vector<double> xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100].
+ * Requires non-empty input.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Pearson correlation of two equal-length vectors (0 if degenerate). */
+double correlation(const std::vector<double> &xs,
+                   const std::vector<double> &ys);
+
+/** Mean absolute percentage error vs a reference trace, in percent. */
+double meanAbsPercentError(const std::vector<double> &estimate,
+                           const std::vector<double> &truth);
+
+/** Standard normal density. */
+double normalPdf(double x, double mean, double stddev);
+
+/** Standard normal log-density. */
+double normalLogPdf(double x, double mean, double stddev);
+
+/** Standard normal CDF. */
+double normalCdf(double x, double mean, double stddev);
+
+/**
+ * Log-density of a scaled/shifted Student-t with nu degrees of freedom,
+ * location mu and scale s.
+ */
+double studentTLogPdf(double x, double nu, double mu, double scale);
+
+/**
+ * Two-sided Gumbel-style outlier score used by the CounterMiner
+ * baseline: probability that the max deviation of n samples exceeds
+ * the observed deviation of x under a fitted normal.
+ */
+double gumbelOutlierScore(double x, double sample_mean, double sample_std,
+                          std::size_t n);
+
+} // namespace bperf
+
+#endif // BPERF_COMMON_STATS_H

@@ -1,0 +1,96 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bperf {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    bp_assert(!header_.empty(), "table requires a header");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    bp_assert(row.size() == header_.size(), "table row arity mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::addRow(const std::string &label,
+                     const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(values.size() + 1);
+    row.push_back(label);
+    for (double v : values)
+        row.push_back(formatDouble(v, precision));
+    addRow(std::move(row));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << " " << std::setw(static_cast<int>(widths[c])) << row[c]
+               << " |";
+        os << "\n";
+    };
+
+    print_row(header_);
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+void
+printSeries(std::ostream &os, const std::string &title,
+            const std::string &x_label, const std::vector<double> &xs,
+            const std::vector<std::string> &series_names,
+            const std::vector<std::vector<double>> &series, int precision)
+{
+    bp_assert(series_names.size() == series.size(),
+              "series name/data mismatch");
+    for (const auto &s : series)
+        bp_assert(s.size() == xs.size(), "series length mismatch");
+
+    os << "# " << title << "\n";
+    std::vector<std::string> header{x_label};
+    for (const auto &name : series_names)
+        header.push_back(name);
+    TablePrinter t(std::move(header));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::vector<double> vals;
+        vals.reserve(series.size());
+        for (const auto &s : series)
+            vals.push_back(s[i]);
+        t.addRow(formatDouble(xs[i], 0), vals, precision);
+    }
+    t.print(os);
+}
+
+} // namespace bperf

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ASCII table and series printers used by the benchmark harnesses to
+ * report paper tables/figures in a uniform format.
+ */
+
+#ifndef BPERF_COMMON_TABLE_H
+#define BPERF_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bperf {
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Usage:
+ *   TablePrinter t({"workload", "linux", "bayesperf"});
+ *   t.addRow({"Sort", "39.2", "8.1"});
+ *   t.print(std::cout);
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with fixed precision. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 2);
+
+    void print(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double v, int precision = 2);
+
+/**
+ * Print an (x, series...) block, one line per x value, suitable for
+ * regenerating a line plot from the paper.
+ */
+void printSeries(std::ostream &os, const std::string &title,
+                 const std::string &x_label,
+                 const std::vector<double> &xs,
+                 const std::vector<std::string> &series_names,
+                 const std::vector<std::vector<double>> &series,
+                 int precision = 2);
+
+} // namespace bperf
+
+#endif // BPERF_COMMON_TABLE_H

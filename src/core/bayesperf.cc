@@ -1,0 +1,56 @@
+#include "core/bayesperf.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace core {
+
+BayesPerfSession::BayesPerfSession(const sim::MicroarchDescriptor &uarch,
+                                   BayesPerfConfig config)
+    : uarch_(uarch), config_(config)
+{
+}
+
+void
+BayesPerfSession::open(const std::vector<sim::EventId> &events)
+{
+    monitored_.clear();
+    // Fixed counters are always on and anchor the factor graph.
+    for (sim::EventId e : uarch_.fixedEvents())
+        monitored_.push_back(e);
+    sim::Pmu pmu(uarch_);
+    for (sim::EventId e : events) {
+        if (std::find(monitored_.begin(), monitored_.end(), e) !=
+            monitored_.end())
+            continue;
+        if (!uarch_.event(e).fixed && !pmu.validate({e}))
+            bp_fatal("event not schedulable on any counter: "
+                     << uarch_.event(e).name);
+        monitored_.push_back(e);
+    }
+}
+
+BayesPerfRun
+BayesPerfSession::measure(const sim::TruthTrace &truth)
+{
+    bp_assert(isOpen(), "open() must be called before measure()");
+
+    BayesPerfRun run;
+
+    SchedulerConfig sched_cfg = config_.scheduler;
+    sched_cfg.reserveOverlapSlot = config_.useOverlapSchedule;
+    OverlapScheduler scheduler(uarch_, sched_cfg);
+    run.schedule = scheduler.build(monitored_);
+
+    sim::PerfSession session(uarch_, config_.perf);
+    run.raw = session.run(truth, monitored_, run.schedule.configs);
+
+    InferenceEngine engine(uarch_, config_.inference);
+    run.posterior = engine.infer(run.raw);
+    return run;
+}
+
+} // namespace core
+} // namespace bperf

@@ -1,0 +1,133 @@
+#include "core/derived.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace core {
+
+using sim::Role;
+
+const std::vector<DerivedMetric> &
+standardDerivedMetrics()
+{
+    static const std::vector<DerivedMetric> metrics = {
+        {"IPC", {{Role::Instructions, 1.0}}, {{Role::Cycles, 1.0}}, 1.0},
+        {"Backend_Bound",
+         {{Role::StallTotal, 1.0}},
+         {{Role::Cycles, 1.0}},
+         1.0},
+        {"Memory_Bound",
+         {{Role::StallMem, 1.0}},
+         {{Role::Cycles, 1.0}},
+         1.0},
+        {"Frontend_Bound",
+         {{Role::StallFrontend, 1.0}},
+         {{Role::Cycles, 1.0}},
+         1.0},
+        {"Bad_Speculation",
+         {{Role::StallBranch, 1.0}},
+         {{Role::Cycles, 1.0}},
+         1.0},
+        {"Branch_MPKI",
+         {{Role::BranchMisses, 1.0}},
+         {{Role::Instructions, 1.0}},
+         1000.0},
+        {"LLC_MPKI",
+         {{Role::LlcMiss, 1.0}},
+         {{Role::Instructions, 1.0}},
+         1000.0},
+        {"DRAM_BW_Per_Cycle",
+         {{Role::DramBytes, 1.0}},
+         {{Role::Cycles, 1.0}},
+         1.0},
+        {"DMA_Share_Of_DRAM",
+         {{Role::DmaBytes, 1.0}},
+         {{Role::DramBytes, 1.0}},
+         1.0},
+        {"Uops_Per_Inst",
+         {{Role::UopsIssued, 1.0}},
+         {{Role::Instructions, 1.0}},
+         1.0},
+    };
+    return metrics;
+}
+
+std::vector<Role>
+rolesUsed(const std::vector<DerivedMetric> &metrics)
+{
+    std::vector<Role> roles;
+    auto add = [&](Role r) {
+        if (std::find(roles.begin(), roles.end(), r) == roles.end())
+            roles.push_back(r);
+    };
+    for (const auto &m : metrics) {
+        for (const auto &[r, c] : m.numerator)
+            add(r);
+        for (const auto &[r, c] : m.denominator)
+            add(r);
+    }
+    return roles;
+}
+
+std::vector<sim::EventId>
+eventsUsed(const sim::MicroarchDescriptor &uarch,
+           const std::vector<DerivedMetric> &metrics)
+{
+    std::vector<sim::EventId> out;
+    for (Role r : rolesUsed(metrics))
+        out.push_back(uarch.idForRole(r));
+    return out;
+}
+
+double
+evalDerived(const DerivedMetric &metric,
+            const sim::MicroarchDescriptor &uarch,
+            const std::function<double(sim::EventId)> &value)
+{
+    double num = 0.0;
+    for (const auto &[r, c] : metric.numerator)
+        num += c * value(uarch.idForRole(r));
+    if (metric.denominator.empty())
+        return metric.scale * num;
+    double den = 0.0;
+    for (const auto &[r, c] : metric.denominator)
+        den += c * value(uarch.idForRole(r));
+    if (den == 0.0)
+        return 0.0;
+    return metric.scale * num / den;
+}
+
+std::vector<double>
+derivedSeries(const DerivedMetric &metric,
+              const sim::MicroarchDescriptor &uarch, std::size_t num_slices,
+              const std::function<std::vector<double>(sim::EventId)> &series)
+{
+    // Gather the per-event series once.
+    std::vector<sim::EventId> events = eventsUsed(uarch, {metric});
+    std::vector<std::vector<double>> values;
+    values.reserve(events.size());
+    for (sim::EventId e : events) {
+        values.push_back(series(e));
+        bp_assert(values.back().size() == num_slices,
+                  "derived series length mismatch");
+    }
+    auto value_at = [&](std::size_t t) {
+        return [&, t](sim::EventId e) {
+            for (std::size_t i = 0; i < events.size(); ++i)
+                if (events[i] == e)
+                    return values[i][t];
+            bp_panic("event missing in derivedSeries");
+        };
+    };
+
+    std::vector<double> out(num_slices);
+    for (std::size_t t = 0; t < num_slices; ++t)
+        out[t] = evalDerived(metric, uarch, value_at(t));
+    return out;
+}
+
+} // namespace core
+} // namespace bperf

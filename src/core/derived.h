@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Derived events: metrics computed from groups of HPCs via a
+ * mathematical expression (paper section 2, "Errors in Derived
+ * Events").
+ *
+ * Each metric is a ratio of two linear combinations of events, which
+ * covers the paper's examples (Backend_Bound, Memory_Bound, DRAM
+ * bandwidth utilization, MPKI-style rates).  The evaluation section
+ * measures 10 derived events per architecture; standardDerivedMetrics
+ * provides that set.
+ */
+
+#ifndef BPERF_CORE_DERIVED_H
+#define BPERF_CORE_DERIVED_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/microarch.h"
+
+namespace bperf {
+namespace core {
+
+/** A derived metric: scale * (num . e) / (den . e). */
+struct DerivedMetric
+{
+    std::string name;
+    std::vector<std::pair<sim::Role, double>> numerator;
+    /** Empty denominator means "divide by 1". */
+    std::vector<std::pair<sim::Role, double>> denominator;
+    double scale = 1.0;
+};
+
+/** The 10 derived events measured in the paper's evaluation. */
+const std::vector<DerivedMetric> &standardDerivedMetrics();
+
+/** Distinct roles used across a metric set. */
+std::vector<sim::Role>
+rolesUsed(const std::vector<DerivedMetric> &metrics);
+
+/** Distinct event ids for a metric set on an architecture. */
+std::vector<sim::EventId>
+eventsUsed(const sim::MicroarchDescriptor &uarch,
+           const std::vector<DerivedMetric> &metrics);
+
+/**
+ * Evaluate a metric given a per-event value lookup.  Returns 0 when
+ * the denominator vanishes.
+ */
+double evalDerived(const DerivedMetric &metric,
+                   const sim::MicroarchDescriptor &uarch,
+                   const std::function<double(sim::EventId)> &value);
+
+/**
+ * Evaluate a metric per slice from per-event series.  `series(e)`
+ * must return the per-slice values of event e.
+ */
+std::vector<double> derivedSeries(
+    const DerivedMetric &metric, const sim::MicroarchDescriptor &uarch,
+    std::size_t num_slices,
+    const std::function<std::vector<double>(sim::EventId)> &series);
+
+} // namespace core
+} // namespace bperf
+
+#endif // BPERF_CORE_DERIVED_H

@@ -1,0 +1,223 @@
+#include "core/ep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace bperf {
+namespace core {
+
+using graph::FactorGraph;
+using graph::FactorKind;
+using graph::Gaussian;
+
+void
+tiltedMomentsQuadrature(double cavity_mean, double cavity_var, double loc,
+                        double scale, double nu, std::size_t points,
+                        double &mean_out, double &var_out)
+{
+    bp_assert(cavity_var > 0.0, "quadrature needs proper cavity");
+    bp_assert(points >= 9, "too few quadrature points");
+    const double cavity_sd = std::sqrt(cavity_var);
+
+    // Cover both the cavity and the likelihood bulk.
+    const double lo = std::min(cavity_mean - 8.0 * cavity_sd,
+                               loc - 10.0 * scale);
+    const double hi = std::max(cavity_mean + 8.0 * cavity_sd,
+                               loc + 10.0 * scale);
+    const double step = (hi - lo) / static_cast<double>(points - 1);
+
+    // Log-sum-exp weighted moments.
+    std::vector<double> logw(points);
+    double max_logw = -1e300;
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x = lo + step * static_cast<double>(i);
+        logw[i] = normalLogPdf(x, cavity_mean, cavity_sd) +
+                  studentTLogPdf(x, nu, loc, scale);
+        max_logw = std::max(max_logw, logw[i]);
+    }
+    double z = 0.0, m1 = 0.0, m2 = 0.0;
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x = lo + step * static_cast<double>(i);
+        const double w = std::exp(logw[i] - max_logw);
+        z += w;
+        m1 += w * x;
+        m2 += w * x * x;
+    }
+    bp_assert(z > 0.0, "tilted density vanished on the grid");
+    mean_out = m1 / z;
+    var_out = std::max(m2 / z - mean_out * mean_out, 1e-30);
+}
+
+void
+tiltedMomentsMcmc(double cavity_mean, double cavity_var, double loc,
+                  double scale, double nu, std::size_t samples,
+                  std::size_t burnin, std::uint64_t seed, double &mean_out,
+                  double &var_out)
+{
+    bp_assert(cavity_var > 0.0, "MCMC needs proper cavity");
+    bp_assert(samples >= 16, "too few MCMC samples");
+    Rng rng(seed);
+    const double cavity_sd = std::sqrt(cavity_var);
+
+    auto log_target = [&](double x) {
+        return normalLogPdf(x, cavity_mean, cavity_sd) +
+               studentTLogPdf(x, nu, loc, scale);
+    };
+
+    // Random-walk Metropolis with a proposal matched to the tighter
+    // of cavity and likelihood (the AcMC2-generated samplers do the
+    // equivalent tuning at compile time).
+    const double prop_sd = std::min(cavity_sd, scale) * 1.5;
+    double x = (cavity_mean / cavity_var + loc / (scale * scale)) /
+               (1.0 / cavity_var + 1.0 / (scale * scale));
+    double lx = log_target(x);
+
+    RunningStats stats;
+    for (std::size_t i = 0; i < burnin + samples; ++i) {
+        const double cand = x + rng.normal(0.0, prop_sd);
+        const double lc = log_target(cand);
+        if (lc >= lx || rng.uniform() < std::exp(lc - lx)) {
+            x = cand;
+            lx = lc;
+        }
+        if (i >= burnin)
+            stats.push(x);
+    }
+    mean_out = stats.mean();
+    // Guard against degenerate chains (all rejections).
+    var_out = std::max(stats.variance(),
+                       1e-6 * std::min(cavity_var, scale * scale));
+}
+
+ExpectationPropagation::ExpectationPropagation(EpConfig config)
+    : config_(config)
+{
+}
+
+EpResult
+ExpectationPropagation::run(const FactorGraph &graph) const
+{
+    const std::size_t n = graph.numVariables();
+    graph::GaussianSolver solver(graph);
+
+    // Collect the Student-t factors; each owns one site.
+    struct Site
+    {
+        graph::VarId var;
+        double loc, scale, nu;
+        Gaussian approx; // natural units
+    };
+    std::vector<Site> sites;
+    for (const auto &f : graph.factors()) {
+        if (f.kind != FactorKind::StudentT)
+            continue;
+        Site s;
+        s.var = f.vars[0];
+        s.loc = f.loc;
+        s.scale = f.scale;
+        s.nu = f.nu;
+        // Initialize sites at a moment-matched Gaussian of the
+        // likelihood (variance of a Student-t, inflated when nu <= 2).
+        const double t_var = s.nu > 2.0
+                                 ? s.scale * s.scale * s.nu / (s.nu - 2.0)
+                                 : 9.0 * s.scale * s.scale;
+        s.approx = Gaussian::fromMeanVar(s.loc, t_var);
+        sites.push_back(s);
+    }
+
+    std::vector<Gaussian> site_by_var(n, Gaussian::flat());
+    auto rebuild_site_sums = [&]() {
+        std::fill(site_by_var.begin(), site_by_var.end(), Gaussian::flat());
+        for (const auto &s : sites)
+            site_by_var[s.var] = site_by_var[s.var] * s.approx;
+    };
+
+    EpResult result;
+    Rng rng(config_.seed);
+
+    rebuild_site_sums();
+    graph::GaussianJoint joint = solver.solve(site_by_var);
+
+    for (std::size_t sweep = 0; sweep < config_.maxSweeps; ++sweep) {
+        ++result.sweeps;
+        double max_rel_change = 0.0;
+
+        for (auto &site : sites) {
+            const graph::VarId v = site.var;
+            const double marg_var = joint.covariance(v, v);
+            const double marg_mean = joint.mean[v];
+            if (marg_var <= 0.0) {
+                ++result.skippedUpdates;
+                continue;
+            }
+            const Gaussian marginal =
+                Gaussian::fromMeanVar(marg_mean, marg_var);
+            const Gaussian cavity = marginal / site.approx;
+            if (!cavity.isProper()) {
+                ++result.skippedUpdates;
+                continue;
+            }
+
+            double tilt_mean = 0.0, tilt_var = 0.0;
+            if (config_.method == MomentMethod::Quadrature) {
+                tiltedMomentsQuadrature(cavity.mean(), cavity.variance(),
+                                        site.loc, site.scale, site.nu,
+                                        config_.quadraturePoints, tilt_mean,
+                                        tilt_var);
+            } else {
+                tiltedMomentsMcmc(cavity.mean(), cavity.variance(),
+                                  site.loc, site.scale, site.nu,
+                                  config_.mcmcSamples, config_.mcmcBurnin,
+                                  rng(), tilt_mean, tilt_var);
+            }
+            ++result.momentEvaluations;
+
+            const Gaussian tilted =
+                Gaussian::fromMeanVar(tilt_mean, tilt_var);
+            Gaussian updated = tilted / cavity;
+            // Keep sites proper: clamping retains stability without
+            // changing the fixed point in practice.
+            if (updated.lambda < 0.0)
+                updated = Gaussian::flat();
+
+            const double d = config_.damping;
+            const Gaussian damped(
+                d * updated.lambda + (1.0 - d) * site.approx.lambda,
+                d * updated.eta + (1.0 - d) * site.approx.eta);
+
+            const double scale_hint = graph.variable(v).scaleHint;
+            const double old_mean =
+                site.approx.isProper() ? site.approx.mean() : site.loc;
+            const double new_mean =
+                damped.isProper() ? damped.mean() : site.loc;
+            max_rel_change =
+                std::max(max_rel_change,
+                         std::abs(new_mean - old_mean) / scale_hint);
+
+            site.approx = damped;
+        }
+
+        rebuild_site_sums();
+        joint = solver.solve(site_by_var);
+
+        if (max_rel_change < config_.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.mean.resize(n);
+    result.stddev.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        result.mean[v] = joint.mean[v];
+        result.stddev[v] = std::sqrt(std::max(joint.covariance(v, v), 0.0));
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace bperf

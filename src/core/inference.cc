@@ -1,0 +1,207 @@
+#include "core/inference.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace core {
+
+std::vector<double>
+InferenceResult::meanSeries(sim::EventId event) const
+{
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (events[i] == event) {
+            std::vector<double> out(series[i].size());
+            for (std::size_t t = 0; t < out.size(); ++t)
+                out[t] = series[i][t].mean;
+            return out;
+        }
+    }
+    bp_panic("event not inferred: id " << event);
+}
+
+std::vector<double>
+InferenceResult::stddevSeries(sim::EventId event) const
+{
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (events[i] == event) {
+            std::vector<double> out(series[i].size());
+            for (std::size_t t = 0; t < out.size(); ++t)
+                out[t] = series[i][t].stddev;
+            return out;
+        }
+    }
+    bp_panic("event not inferred: id " << event);
+}
+
+InferenceEngine::InferenceEngine(const sim::MicroarchDescriptor &uarch,
+                                 InferenceConfig config)
+    : uarch_(uarch), config_(config)
+{
+}
+
+InferenceResult
+InferenceEngine::infer(const sim::PerfResult &measurements) const
+{
+    const auto t_start = std::chrono::steady_clock::now();
+
+    const std::vector<sim::EventId> &events = measurements.monitored;
+    bp_assert(!events.empty(), "nothing to infer");
+    const std::size_t num_slices = measurements.traces.front().slices.size();
+    std::size_t k = config_.windowSlices;
+    if (k == 0) {
+        // Adapt to the schedule period so every event is observed at
+        // least once per window.
+        k = std::clamp<std::size_t>(measurements.schedule.size(), 3, 8);
+    }
+
+    InferenceResult result;
+    result.events = events;
+    result.series.assign(events.size(),
+                         std::vector<PosteriorPoint>(num_slices));
+
+    std::vector<CarryPrior> carry;
+
+    // Half-overlapping sliding windows: every slice (except the tail)
+    // is re-estimated by a later window in which it has future
+    // context, giving two-sided smoothing between observations.
+    const std::size_t stride = std::max<std::size_t>(1, k / 2);
+
+    for (std::size_t w0 = 0; w0 < num_slices; w0 += stride) {
+        const std::size_t w_len = std::min(k, num_slices - w0);
+
+        // Level hints: the measured magnitude of each event inside
+        // this window (falling back to the carried estimate).
+        std::vector<double> levels(events.size());
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const auto &trace = measurements.traces[i];
+            double sum = 0.0;
+            std::size_t n = 0;
+            for (std::size_t s = 0; s < w_len; ++s) {
+                const auto &sample = trace.slices[w0 + s];
+                if (sample.observed) {
+                    sum += sample.scaled();
+                    ++n;
+                }
+            }
+            if (n > 0) {
+                levels[i] = sum / static_cast<double>(n);
+            } else if (!carry.empty()) {
+                levels[i] = carry[i].mean;
+            } else {
+                levels[i] = uarch_.event(events[i]).typicalPerSlice;
+            }
+        }
+
+        // Normalizer: the fixed instruction counter's measured
+        // values, which anchor the ratio walk.
+        std::vector<double> normalizer;
+        const sim::EventId inst_id =
+            uarch_.idForRole(sim::Role::Instructions);
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            if (events[i] != inst_id)
+                continue;
+            const auto &trace = measurements.traces[i];
+            normalizer.resize(w_len);
+            bool ok = true;
+            for (std::size_t s = 0; s < w_len; ++s) {
+                const auto &sample = trace.slices[w0 + s];
+                if (!sample.observed || sample.scaled() <= 0.0) {
+                    ok = false;
+                    break;
+                }
+                normalizer[s] = sample.scaled();
+            }
+            if (!ok)
+                normalizer.clear();
+            break;
+        }
+
+        WindowModel model(uarch_, events, w_len, config_.model, &levels,
+                          normalizer.empty() ? nullptr : &normalizer);
+        model.addCarryPriors(carry);
+
+        // Measurement factors for every observed (event, slice).
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const auto &trace = measurements.traces[i];
+            for (std::size_t s = 0; s < w_len; ++s) {
+                const auto &sample = trace.slices[w0 + s];
+                if (!sample.observed)
+                    continue;
+                const bool full_duty = sample.timeRunning >= 0.999;
+                if (full_duty) {
+                    // A full-duty counter's raw count *is* the slice
+                    // total: window-to-window spread reflects genuine
+                    // intra-slice variation, not measurement noise,
+                    // so only read noise enters the scale.
+                    MeasurementModel m;
+                    m.loc = sample.scaled();
+                    m.scale = std::max(config_.model.measurementExtraRel *
+                                           std::abs(m.loc),
+                                       1e-9);
+                    m.nu = 30.0;
+                    model.addMeasurement(events[i], s, m);
+                } else {
+                    // Multiplexed counters get multiplicative-noise
+                    // floors (relative to both their reading and the
+                    // event's level).
+                    const double floor =
+                        config_.model.measurementFloorRel * levels[i];
+                    model.addMeasurement(
+                        events[i], s,
+                        fitMeasurement(sample,
+                                       config_.model.measurementMuxRel,
+                                       floor));
+                }
+            }
+        }
+
+        ExpectationPropagation ep(config_.ep);
+        const EpResult ep_result = ep.run(model.graph());
+        ++result.windowsRun;
+        result.epSweepsTotal += ep_result.sweeps;
+
+        // Record every covered slice; later (more contextual)
+        // windows overwrite all but their warm-up prefix.
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            for (std::size_t s = 0; s < w_len; ++s) {
+                const graph::VarId v = model.var(events[i], s);
+                result.series[i][w0 + s] = {ep_result.mean[v],
+                                            ep_result.stddev[v]};
+            }
+        }
+
+        // Carry the posterior of the slice preceding the next
+        // window's start.
+        const std::size_t carry_slice =
+            std::min(stride, w_len) - 1 + 0; // slice w0+stride-1
+        carry.clear();
+        carry.reserve(events.size());
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const graph::VarId v = model.var(events[i], carry_slice);
+            const auto &def = uarch_.event(events[i]);
+            const double walk_sd =
+                config_.model.temporalSigmaRel *
+                std::max(levels[i], 0.05 * def.typicalPerSlice);
+            const double sd = std::sqrt(
+                config_.carryVarInflation *
+                (ep_result.stddev[v] * ep_result.stddev[v] +
+                 walk_sd * walk_sd));
+            carry.push_back({events[i], ep_result.mean[v], sd});
+        }
+
+        if (w0 + w_len >= num_slices)
+            break; // tail fully covered
+    }
+
+    const auto t_end = std::chrono::steady_clock::now();
+    result.wallSeconds =
+        std::chrono::duration<double>(t_end - t_start).count();
+    return result;
+}
+
+} // namespace core
+} // namespace bperf

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Sliding-window inference orchestration (paper section 4.3).
+ *
+ * Measurements stream in slice by slice; the engine partitions them
+ * into windows of k slices, runs EP on each window's factor graph,
+ * and carries the trailing posterior forward as the next window's
+ * prior — the compositional chaining of inference across time slices
+ * that the paper describes.
+ */
+
+#ifndef BPERF_CORE_INFERENCE_H
+#define BPERF_CORE_INFERENCE_H
+
+#include <vector>
+
+#include "core/ep.h"
+#include "core/model_builder.h"
+#include "sim/microarch.h"
+#include "sim/perf_session.h"
+
+namespace bperf {
+namespace core {
+
+/** Engine configuration. */
+struct InferenceConfig
+{
+    /**
+     * Slices jointly inferred per window (k of section 4.3).  The
+     * default 0 adapts k to the schedule period of the measurement
+     * run (clamped to [3, 8]), so every multiplexed event has at
+     * least one observation inside each window.
+     */
+    std::size_t windowSlices = 0;
+
+    EpConfig ep;
+    ModelConfig model;
+
+    /**
+     * Variance inflation applied to carried posteriors so the prior
+     * of a new window does not double-count old data.
+     */
+    double carryVarInflation = 2.0;
+};
+
+/** Posterior of one event at one slice. */
+struct PosteriorPoint
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+/** Full posterior time series for a run. */
+struct InferenceResult
+{
+    std::vector<sim::EventId> events;
+    /** series[i][t] is the posterior of events[i] at slice t. */
+    std::vector<std::vector<PosteriorPoint>> series;
+
+    std::size_t windowsRun = 0;
+    std::size_t epSweepsTotal = 0;
+    double wallSeconds = 0.0;
+
+    /** Posterior-mean series for one event (the paper's MLE output). */
+    std::vector<double> meanSeries(sim::EventId event) const;
+
+    /** Posterior-stddev series for one event. */
+    std::vector<double> stddevSeries(sim::EventId event) const;
+};
+
+/**
+ * Runs BayesPerf inference over a measurement run.
+ */
+class InferenceEngine
+{
+  public:
+    InferenceEngine(const sim::MicroarchDescriptor &uarch,
+                    InferenceConfig config = {});
+
+    /** Infer posteriors for every monitored event at every slice. */
+    InferenceResult infer(const sim::PerfResult &measurements) const;
+
+    const InferenceConfig &config() const { return config_; }
+
+  private:
+    const sim::MicroarchDescriptor &uarch_;
+    InferenceConfig config_;
+};
+
+} // namespace core
+} // namespace bperf
+
+#endif // BPERF_CORE_INFERENCE_H

@@ -1,0 +1,39 @@
+#include "core/measurement.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace bperf {
+namespace core {
+
+MeasurementModel
+fitMeasurement(const sim::SliceSample &sample, double extra_scale_rel,
+               double scale_floor_abs)
+{
+    bp_assert(sample.observed, "cannot fit measurement to unobserved slice");
+    const std::size_t W = sample.windows.size();
+    bp_assert(W >= 2, "need >= 2 windows for the Student-t model");
+
+    // Extrapolate each window read to a full-slice count.
+    const double factor = static_cast<double>(W) * sample.timeEnabled /
+                          std::max(sample.timeRunning, 1e-12);
+    RunningStats stats;
+    for (double w : sample.windows)
+        stats.push(w * factor);
+
+    MeasurementModel model;
+    model.loc = stats.mean();
+    model.nu = static_cast<double>(W - 1);
+    const double sem = stats.stddev() / std::sqrt(static_cast<double>(W));
+    // Floor the scale: identical windows must not produce a
+    // zero-width likelihood.
+    const double floor_scale = std::max(
+        extra_scale_rel * std::abs(model.loc) + 1e-9, scale_floor_abs);
+    model.scale = std::max(sem, floor_scale);
+    return model;
+}
+
+} // namespace core
+} // namespace bperf

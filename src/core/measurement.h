@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Measurement error model (paper section 4.2).
+ *
+ * A counter observed during a slice yields N PMI window reads.  The
+ * unknown true value, with the Gaussian noise variance marginalized
+ * out, follows a scaled/shifted Student-t:
+ *     v ~ mu + S / sqrt(N) * Student(nu = N - 1),
+ * where mu and S are the sample mean and standard deviation of the
+ * window reads extrapolated to the full slice.
+ */
+
+#ifndef BPERF_CORE_MEASUREMENT_H
+#define BPERF_CORE_MEASUREMENT_H
+
+#include "sim/perf_session.h"
+
+namespace bperf {
+namespace core {
+
+/** Student-t likelihood parameters for one observed slice. */
+struct MeasurementModel
+{
+    double loc = 0.0;   // location (full-slice scale)
+    double scale = 1.0; // scale of the t distribution
+    double nu = 3.0;    // degrees of freedom
+};
+
+/**
+ * Fit the Student-t model to an observed slice's PMI windows.
+ *
+ * `extra_scale_rel` inflates the scale by a relative amount of the
+ * location, accounting for modeled-but-unsampled noise (interrupt
+ * loss, overcounts).  `scale_floor_abs` lower-bounds the scale in
+ * absolute terms; callers pass a fraction of the event's current
+ * magnitude.  Without the floor, a counting window that happens to
+ * land in a quiet region produces sub-windows that agree — a
+ * spuriously tight likelihood at a low value — while burst-catching
+ * windows disagree and stay loose, which would bias the posterior
+ * low.
+ */
+MeasurementModel fitMeasurement(const sim::SliceSample &sample,
+                                double extra_scale_rel = 0.005,
+                                double scale_floor_abs = 0.0);
+
+} // namespace core
+} // namespace bperf
+
+#endif // BPERF_CORE_MEASUREMENT_H

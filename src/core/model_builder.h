@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Construction of the BayesPerf factor graph for a window of slices.
+ *
+ * Variables are (event, slice) pairs.  Three factor families:
+ *   - invariant factors per slice, instantiated from the
+ *     microarchitecture's invariant catalog ("→" edges in the paper's
+ *     Fig. 2);
+ *   - temporal random-walk factors linking the same event across
+ *     consecutive slices ("⇝" edges, the overlap relationship);
+ *   - Student-t measurement factors for slices where the event was
+ *     scheduled on a counter (section 4.2).
+ * A weak Gaussian prior anchors every variable.
+ */
+
+#ifndef BPERF_CORE_MODEL_BUILDER_H
+#define BPERF_CORE_MODEL_BUILDER_H
+
+#include <optional>
+#include <vector>
+
+#include "core/measurement.h"
+#include "graph/factor_graph.h"
+#include "sim/microarch.h"
+#include "sim/perf_session.h"
+
+namespace bperf {
+namespace core {
+
+/** Knobs of the window model. */
+struct ModelConfig
+{
+    /** Relative sigma of the per-slice random walk on each event. */
+    double temporalSigmaRel = 0.12;
+
+    /** Relative sigma of the weak prior (vs. the event scale hint). */
+    double priorSigmaRel = 4.0;
+
+    /** Extra relative scale added to every measurement (see 4.2). */
+    double measurementExtraRel = 0.005;
+
+    /**
+     * Floor on a multiplexed measurement's scale as a fraction of the
+     * event's current level.  Counters extrapolated from a small duty
+     * cycle cannot be trusted below this no matter how well their PMI
+     * windows happen to agree.
+     */
+    double measurementFloorRel = 0.45;
+
+    /**
+     * Relative (of the location) scale floor for multiplexed
+     * measurements.  Models the multiplicative nature of the
+     * extrapolation noise: large readings are proportionally as
+     * uncertain as small ones.
+     */
+    double measurementMuxRel = 0.02;
+
+    /**
+     * When true and a normalizer series is supplied, temporal factors
+     * additionally constrain per-instruction *ratios*:
+     * x_t / N_t - x_{t-1} / N_{t-1} ~ N(0, sigma).  Event-per-
+     * instruction ratios (instruction mix, miss ratios) are far more
+     * stable than raw rates, and the normalizer (the fixed
+     * instruction counter) is measured exactly every slice, so this
+     * stays a linear-Gaussian factor.
+     */
+    bool ratioWalk = true;
+
+    /** Relative sigma of the ratio walk. */
+    double ratioSigmaRel = 0.03;
+
+    /**
+     * When true, events never scheduled (latent) still get variables
+     * so their posterior can be polled, as the BayesPerf API allows.
+     */
+    bool includeLatent = false;
+};
+
+/** Carry-in prior for the oldest slice of a sliding window. */
+struct CarryPrior
+{
+    sim::EventId event = sim::kNoEvent;
+    double mean = 0.0;
+    double stddev = 1.0;
+};
+
+/**
+ * Builds the window factor graph and maps (event, slice) to VarIds.
+ */
+class WindowModel
+{
+  public:
+    /**
+     * @param uarch       Architecture (invariants + scale hints).
+     * @param events      Events modeled (fixed events included).
+     * @param num_slices  Number of slices in the window.
+     * @param config      Model knobs.
+     * @param levels      Optional per-event current-magnitude hints
+     *                    (aligned with `events`); the random-walk and
+     *                    prior factors scale with these instead of
+     *                    the catalog's typical magnitudes, keeping
+     *                    the walk informative when the workload runs
+     *                    far from typical intensity.  Ignored when
+     *                    includeLatent is set.
+     */
+    /**
+     * `normalizer`, when given, holds the per-window-slice measured
+     * values of the normalizing fixed counter (instructions) and
+     * enables the ratio walk; size num_slices.
+     */
+    WindowModel(const sim::MicroarchDescriptor &uarch,
+                const std::vector<sim::EventId> &events,
+                std::size_t num_slices, ModelConfig config,
+                const std::vector<double> *levels = nullptr,
+                const std::vector<double> *normalizer = nullptr);
+
+    /** Variable for an event at a window-relative slice; kNoVar if
+     * the event is not modeled. */
+    graph::VarId var(sim::EventId event, std::size_t slice) const;
+
+    /** Attach a measurement to (event, slice). */
+    void addMeasurement(sim::EventId event, std::size_t slice,
+                        const MeasurementModel &m);
+
+    /** Attach carry-in priors (posterior of the slice that just left
+     * the window) to window slice 0. */
+    void addCarryPriors(const std::vector<CarryPrior> &priors);
+
+    const graph::FactorGraph &graph() const { return graph_; }
+    graph::FactorGraph &graph() { return graph_; }
+
+    std::size_t numSlices() const { return numSlices_; }
+    const std::vector<sim::EventId> &events() const { return events_; }
+
+  private:
+    void build();
+
+    const sim::MicroarchDescriptor &uarch_;
+    std::vector<sim::EventId> events_;
+    std::size_t numSlices_;
+    ModelConfig config_;
+    std::vector<double> levels_;
+    std::vector<double> normalizer_;
+    graph::FactorGraph graph_;
+    // varOf_[slice * events_.size() + eventIndex]
+    std::vector<graph::VarId> varOf_;
+    std::vector<std::size_t> eventIndex_; // by EventId, SIZE_MAX if absent
+};
+
+} // namespace core
+} // namespace bperf
+
+#endif // BPERF_CORE_MODEL_BUILDER_H

@@ -1,0 +1,96 @@
+#include "graph/exact.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace graph {
+
+GaussianSolver::GaussianSolver(const FactorGraph &graph) : graph_(graph) {}
+
+bool
+GaussianSolver::hasNonGaussianFactors() const
+{
+    for (const auto &f : graph_.factors())
+        if (f.kind == FactorKind::StudentT)
+            return true;
+    return false;
+}
+
+GaussianJoint
+GaussianSolver::solve(const std::vector<Gaussian> &sites) const
+{
+    const std::size_t n = graph_.numVariables();
+    bp_assert(sites.empty() || sites.size() == n,
+              "site vector must be empty or cover all variables");
+
+    // Work in scaled units u = x / s to keep the precision matrix
+    // well conditioned.
+    std::vector<double> s(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s[i] = graph_.variable(static_cast<VarId>(i)).scaleHint;
+
+    Matrix J(n, n, 0.0);
+    std::vector<double> h(n, 0.0);
+
+    for (const auto &f : graph_.factors()) {
+        switch (f.kind) {
+          case FactorKind::LinearGaussian: {
+            // (a^T x + b)^2 / sigma^2 contributes a a^T / sigma^2.
+            const double inv_var = 1.0 / (f.noiseStd * f.noiseStd);
+            for (std::size_t i = 0; i < f.vars.size(); ++i) {
+                const VarId vi = f.vars[i];
+                const double ai = f.coeffs[i] * s[vi];
+                for (std::size_t j = 0; j < f.vars.size(); ++j) {
+                    const VarId vj = f.vars[j];
+                    const double aj = f.coeffs[j] * s[vj];
+                    J(vi, vj) += ai * aj * inv_var;
+                }
+                h[vi] += -f.offset * ai * inv_var;
+            }
+            break;
+          }
+          case FactorKind::GaussianPrior: {
+            const VarId v = f.vars[0];
+            const double inv_var =
+                s[v] * s[v] / (f.scale * f.scale);
+            J(v, v) += inv_var;
+            h[v] += inv_var * f.loc / s[v];
+            break;
+          }
+          case FactorKind::StudentT:
+            // Non-Gaussian: handled by EP sites, not here.
+            break;
+        }
+    }
+
+    if (!sites.empty()) {
+        for (std::size_t v = 0; v < n; ++v) {
+            // Site in natural units; convert to scaled units.
+            J(v, v) += sites[v].lambda * s[v] * s[v];
+            h[v] += sites[v].eta * s[v];
+        }
+    }
+
+    // Tiny ridge to keep strictly-determined systems numerically SPD.
+    for (std::size_t v = 0; v < n; ++v)
+        J(v, v) += 1e-12;
+
+    // Covariance = J^-1 (one Cholesky factorization), mean = J^-1 h.
+    GaussianJoint joint;
+    const Matrix cov_u = J.choleskyInverse();
+    const std::vector<double> u = cov_u.apply(h);
+    joint.mean.resize(n);
+    for (std::size_t v = 0; v < n; ++v)
+        joint.mean[v] = u[v] * s[v];
+
+    joint.covariance = Matrix(n, n, 0.0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            joint.covariance(r, c) = cov_u(r, c) * s[r] * s[c];
+    return joint;
+}
+
+} // namespace graph
+} // namespace bperf

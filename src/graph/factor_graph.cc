@@ -1,0 +1,171 @@
+#include "graph/factor_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace graph {
+
+VarId
+FactorGraph::addVariable(std::string name, double scale_hint)
+{
+    bp_assert(scale_hint > 0.0, "scale hint must be positive");
+    Variable v;
+    v.id = static_cast<VarId>(variables_.size());
+    v.name = std::move(name);
+    v.scaleHint = scale_hint;
+    variables_.push_back(std::move(v));
+    varFactors_.emplace_back();
+    return variables_.back().id;
+}
+
+FactorId
+FactorGraph::addLinearGaussian(std::string name,
+                               std::vector<std::pair<VarId, double>> terms,
+                               double offset, double noise_std)
+{
+    bp_assert(!terms.empty(), "linear factor needs terms");
+    bp_assert(noise_std > 0.0, "linear factor needs positive noise");
+    Factor f;
+    f.id = static_cast<FactorId>(factors_.size());
+    f.kind = FactorKind::LinearGaussian;
+    f.name = std::move(name);
+    for (const auto &[v, c] : terms) {
+        bp_assert(v < variables_.size(), "factor references missing var");
+        f.vars.push_back(v);
+        f.coeffs.push_back(c);
+    }
+    f.offset = offset;
+    f.noiseStd = noise_std;
+    factors_.push_back(std::move(f));
+    attach(factors_.back().id);
+    return factors_.back().id;
+}
+
+FactorId
+FactorGraph::addStudentT(std::string name, VarId var, double loc,
+                         double scale, double nu)
+{
+    bp_assert(var < variables_.size(), "factor references missing var");
+    bp_assert(scale > 0.0 && nu > 0.0, "bad Student-t parameters");
+    Factor f;
+    f.id = static_cast<FactorId>(factors_.size());
+    f.kind = FactorKind::StudentT;
+    f.name = std::move(name);
+    f.vars = {var};
+    f.loc = loc;
+    f.scale = scale;
+    f.nu = nu;
+    factors_.push_back(std::move(f));
+    attach(factors_.back().id);
+    return factors_.back().id;
+}
+
+FactorId
+FactorGraph::addGaussianPrior(std::string name, VarId var, double mean,
+                              double stddev)
+{
+    bp_assert(var < variables_.size(), "factor references missing var");
+    bp_assert(stddev > 0.0, "bad prior stddev");
+    Factor f;
+    f.id = static_cast<FactorId>(factors_.size());
+    f.kind = FactorKind::GaussianPrior;
+    f.name = std::move(name);
+    f.vars = {var};
+    f.loc = mean;
+    f.scale = stddev;
+    factors_.push_back(std::move(f));
+    attach(factors_.back().id);
+    return factors_.back().id;
+}
+
+void
+FactorGraph::attach(FactorId fid)
+{
+    for (VarId v : factors_[fid].vars)
+        varFactors_[v].push_back(fid);
+}
+
+const Variable &
+FactorGraph::variable(VarId v) const
+{
+    bp_assert(v < variables_.size(), "variable id out of range");
+    return variables_[v];
+}
+
+const Factor &
+FactorGraph::factor(FactorId f) const
+{
+    bp_assert(f < factors_.size(), "factor id out of range");
+    return factors_[f];
+}
+
+const std::vector<FactorId> &
+FactorGraph::factorsOf(VarId v) const
+{
+    bp_assert(v < variables_.size(), "variable id out of range");
+    return varFactors_[v];
+}
+
+std::set<VarId>
+FactorGraph::markovBlanket(VarId v) const
+{
+    std::set<VarId> blanket;
+    for (FactorId f : factorsOf(v))
+        for (VarId u : factors_[f].vars)
+            if (u != v)
+                blanket.insert(u);
+    return blanket;
+}
+
+std::set<VarId>
+FactorGraph::markovBlanketOfSet(const std::set<VarId> &vars) const
+{
+    std::set<VarId> blanket;
+    for (VarId v : vars)
+        for (VarId u : markovBlanket(v))
+            if (!vars.count(u))
+                blanket.insert(u);
+    return blanket;
+}
+
+std::vector<VarId>
+FactorGraph::shortestPath(VarId from, VarId to) const
+{
+    bp_assert(from < variables_.size() && to < variables_.size(),
+              "path endpoints out of range");
+    if (from == to)
+        return {from};
+
+    std::vector<VarId> parent(variables_.size(), kNoVar);
+    std::vector<bool> visited(variables_.size(), false);
+    std::deque<VarId> queue{from};
+    visited[from] = true;
+
+    while (!queue.empty()) {
+        const VarId v = queue.front();
+        queue.pop_front();
+        for (FactorId f : factorsOf(v)) {
+            for (VarId u : factors_[f].vars) {
+                if (visited[u])
+                    continue;
+                visited[u] = true;
+                parent[u] = v;
+                if (u == to) {
+                    std::vector<VarId> path{to};
+                    for (VarId p = v; p != kNoVar; p = parent[p])
+                        path.push_back(p);
+                    std::reverse(path.begin(), path.end());
+                    return path;
+                }
+                queue.push_back(u);
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace graph
+} // namespace bperf

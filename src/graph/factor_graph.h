@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Bipartite factor graph over scalar variables.
+ *
+ * The graph is the paper's central data structure (section 4.1): its
+ * variables are event values, its factors the statistical
+ * relationships between them.  Besides holding the model it provides
+ * the structural queries the scheduler needs — Markov blankets and
+ * shortest variable-to-variable paths.
+ */
+
+#ifndef BPERF_GRAPH_FACTOR_GRAPH_H
+#define BPERF_GRAPH_FACTOR_GRAPH_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bperf {
+namespace graph {
+
+using VarId = std::uint32_t;
+using FactorId = std::uint32_t;
+
+constexpr VarId kNoVar = static_cast<VarId>(-1);
+
+/** What density a factor contributes. */
+enum class FactorKind {
+    /** sum_i coeff_i x_i + offset ~ N(0, noiseStd^2). */
+    LinearGaussian,
+    /** Scaled/shifted Student-t likelihood on a single variable. */
+    StudentT,
+    /** Gaussian prior on a single variable. */
+    GaussianPrior,
+};
+
+/** One variable (an event value at a time slice). */
+struct Variable
+{
+    VarId id = kNoVar;
+    std::string name;
+    /** Typical magnitude, used to condition the linear algebra. */
+    double scaleHint = 1.0;
+};
+
+/** One factor. */
+struct Factor
+{
+    FactorId id = 0;
+    FactorKind kind = FactorKind::LinearGaussian;
+    std::string name;
+    std::vector<VarId> vars;
+
+    // LinearGaussian parameters (coeffs aligned with vars).
+    std::vector<double> coeffs;
+    double offset = 0.0;
+    double noiseStd = 1.0;
+
+    // StudentT / GaussianPrior parameters.
+    double loc = 0.0;
+    double scale = 1.0;
+    double nu = 3.0;
+};
+
+/**
+ * The factor graph: variables, factors, adjacency and structural
+ * queries.
+ */
+class FactorGraph
+{
+  public:
+    /** Add a variable; returns its id. */
+    VarId addVariable(std::string name, double scale_hint);
+
+    /** Add `sum coeff_i x_i + offset ~ N(0, noise_std^2)`. */
+    FactorId addLinearGaussian(std::string name,
+                               std::vector<std::pair<VarId, double>> terms,
+                               double offset, double noise_std);
+
+    /** Add a Student-t measurement factor on one variable. */
+    FactorId addStudentT(std::string name, VarId var, double loc,
+                         double scale, double nu);
+
+    /** Add a Gaussian prior on one variable. */
+    FactorId addGaussianPrior(std::string name, VarId var, double mean,
+                              double stddev);
+
+    std::size_t numVariables() const { return variables_.size(); }
+    std::size_t numFactors() const { return factors_.size(); }
+
+    const Variable &variable(VarId v) const;
+    const Factor &factor(FactorId f) const;
+    const std::vector<Variable> &variables() const { return variables_; }
+    const std::vector<Factor> &factors() const { return factors_; }
+
+    /** Factors attached to a variable. */
+    const std::vector<FactorId> &factorsOf(VarId v) const;
+
+    /**
+     * Markov blanket of a variable: all variables co-occurring with it
+     * in some factor (excluding the variable itself).
+     */
+    std::set<VarId> markovBlanket(VarId v) const;
+
+    /** Union of Markov blankets of a set, minus the set itself. */
+    std::set<VarId> markovBlanketOfSet(const std::set<VarId> &vars) const;
+
+    /**
+     * Shortest variable path between two variables, traversing
+     * factors at unit cost (BFS).  Returns the sequence of variables
+     * including both endpoints, or empty if disconnected.
+     */
+    std::vector<VarId> shortestPath(VarId from, VarId to) const;
+
+  private:
+    void attach(FactorId f);
+
+    std::vector<Variable> variables_;
+    std::vector<Factor> factors_;
+    std::vector<std::vector<FactorId>> varFactors_;
+};
+
+} // namespace graph
+} // namespace bperf
+
+#endif // BPERF_GRAPH_FACTOR_GRAPH_H

@@ -1,0 +1,31 @@
+#include "graph/gaussian.h"
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace graph {
+
+Gaussian
+Gaussian::fromMeanVar(double mean, double var)
+{
+    bp_assert(var > 0.0, "Gaussian variance must be positive");
+    const double lambda = 1.0 / var;
+    return {lambda, lambda * mean};
+}
+
+double
+Gaussian::mean() const
+{
+    bp_assert(isProper(), "mean of improper Gaussian");
+    return eta / lambda;
+}
+
+double
+Gaussian::variance() const
+{
+    bp_assert(isProper(), "variance of improper Gaussian");
+    return 1.0 / lambda;
+}
+
+} // namespace graph
+} // namespace bperf

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * One-dimensional Gaussians in natural (information) parameters.
+ *
+ * EP manipulates site approximations by multiplying and dividing
+ * Gaussians; in natural parameters (precision lambda, precision-mean
+ * eta) those operations are addition and subtraction.  Objects may be
+ * improper (non-positive precision) transiently, as EP requires.
+ */
+
+#ifndef BPERF_GRAPH_GAUSSIAN_H
+#define BPERF_GRAPH_GAUSSIAN_H
+
+namespace bperf {
+namespace graph {
+
+/** Gaussian in natural parameters: density ∝ exp(eta x - lambda x²/2). */
+struct Gaussian
+{
+    double lambda = 0.0; // precision
+    double eta = 0.0;    // precision * mean
+
+    Gaussian() = default;
+    Gaussian(double lambda_, double eta_) : lambda(lambda_), eta(eta_) {}
+
+    /** Construct from moment parameters; var must be positive. */
+    static Gaussian fromMeanVar(double mean, double var);
+
+    /** Uninformative (flat) message. */
+    static Gaussian flat() { return {0.0, 0.0}; }
+
+    bool isProper() const { return lambda > 0.0; }
+
+    /** Mean; requires a proper Gaussian. */
+    double mean() const;
+
+    /** Variance; requires a proper Gaussian. */
+    double variance() const;
+
+    /** Density product (message multiplication). */
+    Gaussian operator*(const Gaussian &other) const
+    {
+        return {lambda + other.lambda, eta + other.eta};
+    }
+
+    /** Density ratio (cavity computation). */
+    Gaussian operator/(const Gaussian &other) const
+    {
+        return {lambda - other.lambda, eta - other.eta};
+    }
+};
+
+} // namespace graph
+} // namespace bperf
+
+#endif // BPERF_GRAPH_GAUSSIAN_H

@@ -1,0 +1,167 @@
+#include "mlsched/collab_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace bperf {
+namespace ml {
+
+namespace {
+
+/** Buckets per state dimension. */
+constexpr std::size_t kTrafficBuckets = 6;
+constexpr std::size_t kSizeBuckets = 3;
+constexpr std::size_t kNumaBuckets = 2;
+
+} // namespace
+
+MatrixFactorization::MatrixFactorization(std::size_t rows, std::size_t cols,
+                                         CfConfig config)
+    : rows_(rows), cols_(cols), config_(config)
+{
+    Rng rng(config_.seed);
+    rowFactors_.resize(rows_ * config_.rank);
+    colFactors_.resize(cols_ * config_.rank);
+    for (double &x : rowFactors_)
+        x = rng.normal(0.0, 0.1);
+    for (double &x : colFactors_)
+        x = rng.normal(0.0, 0.1);
+    rowBias_.assign(rows_, 0.0);
+    colBias_.assign(cols_, 0.0);
+}
+
+void
+MatrixFactorization::fit(const std::vector<CfObservation> &observations)
+{
+    bp_assert(!observations.empty(), "no CF observations");
+    double mean = 0.0;
+    for (const auto &o : observations)
+        mean += o.value;
+    globalBias_ = mean / static_cast<double>(observations.size());
+
+    Rng rng(config_.seed * 31 + 7);
+    std::vector<std::size_t> order(observations.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    const double lr = config_.learningRate;
+    const double reg = config_.regularization;
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (std::size_t idx : order) {
+            const auto &o = observations[idx];
+            const double err = o.value - predict(o.row, o.col);
+            rowBias_[o.row] += lr * (err - reg * rowBias_[o.row]);
+            colBias_[o.col] += lr * (err - reg * colBias_[o.col]);
+            for (std::size_t k = 0; k < config_.rank; ++k) {
+                double &ru = rowFactors_[o.row * config_.rank + k];
+                double &cv = colFactors_[o.col * config_.rank + k];
+                const double ru0 = ru;
+                ru += lr * (err * cv - reg * ru);
+                cv += lr * (err * ru0 - reg * cv);
+            }
+        }
+    }
+}
+
+double
+MatrixFactorization::predict(std::size_t row, std::size_t col) const
+{
+    bp_assert(row < rows_ && col < cols_, "CF cell out of range");
+    double s = globalBias_ + rowBias_[row] + colBias_[col];
+    for (std::size_t k = 0; k < config_.rank; ++k)
+        s += rowFactors_[row * config_.rank + k] *
+             colFactors_[col * config_.rank + k];
+    return s;
+}
+
+double
+MatrixFactorization::rmse(const std::vector<CfObservation> &cells) const
+{
+    bp_assert(!cells.empty(), "rmse over empty set");
+    double s = 0.0;
+    for (const auto &c : cells) {
+        const double e = c.value - predict(c.row, c.col);
+        s += e * e;
+    }
+    return std::sqrt(s / static_cast<double>(cells.size()));
+}
+
+CfScheduler::CfScheduler(EnvConfig env_config, CfConfig cf_config)
+    : envConfig_(env_config), cfConfig_(cf_config), env_(env_config),
+      model_(numBuckets(), 2, cf_config)
+{
+}
+
+std::size_t
+CfScheduler::numBuckets() const
+{
+    return kTrafficBuckets * kSizeBuckets * kNumaBuckets;
+}
+
+std::size_t
+CfScheduler::bucketOf(const std::vector<double> &features) const
+{
+    bp_assert(features.size() >= 14, "feature vector too short");
+    // Reconstruct the state estimate from the (noisy) features: the
+    // memory-bus utilization (index 10) tracks GPU traffic, index 11
+    // is the shuffle size, index 13 the NUMA node.
+    const double traffic = std::clamp(features[10], 0.0, 0.999);
+    const auto tb = static_cast<std::size_t>(
+        traffic * static_cast<double>(kTrafficBuckets));
+    const double size_gb = std::clamp(features[11], 0.0, 7.999);
+    const auto sb = static_cast<std::size_t>(
+        size_gb / 8.0 * static_cast<double>(kSizeBuckets));
+    const std::size_t nb = features[13] >= 0.5 ? 1 : 0;
+    return (tb * kSizeBuckets + sb) * kNumaBuckets + nb;
+}
+
+void
+CfScheduler::train(std::size_t episodes)
+{
+    bp_assert(episodes > 0, "need training episodes");
+    Rng rng(cfConfig_.seed * 101 + 3);
+    std::vector<CfObservation> observations;
+    for (std::size_t i = 0; i < episodes; ++i) {
+        const Episode ep = env_.sample();
+        const std::size_t row = bucketOf(ep.features);
+        // Random exploration placement; sparsity drops a fraction of
+        // the observations, as in the paper's sweep.
+        const int nic = rng.bernoulli(0.5) ? 1 : 0;
+        if (rng.uniform() < cfConfig_.sparsity)
+            continue;
+        const double norm =
+            env_.completionTime(ep, nic) / env_.isolatedTime(ep);
+        observations.push_back(
+            {row, static_cast<std::size_t>(nic), norm});
+    }
+    bp_assert(!observations.empty(),
+              "sparsity removed every observation");
+    model_.fit(observations);
+}
+
+int
+CfScheduler::chooseNic(const std::vector<double> &features) const
+{
+    const std::size_t row = bucketOf(features);
+    return model_.predict(row, 0) <= model_.predict(row, 1) ? 0 : 1;
+}
+
+double
+CfScheduler::evaluate(std::size_t episodes)
+{
+    bp_assert(episodes > 0, "need evaluation episodes");
+    double total = 0.0;
+    for (std::size_t i = 0; i < episodes; ++i) {
+        const Episode ep = env_.sample();
+        const int nic = chooseNic(ep.features);
+        total += env_.completionTime(ep, nic) / env_.isolatedTime(ep);
+    }
+    return total / static_cast<double>(episodes);
+}
+
+} // namespace ml
+} // namespace bperf

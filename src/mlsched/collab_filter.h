@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Collaborative-filtering scheduler (paper section 6.3, first model,
+ * after Paragon): impute the performance of (system-state, placement)
+ * pairs from sparse observations via low-rank matrix factorization,
+ * then place the shuffle on the NIC with the best predicted
+ * completion time.
+ */
+
+#ifndef BPERF_MLSCHED_COLLAB_FILTER_H
+#define BPERF_MLSCHED_COLLAB_FILTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mlsched/shuffle_env.h"
+
+namespace bperf {
+namespace ml {
+
+/** Matrix-factorization settings. */
+struct CfConfig
+{
+    std::size_t rank = 4;
+    std::size_t epochs = 200;
+    double learningRate = 0.03;
+    double regularization = 0.05;
+    /** Fraction of (row, col) cells left unobserved during training
+     * (the paper sweeps sparsity 30-80% and settles on 75%). */
+    double sparsity = 0.75;
+    std::uint64_t seed = 11;
+};
+
+/** One observed cell. */
+struct CfObservation
+{
+    std::size_t row = 0;
+    std::size_t col = 0;
+    double value = 0.0;
+};
+
+/**
+ * SGD matrix factorization with biases.
+ */
+class MatrixFactorization
+{
+  public:
+    MatrixFactorization(std::size_t rows, std::size_t cols,
+                        CfConfig config);
+
+    /** Fit to the observed cells. */
+    void fit(const std::vector<CfObservation> &observations);
+
+    /** Predicted value of any cell. */
+    double predict(std::size_t row, std::size_t col) const;
+
+    /** RMSE over a set of cells. */
+    double rmse(const std::vector<CfObservation> &cells) const;
+
+  private:
+    std::size_t rows_, cols_;
+    CfConfig config_;
+    std::vector<double> rowFactors_, colFactors_;
+    std::vector<double> rowBias_, colBias_;
+    double globalBias_ = 0.0;
+};
+
+/**
+ * CF-based NIC scheduler: buckets the (noisy) observed system state,
+ * learns the (state-bucket x NIC) completion-time matrix from
+ * training episodes, and serves argmin-predicted placements.
+ */
+class CfScheduler
+{
+  public:
+    CfScheduler(EnvConfig env_config, CfConfig cf_config);
+
+    /** Collect training episodes and factorize. */
+    void train(std::size_t episodes);
+
+    /** NIC choice for an episode's features. */
+    int chooseNic(const std::vector<double> &features) const;
+
+    /** Normalized average completion time over fresh episodes. */
+    double evaluate(std::size_t episodes);
+
+    /** State bucket of a feature vector (exposed for tests). */
+    std::size_t bucketOf(const std::vector<double> &features) const;
+
+    std::size_t numBuckets() const;
+
+  private:
+    EnvConfig envConfig_;
+    CfConfig cfConfig_;
+    ShuffleEnv env_;
+    MatrixFactorization model_;
+};
+
+} // namespace ml
+} // namespace bperf
+
+#endif // BPERF_MLSCHED_COLLAB_FILTER_H

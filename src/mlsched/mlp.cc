@@ -1,0 +1,191 @@
+#include "mlsched/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace ml {
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, Activation hidden,
+         std::uint64_t seed)
+    : sizes_(std::move(layer_sizes)), hidden_(hidden)
+{
+    bp_assert(sizes_.size() >= 2, "MLP needs at least two layers");
+    Rng rng(seed);
+    for (std::size_t l = 1; l < sizes_.size(); ++l) {
+        Layer layer;
+        layer.in = sizes_[l - 1];
+        layer.out = sizes_[l];
+        const double scale =
+            std::sqrt(2.0 / static_cast<double>(layer.in));
+        layer.w.resize(layer.in * layer.out);
+        for (double &w : layer.w)
+            w = rng.normal(0.0, scale);
+        layer.b.assign(layer.out, 0.0);
+        layer.gw.assign(layer.w.size(), 0.0);
+        layer.gb.assign(layer.out, 0.0);
+        layer.mw.assign(layer.w.size(), 0.0);
+        layer.vw.assign(layer.w.size(), 0.0);
+        layer.mb.assign(layer.out, 0.0);
+        layer.vb.assign(layer.out, 0.0);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+std::size_t
+Mlp::parameterCount() const
+{
+    std::size_t n = 0;
+    for (const auto &l : layers_)
+        n += l.w.size() + l.b.size();
+    return n;
+}
+
+std::vector<double>
+Mlp::activate(const std::vector<double> &x) const
+{
+    std::vector<double> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        switch (hidden_) {
+          case Activation::Relu: out[i] = std::max(x[i], 0.0); break;
+          case Activation::Tanh: out[i] = std::tanh(x[i]); break;
+          case Activation::Identity: out[i] = x[i]; break;
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Mlp::activateGrad(const std::vector<double> &pre,
+                  const std::vector<double> &grad_post) const
+{
+    std::vector<double> out(pre.size());
+    for (std::size_t i = 0; i < pre.size(); ++i) {
+        double d = 1.0;
+        switch (hidden_) {
+          case Activation::Relu: d = pre[i] > 0.0 ? 1.0 : 0.0; break;
+          case Activation::Tanh: {
+            const double t = std::tanh(pre[i]);
+            d = 1.0 - t * t;
+            break;
+          }
+          case Activation::Identity: d = 1.0; break;
+        }
+        out[i] = grad_post[i] * d;
+    }
+    return out;
+}
+
+std::vector<double>
+Mlp::forward(const std::vector<double> &input) const
+{
+    bp_assert(input.size() == sizes_.front(), "MLP input size mismatch");
+    std::vector<double> x = input;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        std::vector<double> y(layer.out, 0.0);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            double s = layer.b[o];
+            for (std::size_t i = 0; i < layer.in; ++i)
+                s += layer.w[o * layer.in + i] * x[i];
+            y[o] = s;
+        }
+        x = (l + 1 == layers_.size()) ? y : activate(y);
+    }
+    return x;
+}
+
+void
+Mlp::accumulateGradient(const std::vector<double> &input,
+                        const std::vector<double> &grad_output)
+{
+    bp_assert(input.size() == sizes_.front(), "MLP input size mismatch");
+    bp_assert(grad_output.size() == sizes_.back(),
+              "MLP gradient size mismatch");
+
+    // Forward pass, keeping pre-activations and activations.
+    std::vector<std::vector<double>> acts{input};
+    std::vector<std::vector<double>> pres;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        std::vector<double> y(layer.out, 0.0);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            double s = layer.b[o];
+            for (std::size_t i = 0; i < layer.in; ++i)
+                s += layer.w[o * layer.in + i] * acts.back()[i];
+            y[o] = s;
+        }
+        pres.push_back(y);
+        acts.push_back(l + 1 == layers_.size() ? y : activate(y));
+    }
+
+    // Backward pass.
+    std::vector<double> grad = grad_output;
+    for (std::size_t li = layers_.size(); li > 0; --li) {
+        Layer &layer = layers_[li - 1];
+        const std::vector<double> &a_in = acts[li - 1];
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            layer.gb[o] += grad[o];
+            for (std::size_t i = 0; i < layer.in; ++i)
+                layer.gw[o * layer.in + i] += grad[o] * a_in[i];
+        }
+        if (li == 1)
+            break;
+        std::vector<double> grad_in(layer.in, 0.0);
+        for (std::size_t i = 0; i < layer.in; ++i)
+            for (std::size_t o = 0; o < layer.out; ++o)
+                grad_in[i] += layer.w[o * layer.in + i] * grad[o];
+        grad = activateGrad(pres[li - 2], grad_in);
+    }
+}
+
+void
+Mlp::adamStep(double learning_rate)
+{
+    constexpr double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+    ++adamStep_;
+    const double bc1 =
+        1.0 - std::pow(beta1, static_cast<double>(adamStep_));
+    const double bc2 =
+        1.0 - std::pow(beta2, static_cast<double>(adamStep_));
+
+    for (auto &layer : layers_) {
+        for (std::size_t i = 0; i < layer.w.size(); ++i) {
+            layer.mw[i] = beta1 * layer.mw[i] + (1 - beta1) * layer.gw[i];
+            layer.vw[i] =
+                beta2 * layer.vw[i] + (1 - beta2) * layer.gw[i] * layer.gw[i];
+            layer.w[i] -= learning_rate * (layer.mw[i] / bc1) /
+                          (std::sqrt(layer.vw[i] / bc2) + eps);
+            layer.gw[i] = 0.0;
+        }
+        for (std::size_t i = 0; i < layer.b.size(); ++i) {
+            layer.mb[i] = beta1 * layer.mb[i] + (1 - beta1) * layer.gb[i];
+            layer.vb[i] =
+                beta2 * layer.vb[i] + (1 - beta2) * layer.gb[i] * layer.gb[i];
+            layer.b[i] -= learning_rate * (layer.mb[i] / bc1) /
+                          (std::sqrt(layer.vb[i] / bc2) + eps);
+            layer.gb[i] = 0.0;
+        }
+    }
+}
+
+std::vector<double>
+softmax(const std::vector<double> &logits)
+{
+    bp_assert(!logits.empty(), "softmax of empty vector");
+    const double m = *std::max_element(logits.begin(), logits.end());
+    std::vector<double> out(logits.size());
+    double z = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        out[i] = std::exp(logits[i] - m);
+        z += out[i];
+    }
+    for (double &x : out)
+        x /= z;
+    return out;
+}
+
+} // namespace ml
+} // namespace bperf

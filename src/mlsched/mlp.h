@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small dense neural network with Adam, used by the case study's
+ * reinforcement-learned scheduler (the paper's 4-layer fully
+ * connected ReLU network: 36-16-16-2).
+ */
+
+#ifndef BPERF_MLSCHED_MLP_H
+#define BPERF_MLSCHED_MLP_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bperf {
+namespace ml {
+
+/** Activation applied after each hidden layer. */
+enum class Activation { Relu, Tanh, Identity };
+
+/**
+ * Fully connected network trained with Adam.
+ */
+class Mlp
+{
+  public:
+    /**
+     * @param layer_sizes  e.g. {36, 16, 16, 2}.
+     * @param hidden       hidden-layer activation (output is linear).
+     */
+    Mlp(std::vector<std::size_t> layer_sizes, Activation hidden,
+        std::uint64_t seed);
+
+    /** Forward pass; returns the linear outputs. */
+    std::vector<double> forward(const std::vector<double> &input) const;
+
+    /**
+     * Accumulate gradients by backpropagating d(loss)/d(output).
+     * forward() state is recomputed internally for the given input.
+     */
+    void accumulateGradient(const std::vector<double> &input,
+                            const std::vector<double> &grad_output);
+
+    /** Apply one Adam step with the accumulated gradients, then
+     * clear them. */
+    void adamStep(double learning_rate);
+
+    std::size_t inputSize() const { return sizes_.front(); }
+    std::size_t outputSize() const { return sizes_.back(); }
+    std::size_t parameterCount() const;
+
+  private:
+    struct Layer
+    {
+        std::size_t in = 0, out = 0;
+        std::vector<double> w, b;
+        std::vector<double> gw, gb;     // gradient accumulators
+        std::vector<double> mw, vw;     // Adam moments (weights)
+        std::vector<double> mb, vb;     // Adam moments (bias)
+    };
+
+    std::vector<double> activate(const std::vector<double> &x) const;
+    std::vector<double>
+    activateGrad(const std::vector<double> &pre,
+                 const std::vector<double> &grad_post) const;
+
+    std::vector<std::size_t> sizes_;
+    Activation hidden_;
+    std::vector<Layer> layers_;
+    std::size_t adamStep_ = 0;
+};
+
+/** Numerically stable softmax. */
+std::vector<double> softmax(const std::vector<double> &logits);
+
+} // namespace ml
+} // namespace bperf
+
+#endif // BPERF_MLSCHED_MLP_H

@@ -1,0 +1,207 @@
+#include "mlsched/pcie.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace ml {
+
+const char *
+nodeName(Node node)
+{
+    switch (node) {
+      case Node::Cpu0: return "CPU0";
+      case Node::Cpu1: return "CPU1";
+      case Node::SwitchA: return "SwitchA";
+      case Node::SwitchB: return "SwitchB";
+      case Node::Gpu0: return "GPU0";
+      case Node::Gpu1: return "GPU1";
+      case Node::Gpu2: return "GPU2";
+      case Node::Gpu3: return "GPU3";
+      case Node::Nic0: return "NIC0";
+      case Node::Nic1: return "NIC1";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Parent of each leaf/switch in the tree. */
+Node
+parentOf(Node node)
+{
+    switch (node) {
+      case Node::Gpu0:
+      case Node::Gpu1:
+      case Node::Nic0:
+        return Node::SwitchA;
+      case Node::Gpu2:
+      case Node::Gpu3:
+      case Node::Nic1:
+        return Node::SwitchB;
+      case Node::SwitchA:
+        return Node::Cpu0;
+      case Node::SwitchB:
+        return Node::Cpu1;
+      case Node::Cpu0:
+        return Node::Cpu1;
+      case Node::Cpu1:
+        return Node::Cpu0;
+    }
+    return Node::Cpu0;
+}
+
+/** Path from a node up to its socket root. */
+std::vector<Node>
+pathToRoot(Node node)
+{
+    std::vector<Node> path{node};
+    while (node != Node::Cpu0 && node != Node::Cpu1) {
+        node = parentOf(node);
+        path.push_back(node);
+    }
+    return path;
+}
+
+/** Canonical undirected link key. */
+std::pair<int, int>
+linkKey(Node a, Node b)
+{
+    int x = static_cast<int>(a), y = static_cast<int>(b);
+    return {std::min(x, y), std::max(x, y)};
+}
+
+} // namespace
+
+PcieFabric::PcieFabric(PcieConfig config) : config_(config)
+{
+    bp_assert(config_.linkGBps > 0.0 && config_.peakCopyGBps > 0.0,
+              "bad PCIe config");
+}
+
+double
+PcieFabric::linkCapacity(Node a, Node b) const
+{
+    if ((a == Node::Cpu0 && b == Node::Cpu1) ||
+        (a == Node::Cpu1 && b == Node::Cpu0))
+        return config_.socketLinkGBps;
+    bp_assert(parentOf(a) == b || parentOf(b) == a,
+              "nodes are not adjacent: " << nodeName(a) << "-"
+                                         << nodeName(b));
+    return config_.linkGBps;
+}
+
+std::vector<std::pair<Node, Node>>
+PcieFabric::route(Node src, Node dst) const
+{
+    bp_assert(src != dst, "route to self");
+    // Up from src to its root, across the socket link if needed, and
+    // down to dst.  All device traffic crosses the root complex.
+    const std::vector<Node> up = pathToRoot(src);
+    std::vector<Node> down = pathToRoot(dst);
+    std::reverse(down.begin(), down.end());
+
+    // A socket hop, when needed, emerges from the concatenation since
+    // pathToRoot ends at the owning CPU and parentOf links the CPUs.
+    std::vector<Node> nodes = up;
+    for (Node n : down) {
+        if (nodes.back() != n)
+            nodes.push_back(n);
+    }
+
+    std::vector<std::pair<Node, Node>> links;
+    for (std::size_t i = 1; i < nodes.size(); ++i)
+        links.emplace_back(nodes[i - 1], nodes[i]);
+    return links;
+}
+
+std::vector<double>
+PcieFabric::allocate(const std::vector<Flow> &flows) const
+{
+    // Progressive filling max-min fairness.
+    std::map<std::pair<int, int>, double> capacity;
+    std::vector<std::vector<std::pair<int, int>>> flow_links(flows.size());
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        for (const auto &[a, b] : route(flows[i].src, flows[i].dst)) {
+            const auto key = linkKey(a, b);
+            capacity.emplace(key, linkCapacity(a, b));
+            flow_links[i].push_back(key);
+        }
+    }
+
+    std::vector<double> rate(flows.size(), 0.0);
+    std::vector<bool> frozen(flows.size(), false);
+    for (std::size_t i = 0; i < flows.size(); ++i)
+        if (flows[i].demandGBps <= 0.0)
+            frozen[i] = true;
+
+    for (std::size_t round = 0; round < flows.size() + 1; ++round) {
+        // Smallest fair-share increment over all unfrozen flows.
+        double step = std::numeric_limits<double>::infinity();
+        bool any = false;
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+            if (frozen[i])
+                continue;
+            any = true;
+            // Demand headroom.
+            step = std::min(step, flows[i].demandGBps - rate[i]);
+            // Link headroom share.  A flow that traverses a link
+            // more than once (GPU peer traffic through the root
+            // complex) consumes it once per traversal.
+            for (const auto &key : flow_links[i]) {
+                std::size_t uses = 0;
+                for (std::size_t j = 0; j < flows.size(); ++j) {
+                    if (frozen[j])
+                        continue;
+                    uses += static_cast<std::size_t>(
+                        std::count(flow_links[j].begin(),
+                                   flow_links[j].end(), key));
+                }
+                step = std::min(step, capacity.at(key) /
+                                          static_cast<double>(uses));
+            }
+        }
+        if (!any || step <= 1e-12)
+            break;
+
+        // Apply the increment, consume capacity (once per traversal),
+        // freeze at limits.
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+            if (frozen[i])
+                continue;
+            rate[i] += step;
+            for (const auto &key : flow_links[i])
+                capacity.at(key) -= step;
+        }
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+            if (frozen[i])
+                continue;
+            if (rate[i] >= flows[i].demandGBps - 1e-12) {
+                frozen[i] = true;
+                continue;
+            }
+            for (const auto &key : flow_links[i])
+                if (capacity.at(key) <= 1e-12)
+                    frozen[i] = true;
+        }
+    }
+    // DMA-engine bound.
+    for (double &r : rate)
+        r = std::min(r, config_.peakCopyGBps);
+    return rate;
+}
+
+double
+PcieFabric::effectiveBandwidth(double raw_gbps, double message_bytes) const
+{
+    bp_assert(message_bytes > 0.0, "bad message size");
+    return raw_gbps * message_bytes /
+           (message_bytes + config_.messageOverheadBytes);
+}
+
+} // namespace ml
+} // namespace bperf

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * PCIe fabric model for the section 6.3 case study.
+ *
+ * Reproduces the test-system topology of Fig. 9: two sockets, each
+ * with a PCIe switch hosting two GPUs and a NIC, connected by an
+ * inter-socket link.  Flows receive max-min fair shares of every link
+ * they traverse, and per-message protocol overhead gives the
+ * bandwidth-vs-message-size saturation curve.
+ */
+
+#ifndef BPERF_MLSCHED_PCIE_H
+#define BPERF_MLSCHED_PCIE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bperf {
+namespace ml {
+
+/** Devices and switches of the test system. */
+enum class Node {
+    Cpu0,
+    Cpu1,
+    SwitchA, // under CPU0: GPU0, GPU1, NIC0
+    SwitchB, // under CPU1: GPU2, GPU3, NIC1
+    Gpu0,
+    Gpu1,
+    Gpu2,
+    Gpu3,
+    Nic0,
+    Nic1,
+};
+
+const char *nodeName(Node node);
+
+/** A unidirectional traffic flow. */
+struct Flow
+{
+    Node src = Node::Gpu0;
+    Node dst = Node::Gpu1;
+    /** Offered load in GB/s (after message-size efficiency). */
+    double demandGBps = 0.0;
+};
+
+/** Fabric parameters. */
+struct PcieConfig
+{
+    /** PCIe3 x16 payload bandwidth per link, GB/s. */
+    double linkGBps = 15.75;
+    /** Inter-socket link bandwidth, GB/s. */
+    double socketLinkGBps = 19.2;
+    /** Peak end-to-end copy bandwidth (DMA engine bound), GB/s. */
+    double peakCopyGBps = 12.2;
+    /** Per-message protocol/setup overhead, bytes. */
+    double messageOverheadBytes = 4096.0;
+};
+
+/**
+ * The fabric: routing, max-min fair allocation, efficiency curve.
+ */
+class PcieFabric
+{
+  public:
+    explicit PcieFabric(PcieConfig config = {});
+
+    const PcieConfig &config() const { return config_; }
+
+    /**
+     * Route between two nodes: the sequence of links traversed.
+     * GPU peer traffic crosses the root complex (no P2P), as in the
+     * paper's system, so GPU0->GPU1 shares the switch uplink with
+     * NIC0 traffic.
+     */
+    std::vector<std::pair<Node, Node>> route(Node src, Node dst) const;
+
+    /**
+     * Max-min fair bandwidth allocation: each flow receives the
+     * smallest bottleneck share along its route, via progressive
+     * filling.  Returns per-flow GB/s, aligned with `flows`.
+     */
+    std::vector<double> allocate(const std::vector<Flow> &flows) const;
+
+    /**
+     * Effective bandwidth of a transfer with the given message size:
+     * raw * msg / (msg + overhead).
+     */
+    double effectiveBandwidth(double raw_gbps, double message_bytes) const;
+
+    /** Link capacity in GB/s (dies on non-adjacent pairs). */
+    double linkCapacity(Node a, Node b) const;
+
+  private:
+    PcieConfig config_;
+};
+
+} // namespace ml
+} // namespace bperf
+
+#endif // BPERF_MLSCHED_PCIE_H

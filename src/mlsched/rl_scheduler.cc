@@ -1,0 +1,110 @@
+#include "mlsched/rl_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace ml {
+
+std::size_t
+TrainingCurve::iterationsToConverge(double threshold) const
+{
+    // Last crossing from above: converged means it stays below.
+    std::size_t first_stable = loss.size();
+    for (std::size_t i = loss.size(); i > 0; --i) {
+        if (loss[i - 1] >= threshold)
+            break;
+        first_stable = i - 1;
+    }
+    return first_stable;
+}
+
+RlScheduler::RlScheduler(EnvConfig env_config, RlConfig rl_config)
+    : envConfig_(env_config), rlConfig_(rl_config), env_(env_config),
+      policy_({kNumFeatures, 16, 16, 2}, Activation::Relu,
+              rl_config.seed * 7 + 1),
+      value_({kNumFeatures, 16, 1}, Activation::Relu,
+             rl_config.seed * 13 + 2),
+      rng_(rl_config.seed)
+{
+}
+
+TrainingCurve
+RlScheduler::train()
+{
+    TrainingCurve curve;
+    curve.loss.reserve(rlConfig_.iterations);
+    double smoothed = 1.0;
+    bool have_smoothed = false;
+
+    for (std::size_t iter = 0; iter < rlConfig_.iterations; ++iter) {
+        double batch_loss = 0.0;
+        for (std::size_t b = 0; b < rlConfig_.batchSize; ++b) {
+            const Episode ep = env_.sample();
+            const std::vector<double> logits = policy_.forward(ep.features);
+            const std::vector<double> probs = softmax(logits);
+            const int action = rng_.bernoulli(probs[1]) ? 1 : 0;
+
+            const double time = env_.completionTime(ep, action);
+            const double iso = env_.isolatedTime(ep);
+            const double norm_time = time / iso; // >= 1
+            // Reward: negative excess completion time.
+            const double reward = -(norm_time - 1.0);
+            batch_loss += norm_time;
+
+            // Critic baseline.
+            const double v = value_.forward(ep.features)[0];
+            const double advantage = reward - v;
+
+            // Policy gradient: d(-logprob * advantage)/d logits.
+            std::vector<double> grad_logits(2);
+            for (int a = 0; a < 2; ++a) {
+                const double onehot = a == action ? 1.0 : 0.0;
+                grad_logits[a] = (probs[a] - onehot) * advantage;
+            }
+            policy_.accumulateGradient(ep.features, grad_logits);
+
+            // Critic regression toward the reward.
+            value_.accumulateGradient(ep.features, {2.0 * (v - reward)});
+        }
+        policy_.adamStep(rlConfig_.policyLearningRate);
+        value_.adamStep(rlConfig_.valueLearningRate);
+
+        batch_loss /= static_cast<double>(rlConfig_.batchSize);
+        // Map the normalized makespan (1.0..~2.8) onto the paper's
+        // loss axis by smoothing; convergence compares like with like.
+        if (!have_smoothed) {
+            smoothed = batch_loss;
+            have_smoothed = true;
+        } else {
+            smoothed += rlConfig_.lossSmoothing * (batch_loss - smoothed);
+        }
+        curve.loss.push_back(smoothed);
+    }
+    return curve;
+}
+
+int
+RlScheduler::chooseNic(const std::vector<double> &features) const
+{
+    const std::vector<double> logits = policy_.forward(features);
+    return logits[1] > logits[0] ? 1 : 0;
+}
+
+double
+RlScheduler::evaluate(std::size_t episodes)
+{
+    bp_assert(episodes > 0, "need at least one evaluation episode");
+    double total = 0.0;
+    for (std::size_t i = 0; i < episodes; ++i) {
+        const Episode ep = env_.sample();
+        const int nic = chooseNic(ep.features);
+        total += env_.completionTime(ep, nic) / env_.isolatedTime(ep);
+    }
+    return total / static_cast<double>(episodes);
+}
+
+} // namespace ml
+} // namespace bperf

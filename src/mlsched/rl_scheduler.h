@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Actor-critic reinforcement-learned NIC scheduler (paper section
+ * 6.3, second model): the 36-16-16-2 ReLU policy network trained to
+ * minimize shuffle completion time, with a small value network as
+ * baseline.
+ */
+
+#ifndef BPERF_MLSCHED_RL_SCHEDULER_H
+#define BPERF_MLSCHED_RL_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mlsched/mlp.h"
+#include "mlsched/shuffle_env.h"
+
+namespace bperf {
+namespace ml {
+
+/** Training hyperparameters (taken from the referenced works). */
+struct RlConfig
+{
+    std::size_t iterations = 9000;
+    std::size_t batchSize = 8;
+    double policyLearningRate = 2e-3;
+    double valueLearningRate = 8e-3;
+    /** EWMA factor of the reported loss curve. */
+    double lossSmoothing = 0.03;
+    std::uint64_t seed = 5;
+};
+
+/** The Fig. 10 training curve. */
+struct TrainingCurve
+{
+    /** Smoothed normalized makespan (loss) per iteration. */
+    std::vector<double> loss;
+
+    /** First iteration where the smoothed loss drops below the
+     * threshold and stays below it; loss.size() if never. */
+    std::size_t iterationsToConverge(double threshold) const;
+};
+
+/**
+ * Trains and evaluates the RL scheduler against an environment.
+ */
+class RlScheduler
+{
+  public:
+    RlScheduler(EnvConfig env_config, RlConfig rl_config);
+
+    /** Run training; returns the loss curve. */
+    TrainingCurve train();
+
+    /** Greedy NIC choice for a feature vector. */
+    int chooseNic(const std::vector<double> &features) const;
+
+    /**
+     * Average shuffle completion time over fresh episodes, normalized
+     * by the isolated time (1.0 = no contention impact).
+     */
+    double evaluate(std::size_t episodes);
+
+  private:
+    EnvConfig envConfig_;
+    RlConfig rlConfig_;
+    ShuffleEnv env_;
+    Mlp policy_;
+    Mlp value_;
+    Rng rng_;
+};
+
+} // namespace ml
+} // namespace bperf
+
+#endif // BPERF_MLSCHED_RL_SCHEDULER_H

@@ -1,0 +1,156 @@
+#include "mlsched/shuffle_env.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace ml {
+
+ShuffleEnv::ShuffleEnv(EnvConfig config)
+    : config_(config), fabric_(config.pcie), rng_(config.seed)
+{
+    bp_assert(config_.noise.staleness >= 0.0 &&
+                  config_.noise.staleness < 1.0,
+              "staleness must be in [0, 1)");
+}
+
+Episode
+ShuffleEnv::sample()
+{
+    Episode ep;
+    // Halo-exchange intensity: mixture of idle, moderate, saturating.
+    const double mode = rng_.uniform();
+    if (mode < 0.3) {
+        ep.gpuTrafficGBps = rng_.uniform(0.0, 2.0);
+    } else if (mode < 0.7) {
+        ep.gpuTrafficGBps = rng_.uniform(2.0, 8.0);
+    } else {
+        ep.gpuTrafficGBps = rng_.uniform(8.0, 12.0);
+    }
+    ep.shuffleGB = rng_.uniform(0.5, 8.0);
+    ep.messageBytes = std::pow(2.0, rng_.uniform(12.0, 22.0));
+    ep.numaNode = rng_.bernoulli(0.5) ? 1 : 0;
+    ep.features = makeFeatures(ep, havePrev_ ? &prev_ : nullptr);
+    prev_ = ep;
+    havePrev_ = true;
+    return ep;
+}
+
+std::vector<double>
+ShuffleEnv::makeFeatures(const Episode &episode, const Episode *previous)
+{
+    // True underlying signals, in rough feature-engineering units.
+    auto true_signals = [&](const Episode &ep) {
+        std::vector<double> sig;
+        const double gpu = ep.gpuTrafficGBps;
+        // (a) write-type counters: allocating/full/partial/non-snoop.
+        sig.push_back(gpu * 0.45);
+        sig.push_back(gpu * 0.30);
+        sig.push_back(gpu * 0.15);
+        sig.push_back(gpu * 0.10);
+        // (b) demand code reads, partial/MMIO reads.
+        sig.push_back(gpu * 0.6 + 0.4);
+        sig.push_back(gpu * 0.08 + 0.05);
+        // (c) per-channel DRAM bandwidth (4 channels).
+        for (int c = 0; c < 4; ++c)
+            sig.push_back(gpu * 0.2 + 1.1);
+        // (d) memory-bus utilization.
+        sig.push_back(gpu / 12.0);
+        // (e) shuffle size and NUMA residency.
+        sig.push_back(ep.shuffleGB);
+        sig.push_back(std::log2(ep.messageBytes));
+        sig.push_back(static_cast<double>(ep.numaNode));
+        return sig;
+    };
+
+    std::vector<double> sig = true_signals(episode);
+    if (previous && config_.noise.staleness > 0.0) {
+        // Stale estimator: part of the observation is the old state.
+        const std::vector<double> old_sig = true_signals(*previous);
+        const double s = config_.noise.staleness;
+        // Shuffle size and NUMA node come from the request itself,
+        // not from HPCs; only HPC-derived signals (all but the last
+        // three) go stale.
+        for (std::size_t i = 0; i + 3 < sig.size(); ++i)
+            sig[i] = (1.0 - s) * sig[i] + s * old_sig[i];
+    }
+
+    // Measurement noise on HPC-derived signals.
+    const double rel = config_.noise.errorPct / 100.0;
+    std::vector<double> features;
+    features.reserve(kNumFeatures);
+    for (std::size_t i = 0; i < sig.size(); ++i) {
+        double v = sig[i];
+        if (i + 3 < sig.size()) // HPC-derived
+            v *= std::max(1.0 + rng_.normal(0.0, rel), 0.0);
+        features.push_back(v);
+    }
+    // Pad with first/second-order interactions to the 36 inputs the
+    // paper's network consumes.
+    std::size_t i = 0, j = 1;
+    while (features.size() < kNumFeatures) {
+        features.push_back(features[i] * features[j] /
+                           (1.0 + std::abs(features[j])));
+        j += 2;
+        if (j >= sig.size()) {
+            ++i;
+            j = i + 1;
+        }
+    }
+    features.resize(kNumFeatures);
+    return features;
+}
+
+double
+ShuffleEnv::completionTime(const Episode &episode, int nic) const
+{
+    bp_assert(nic == 0 || nic == 1, "nic must be 0 or 1");
+
+    const Node data_cpu = episode.numaNode == 0 ? Node::Cpu0 : Node::Cpu1;
+    const Node nic_node = nic == 0 ? Node::Nic0 : Node::Nic1;
+
+    std::vector<Flow> flows;
+    // Halo exchange between GPU0 and GPU1 through the root complex:
+    // it loads the switch-A uplink twice, so shuffles through NIC0
+    // contend with it while NIC1 (across the socket) avoids it at the
+    // cost of the remote-DMA penalty.
+    flows.push_back({Node::Gpu0, Node::Gpu1,
+                     fabric_.effectiveBandwidth(episode.gpuTrafficGBps,
+                                                256.0 * 1024.0)});
+    // The shuffle flow.
+    const double demand = fabric_.effectiveBandwidth(
+        fabric_.config().peakCopyGBps, episode.messageBytes);
+    flows.push_back({data_cpu, nic_node, demand});
+
+    const std::vector<double> rates = fabric_.allocate(flows);
+    double rate = std::max(rates[1], 1e-3);
+    // Remote-socket DMA pays an efficiency penalty (longer
+    // completion queues, cross-node snoops).
+    const bool crosses_socket =
+        (episode.numaNode == 0) != (nic == 0);
+    if (crosses_socket)
+        rate *= 0.82;
+    return episode.shuffleGB / rate;
+}
+
+double
+ShuffleEnv::isolatedTime(const Episode &episode) const
+{
+    const double rate = std::max(
+        fabric_.effectiveBandwidth(fabric_.config().peakCopyGBps,
+                                   episode.messageBytes),
+        1e-3);
+    return episode.shuffleGB / rate;
+}
+
+int
+ShuffleEnv::optimalNic(const Episode &episode) const
+{
+    return completionTime(episode, 0) <= completionTime(episode, 1) ? 0
+                                                                    : 1;
+}
+
+} // namespace ml
+} // namespace bperf

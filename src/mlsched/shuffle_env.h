@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The section 6.3 scheduling environment: a Spark executor must pick
+ * which NIC carries a distributed shuffle while two GPUs on socket 0
+ * run a halo exchange.  NIC0 shares the switch uplink with the GPU
+ * traffic (contention); NIC1 avoids it but crosses the socket link.
+ *
+ * The scheduler observes HPC-derived features (write types, demand
+ * and MMIO reads, DRAM/membus bandwidth, shuffle size, NUMA node —
+ * the paper's input list), corrupted by the measurement error of
+ * whichever estimator feeds the model, and optionally stale by the
+ * estimator's inference latency.
+ */
+
+#ifndef BPERF_MLSCHED_SHUFFLE_ENV_H
+#define BPERF_MLSCHED_SHUFFLE_ENV_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "mlsched/pcie.h"
+
+namespace bperf {
+namespace ml {
+
+/** Number of scheduler input features (paper: 36-input network). */
+constexpr std::size_t kNumFeatures = 36;
+
+/** Noise profile of the HPC estimator feeding the scheduler. */
+struct FeatureNoise
+{
+    /** Relative error (stddev, %) on HPC-derived features. */
+    double errorPct = 40.0;
+
+    /**
+     * Staleness in [0, 1): fraction of the feature signal that still
+     * reflects the previous system state because the estimator's
+     * inference latency delays fresh values (BayesPerf-CPU vs
+     * accelerator).
+     */
+    double staleness = 0.0;
+};
+
+/** One scheduling situation. */
+struct Episode
+{
+    double gpuTrafficGBps = 0.0; // halo-exchange offered load
+    double shuffleGB = 0.0;      // bytes to move
+    double messageBytes = 0.0;   // shuffle message size
+    int numaNode = 0;            // where the shuffle data lives
+    std::vector<double> features; // noisy HPC-derived observation
+};
+
+/** Environment configuration. */
+struct EnvConfig
+{
+    FeatureNoise noise;
+    PcieConfig pcie;
+    std::uint64_t seed = 21;
+};
+
+/**
+ * Episode generator and completion-time oracle.
+ */
+class ShuffleEnv
+{
+  public:
+    explicit ShuffleEnv(EnvConfig config);
+
+    /** Draw the next scheduling situation. */
+    Episode sample();
+
+    /** Shuffle completion time (s) when routed through `nic` (0/1). */
+    double completionTime(const Episode &episode, int nic) const;
+
+    /** Completion time on an idle fabric (normalization). */
+    double isolatedTime(const Episode &episode) const;
+
+    /** Ground-truth best NIC for an episode. */
+    int optimalNic(const Episode &episode) const;
+
+    const PcieFabric &fabric() const { return fabric_; }
+
+  private:
+    std::vector<double> makeFeatures(const Episode &episode,
+                                     const Episode *previous);
+
+    EnvConfig config_;
+    PcieFabric fabric_;
+    Rng rng_;
+    bool havePrev_ = false;
+    Episode prev_;
+};
+
+} // namespace ml
+} // namespace bperf
+
+#endif // BPERF_MLSCHED_SHUFFLE_ENV_H

@@ -1,0 +1,372 @@
+#include "sim/ground_truth.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/model_constants.h"
+
+namespace bperf {
+namespace sim {
+
+TruthTrace::TruthTrace(std::size_t num_slices, std::size_t subticks_per_slice,
+                       std::size_t num_events)
+    : numSlices_(num_slices), subticks_(subticks_per_slice),
+      numEvents_(num_events),
+      data_(num_slices * subticks_per_slice * num_events, 0.0)
+{
+}
+
+std::size_t
+TruthTrace::index(std::size_t slice, std::size_t sub, EventId event) const
+{
+    bp_assert(slice < numSlices_ && sub < subticks_ && event < numEvents_,
+              "truth trace index out of range");
+    return (slice * subticks_ + sub) * numEvents_ + event;
+}
+
+double
+TruthTrace::value(std::size_t slice, std::size_t sub, EventId event) const
+{
+    return data_[index(slice, sub, event)];
+}
+
+double &
+TruthTrace::value(std::size_t slice, std::size_t sub, EventId event)
+{
+    return data_[index(slice, sub, event)];
+}
+
+double
+TruthTrace::sliceTotal(std::size_t slice, EventId event) const
+{
+    return window(slice, 0, subticks_, event);
+}
+
+double
+TruthTrace::window(std::size_t slice, std::size_t first, std::size_t count,
+                   EventId event) const
+{
+    bp_assert(first + count <= subticks_, "window out of range");
+    double s = 0.0;
+    for (std::size_t i = 0; i < count; ++i)
+        s += value(slice, first + i, event);
+    return s;
+}
+
+std::vector<double>
+TruthTrace::sliceSeries(EventId event) const
+{
+    std::vector<double> out(numSlices_);
+    for (std::size_t t = 0; t < numSlices_; ++t)
+        out[t] = sliceTotal(t, event);
+    return out;
+}
+
+namespace {
+
+/**
+ * Log-scale Ornstein-Uhlenbeck modulator.  exp(x) multiplies a driver
+ * rate; x reverts to 0 with correlation time tau and stationary
+ * standard deviation sigma.
+ */
+class OuProcess
+{
+  public:
+    OuProcess(double sigma, double tau_steps, Rng &rng)
+        : sigma_(sigma), tau_(std::max(tau_steps, 1e-6))
+    {
+        // Start at stationarity.
+        x_ = sigma_ > 0.0 ? rng.normal(0.0, sigma_) : 0.0;
+    }
+
+    double
+    step(Rng &rng)
+    {
+        if (sigma_ <= 0.0)
+            return 1.0;
+        const double a = std::exp(-1.0 / tau_);
+        const double innov = sigma_ * std::sqrt(1.0 - a * a);
+        x_ = a * x_ + rng.normal(0.0, innov);
+        // Mean-one multiplier for a log-normal modulation.
+        return std::exp(x_ - 0.5 * sigma_ * sigma_);
+    }
+
+  private:
+    double sigma_;
+    double tau_;
+    double x_ = 0.0;
+};
+
+/** Clamp helper keeping fractions physical. */
+double
+clampFrac(double x, double lo = 0.0, double hi = 1.0)
+{
+    return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/** Linear blend of every numeric phase parameter. */
+PhaseParams
+blendParams(const PhaseParams &a, const PhaseParams &b, double w)
+{
+    auto mix = [w](double x, double y) { return x + w * (y - x); };
+    PhaseParams out = b;
+    out.instPerSlice = mix(a.instPerSlice, b.instPerSlice);
+    out.fracLoad = mix(a.fracLoad, b.fracLoad);
+    out.fracStore = mix(a.fracStore, b.fracStore);
+    out.fracBranch = mix(a.fracBranch, b.fracBranch);
+    out.brTakenFrac = mix(a.brTakenFrac, b.brTakenFrac);
+    out.brMispRate = mix(a.brMispRate, b.brMispRate);
+    out.l1dMissRate = mix(a.l1dMissRate, b.l1dMissRate);
+    out.l1iMissRate = mix(a.l1iMissRate, b.l1iMissRate);
+    out.l2MissRate = mix(a.l2MissRate, b.l2MissRate);
+    out.llcMissRate = mix(a.llcMissRate, b.llcMissRate);
+    out.l2PrefetchRatio = mix(a.l2PrefetchRatio, b.l2PrefetchRatio);
+    out.dtlbMissRate = mix(a.dtlbMissRate, b.dtlbMissRate);
+    out.itlbMissRate = mix(a.itlbMissRate, b.itlbMissRate);
+    out.dmaBytesPerSlice = mix(a.dmaBytesPerSlice, b.dmaBytesPerSlice);
+    out.pcieReadFrac = mix(a.pcieReadFrac, b.pcieReadFrac);
+    out.dramReadFrac = mix(a.dramReadFrac, b.dramReadFrac);
+    out.offcoreReadFrac = mix(a.offcoreReadFrac, b.offcoreReadFrac);
+    out.fpFrac = mix(a.fpFrac, b.fpFrac);
+    out.simdFrac = mix(a.simdFrac, b.simdFrac);
+    out.cpiBase = mix(a.cpiBase, b.cpiBase);
+    out.stallFePerInst = mix(a.stallFePerInst, b.stallFePerInst);
+    out.pageFaultsPerSlice =
+        mix(a.pageFaultsPerSlice, b.pageFaultsPerSlice);
+    out.ctxSwitchesPerSlice =
+        mix(a.ctxSwitchesPerSlice, b.ctxSwitchesPerSlice);
+    out.burstiness = mix(a.burstiness, b.burstiness);
+    out.fastBurstiness = mix(a.fastBurstiness, b.fastBurstiness);
+    return out;
+}
+
+/**
+ * Phase parameters at a slice, with cosine ramps of `ramp_slices`
+ * blending each phase into the next at its start (real job stages
+ * spin up and drain rather than stepping).
+ */
+PhaseParams
+phaseAt(const WorkloadProfile &profile, std::size_t slice,
+        double ramp_slices)
+{
+    bp_assert(!profile.phases.empty(), "workload has no phases");
+    std::size_t total = 0;
+    for (const auto &p : profile.phases)
+        total += p.durationSlices;
+    bp_assert(total > 0, "workload has zero total duration");
+    std::size_t s = profile.loop ? slice % total : std::min(slice, total - 1);
+
+    std::size_t idx = profile.phases.size() - 1;
+    std::size_t into = 0;
+    for (std::size_t i = 0; i < profile.phases.size(); ++i) {
+        if (s < profile.phases[i].durationSlices) {
+            idx = i;
+            into = s;
+            break;
+        }
+        s -= profile.phases[i].durationSlices;
+    }
+
+    const PhaseParams &cur = profile.phases[idx].params;
+    if (ramp_slices <= 0.0 || static_cast<double>(into) >= ramp_slices)
+        return cur;
+    // Ramp from the previous phase (wrapping when looping).
+    std::size_t prev_idx;
+    if (idx > 0) {
+        prev_idx = idx - 1;
+    } else if (profile.loop) {
+        prev_idx = profile.phases.size() - 1;
+    } else {
+        return cur;
+    }
+    const double w =
+        0.5 * (1.0 - std::cos(M_PI * (static_cast<double>(into) + 0.5) /
+                              ramp_slices));
+    return blendParams(profile.phases[prev_idx].params, cur, w);
+}
+
+} // namespace
+
+GroundTruthGenerator::GroundTruthGenerator(const MicroarchDescriptor &uarch,
+                                           const WorkloadProfile &profile,
+                                           GeneratorConfig config)
+    : uarch_(uarch), profile_(profile), config_(config)
+{
+    bp_assert(!profile_.phases.empty(), "workload profile has no phases");
+    bp_assert(config_.subticksPerSlice >= 2, "need >= 2 subticks per slice");
+}
+
+TruthTrace
+GroundTruthGenerator::generate(std::size_t num_slices,
+                               std::uint64_t seed) const
+{
+    Rng rng(seed);
+    const std::size_t subs = config_.subticksPerSlice;
+    TruthTrace trace(num_slices, subs, uarch_.events().size());
+
+    // Per-run jitter on all phase parameters (run-to-run drift).
+    const double run_scale =
+        std::exp(rng.normal(0.0, config_.phaseJitter));
+
+    // Reference phase to size the OU processes.
+    const PhaseParams &p0 = profile_.phases.front().params;
+    const double tau_subs = p0.ouTauSlices * static_cast<double>(subs);
+
+    OuProcess ou_inst(p0.burstiness, tau_subs, rng);
+    OuProcess ou_mix(0.4 * p0.burstiness, tau_subs, rng);
+    OuProcess ou_miss(0.4 * p0.burstiness, tau_subs, rng);
+    OuProcess ou_dma(1.4 * p0.burstiness, 0.6 * tau_subs, rng);
+    OuProcess ou_fe(0.5 * p0.burstiness, tau_subs, rng);
+    OuProcess ou_fp(0.5 * p0.burstiness, tau_subs, rng);
+    // Fast components: sub-slice bursts that make short counting
+    // windows unrepresentative of the slice.
+    const double fast_tau = p0.fastTauSubticks;
+    OuProcess fast_inst(p0.fastBurstiness, fast_tau, rng);
+    OuProcess fast_miss(0.5 * p0.fastBurstiness, fast_tau, rng);
+    OuProcess fast_dma(1.2 * p0.fastBurstiness, fast_tau, rng);
+    OuProcess fast_fe(0.8 * p0.fastBurstiness, fast_tau, rng);
+    // Slack modulators for the soft invariants (slowly varying).
+    OuProcess ou_uop(0.05, 4.0 * tau_subs, rng);
+    OuProcess ou_stall_br(0.08, 4.0 * tau_subs, rng);
+    OuProcess ou_stall_mem(0.10, 4.0 * tau_subs, rng);
+    OuProcess ou_ref(0.02, 8.0 * tau_subs, rng);
+
+    auto id = [&](Role r) { return uarch_.idForRole(r); };
+    const double line = uarch_.cacheLineBytes();
+
+    for (std::size_t t = 0; t < num_slices; ++t) {
+        const PhaseParams p = phaseAt(profile_, t, config_.rampSlices);
+
+        for (std::size_t s = 0; s < subs; ++s) {
+            const double m_inst = ou_inst.step(rng) * fast_inst.step(rng);
+            const double m_mix = ou_mix.step(rng);
+            const double m_miss = ou_miss.step(rng) * fast_miss.step(rng);
+            const double m_dma = ou_dma.step(rng) * fast_dma.step(rng);
+            const double m_fe = ou_fe.step(rng) * fast_fe.step(rng);
+            const double m_fp = ou_fp.step(rng);
+            const double m_uop = ou_uop.step(rng);
+            const double m_sbr = ou_stall_br.step(rng);
+            const double m_smem = ou_stall_mem.step(rng);
+            const double m_ref = ou_ref.step(rng);
+
+            const double inst =
+                p.instPerSlice / static_cast<double>(subs) * m_inst *
+                run_scale;
+
+            double frac_load = clampFrac(p.fracLoad * m_mix, 0.0, 0.45);
+            double frac_store = clampFrac(p.fracStore * (2.0 - m_mix),
+                                          0.0, 0.30);
+            double frac_branch = clampFrac(p.fracBranch, 0.0, 0.35);
+            const double loads = inst * frac_load;
+            const double stores = inst * frac_store;
+            const double branches = inst * frac_branch;
+            const double other = inst - loads - stores - branches;
+
+            const double br_taken = branches * clampFrac(p.brTakenFrac);
+            const double br_not_taken = branches - br_taken;
+            const double br_miss =
+                branches * clampFrac(p.brMispRate * m_miss, 0.0, 0.5);
+
+            const double l1d_access = loads + stores;
+            const double l1d_miss =
+                l1d_access * clampFrac(p.l1dMissRate * m_miss, 0.0, 0.9);
+            const double l1i_miss =
+                inst * clampFrac(p.l1iMissRate * m_miss, 0.0, 0.5);
+            const double l2_pref = l1d_miss * p.l2PrefetchRatio;
+            const double l2_access = l1d_miss + l1i_miss + l2_pref;
+            const double l2_miss =
+                l2_access *
+                clampFrac(p.l2MissRate * std::sqrt(m_miss), 0.0, 0.95);
+            const double llc_access = l2_miss;
+            const double llc_miss =
+                llc_access *
+                clampFrac(p.llcMissRate * std::sqrt(m_miss), 0.0, 0.95);
+
+            const double dtlb_miss = l1d_access * p.dtlbMissRate;
+            const double itlb_miss = inst * p.itlbMissRate;
+
+            const double dma_bytes =
+                p.dmaBytesPerSlice / static_cast<double>(subs) * m_dma;
+            const double pcie_read = dma_bytes * clampFrac(p.pcieReadFrac);
+            const double pcie_write = dma_bytes - pcie_read;
+
+            const double dram_bytes = line * llc_miss + dma_bytes;
+            const double dram_reads =
+                dram_bytes * clampFrac(p.dramReadFrac) / kDramGranuleBytes;
+            const double dram_writes =
+                dram_bytes * (1.0 - clampFrac(p.dramReadFrac)) /
+                kDramGranuleBytes;
+
+            const double offcore_reads =
+                llc_miss * clampFrac(p.offcoreReadFrac);
+            const double offcore_writes = llc_miss - offcore_reads;
+
+            const double fp_ops = inst * clampFrac(p.fpFrac * m_fp, 0.0, 0.6);
+            const double simd_ops =
+                inst * clampFrac(p.simdFrac * m_fp, 0.0, 0.4);
+
+            const double uops_issued = kUopPerInst * inst * m_uop;
+            const double uops_retired = std::max(
+                uops_issued - kUopFlushPerBrMiss * br_miss, 0.2 * inst);
+
+            const double stall_br = kBrMissPenalty * br_miss * m_sbr;
+            const double stall_mem =
+                (kL2MissPenalty * l2_miss + kLlcMissPenalty * llc_miss) *
+                m_smem;
+            const double stall_fe = p.stallFePerInst * inst * m_fe;
+            const double stall_total = stall_br + stall_mem + stall_fe;
+            const double active = p.cpiBase * inst;
+            const double cycles = active + stall_total;
+            const double ref_cycles = cycles / kRefClockRatio * m_ref;
+
+            const double faults =
+                p.pageFaultsPerSlice / static_cast<double>(subs);
+            const double ctx =
+                p.ctxSwitchesPerSlice / static_cast<double>(subs);
+
+            trace.value(t, s, id(Role::Cycles)) = cycles;
+            trace.value(t, s, id(Role::Instructions)) = inst;
+            trace.value(t, s, id(Role::RefCycles)) = ref_cycles;
+            trace.value(t, s, id(Role::ActiveCycles)) = active;
+            trace.value(t, s, id(Role::StallTotal)) = stall_total;
+            trace.value(t, s, id(Role::StallMem)) = stall_mem;
+            trace.value(t, s, id(Role::StallFrontend)) = stall_fe;
+            trace.value(t, s, id(Role::StallBranch)) = stall_br;
+            trace.value(t, s, id(Role::UopsIssued)) = uops_issued;
+            trace.value(t, s, id(Role::UopsRetired)) = uops_retired;
+            trace.value(t, s, id(Role::Loads)) = loads;
+            trace.value(t, s, id(Role::Stores)) = stores;
+            trace.value(t, s, id(Role::OtherOps)) = other;
+            trace.value(t, s, id(Role::Branches)) = branches;
+            trace.value(t, s, id(Role::BranchTaken)) = br_taken;
+            trace.value(t, s, id(Role::BranchNotTaken)) = br_not_taken;
+            trace.value(t, s, id(Role::BranchMisses)) = br_miss;
+            trace.value(t, s, id(Role::FpOps)) = fp_ops;
+            trace.value(t, s, id(Role::SimdOps)) = simd_ops;
+            trace.value(t, s, id(Role::L1DAccess)) = l1d_access;
+            trace.value(t, s, id(Role::L1DMiss)) = l1d_miss;
+            trace.value(t, s, id(Role::L1IMiss)) = l1i_miss;
+            trace.value(t, s, id(Role::L2Access)) = l2_access;
+            trace.value(t, s, id(Role::L2Miss)) = l2_miss;
+            trace.value(t, s, id(Role::L2Prefetch)) = l2_pref;
+            trace.value(t, s, id(Role::LlcAccess)) = llc_access;
+            trace.value(t, s, id(Role::LlcMiss)) = llc_miss;
+            trace.value(t, s, id(Role::DtlbMiss)) = dtlb_miss;
+            trace.value(t, s, id(Role::ItlbMiss)) = itlb_miss;
+            trace.value(t, s, id(Role::OffcoreReads)) = offcore_reads;
+            trace.value(t, s, id(Role::OffcoreWrites)) = offcore_writes;
+            trace.value(t, s, id(Role::DramBytes)) = dram_bytes;
+            trace.value(t, s, id(Role::DramReads)) = dram_reads;
+            trace.value(t, s, id(Role::DramWrites)) = dram_writes;
+            trace.value(t, s, id(Role::DmaBytes)) = dma_bytes;
+            trace.value(t, s, id(Role::PcieReadBytes)) = pcie_read;
+            trace.value(t, s, id(Role::PcieWriteBytes)) = pcie_write;
+            trace.value(t, s, id(Role::PageFaults)) = faults;
+            trace.value(t, s, id(Role::ContextSwitches)) = ctx;
+        }
+    }
+    return trace;
+}
+
+} // namespace sim
+} // namespace bperf

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ground-truth event trace generation.
+ *
+ * The generator produces, for every sub-tick of every time slice, the
+ * true count of every event in a microarchitecture's catalog.  Primary
+ * drivers (instruction rate, mix fractions, miss ratios, DMA traffic)
+ * follow the workload's phase parameters modulated by log-scale
+ * Ornstein-Uhlenbeck processes; all dependent events are closed
+ * through the same invariants the BayesPerf factor graph uses, with
+ * soft invariants perturbed by their documented slack.
+ *
+ * Because the truth is known exactly, every estimator in the library
+ * can be scored both against a polled reference run (the paper's
+ * metric) and against the truth itself (for tests).
+ */
+
+#ifndef BPERF_SIM_GROUND_TRUTH_H
+#define BPERF_SIM_GROUND_TRUTH_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/microarch.h"
+#include "sim/workload_profile.h"
+
+namespace bperf {
+namespace sim {
+
+/**
+ * Dense ground-truth trace: per-sub-tick true values of every event.
+ */
+class TruthTrace
+{
+  public:
+    TruthTrace(std::size_t num_slices, std::size_t subticks_per_slice,
+               std::size_t num_events);
+
+    std::size_t numSlices() const { return numSlices_; }
+    std::size_t subticksPerSlice() const { return subticks_; }
+    std::size_t numEvents() const { return numEvents_; }
+
+    /** True count of `event` in sub-tick `sub` of slice `slice`. */
+    double value(std::size_t slice, std::size_t sub, EventId event) const;
+    double &value(std::size_t slice, std::size_t sub, EventId event);
+
+    /** True total of `event` over all of slice `slice`. */
+    double sliceTotal(std::size_t slice, EventId event) const;
+
+    /**
+     * True total over sub-ticks [first, first+count) of `slice`.
+     */
+    double window(std::size_t slice, std::size_t first, std::size_t count,
+                  EventId event) const;
+
+    /** Per-slice totals for one event across the whole trace. */
+    std::vector<double> sliceSeries(EventId event) const;
+
+  private:
+    std::size_t index(std::size_t slice, std::size_t sub,
+                      EventId event) const;
+
+    std::size_t numSlices_;
+    std::size_t subticks_;
+    std::size_t numEvents_;
+    std::vector<double> data_;
+};
+
+/** Knobs for the generator, shared by all workloads. */
+struct GeneratorConfig
+{
+    std::size_t subticksPerSlice = 48;
+    /**
+     * Relative magnitude of the step applied to the phase parameters
+     * at phase boundaries (models run-to-run layout/frequency drift).
+     */
+    double phaseJitter = 0.05;
+
+    /**
+     * Phase transitions ramp smoothly (cosine blend) over this many
+     * slices rather than stepping, as real job stages spin up and
+     * drain.  The resulting trends are what naive hold-last scaling
+     * lags behind and Bayesian interpolation tracks.
+     */
+    double rampSlices = 8.0;
+};
+
+/**
+ * Generates TruthTraces for a workload on a microarchitecture.
+ */
+class GroundTruthGenerator
+{
+  public:
+    GroundTruthGenerator(const MicroarchDescriptor &uarch,
+                         const WorkloadProfile &profile,
+                         GeneratorConfig config = {});
+
+    /**
+     * Produce a trace of `num_slices` slices seeded by `seed`.  The
+     * same seed yields the same trace; different seeds model distinct
+     * runs of the same workload.
+     */
+    TruthTrace generate(std::size_t num_slices, std::uint64_t seed) const;
+
+  private:
+    const MicroarchDescriptor &uarch_;
+    WorkloadProfile profile_; // by value: callers may pass temporaries
+    GeneratorConfig config_;
+};
+
+} // namespace sim
+} // namespace bperf
+
+#endif // BPERF_SIM_GROUND_TRUTH_H

@@ -1,0 +1,418 @@
+#include "sim/microarch.h"
+
+#include "common/logging.h"
+#include "sim/model_constants.h"
+
+namespace bperf {
+namespace sim {
+
+const char *
+roleName(Role role)
+{
+    switch (role) {
+      case Role::Cycles: return "cycles";
+      case Role::Instructions: return "instructions";
+      case Role::RefCycles: return "ref_cycles";
+      case Role::ActiveCycles: return "active_cycles";
+      case Role::StallTotal: return "stall_total";
+      case Role::StallMem: return "stall_mem";
+      case Role::StallFrontend: return "stall_frontend";
+      case Role::StallBranch: return "stall_branch";
+      case Role::UopsIssued: return "uops_issued";
+      case Role::UopsRetired: return "uops_retired";
+      case Role::Loads: return "loads";
+      case Role::Stores: return "stores";
+      case Role::OtherOps: return "other_ops";
+      case Role::Branches: return "branches";
+      case Role::BranchTaken: return "branch_taken";
+      case Role::BranchNotTaken: return "branch_not_taken";
+      case Role::BranchMisses: return "branch_misses";
+      case Role::FpOps: return "fp_ops";
+      case Role::SimdOps: return "simd_ops";
+      case Role::L1DAccess: return "l1d_access";
+      case Role::L1DMiss: return "l1d_miss";
+      case Role::L1IMiss: return "l1i_miss";
+      case Role::L2Access: return "l2_access";
+      case Role::L2Miss: return "l2_miss";
+      case Role::L2Prefetch: return "l2_prefetch";
+      case Role::LlcAccess: return "llc_access";
+      case Role::LlcMiss: return "llc_miss";
+      case Role::DtlbMiss: return "dtlb_miss";
+      case Role::ItlbMiss: return "itlb_miss";
+      case Role::OffcoreReads: return "offcore_reads";
+      case Role::OffcoreWrites: return "offcore_writes";
+      case Role::DramBytes: return "dram_bytes";
+      case Role::DramReads: return "dram_reads";
+      case Role::DramWrites: return "dram_writes";
+      case Role::DmaBytes: return "dma_bytes";
+      case Role::PcieReadBytes: return "pcie_read_bytes";
+      case Role::PcieWriteBytes: return "pcie_write_bytes";
+      case Role::PageFaults: return "page_faults";
+      case Role::ContextSwitches: return "context_switches";
+      case Role::NumRoles: break;
+    }
+    return "?";
+}
+
+MicroarchDescriptor::MicroarchDescriptor(std::string name, double clock_ghz,
+                                         double cache_line_bytes,
+                                         std::size_t num_fixed,
+                                         std::size_t num_programmable,
+                                         std::size_t num_offcore_msrs)
+    : name_(std::move(name)), clockGhz_(clock_ghz),
+      cacheLineBytes_(cache_line_bytes), numFixed_(num_fixed),
+      numProg_(num_programmable), numOffcoreMsrs_(num_offcore_msrs),
+      roleToId_(kNumRoles, kNoEvent)
+{
+    bp_assert(numProg_ > 0 && numProg_ <= 32,
+              "programmable counter count out of range");
+}
+
+EventId
+MicroarchDescriptor::addEvent(Role role, std::string name, bool fixed,
+                              std::uint32_t counter_mask, bool needs_msr,
+                              double typical_per_slice)
+{
+    const auto role_idx = static_cast<std::size_t>(role);
+    bp_assert(role_idx < kNumRoles, "bad role");
+    bp_assert(roleToId_[role_idx] == kNoEvent,
+              "role registered twice: " << roleName(role));
+    if (!fixed) {
+        bp_assert(counter_mask != 0, "programmable event needs counter mask");
+        bp_assert((counter_mask >> numProg_) == 0,
+                  "counter mask references missing counter");
+    }
+    EventDef def;
+    def.id = static_cast<EventId>(events_.size());
+    def.role = role;
+    def.name = std::move(name);
+    def.fixed = fixed;
+    def.counterMask = fixed ? 0 : counter_mask;
+    def.needsOffcoreMsr = needs_msr;
+    def.typicalPerSlice = typical_per_slice;
+    roleToId_[role_idx] = def.id;
+    events_.push_back(std::move(def));
+    return events_.back().id;
+}
+
+void
+MicroarchDescriptor::addInvariant(LinearInvariant inv)
+{
+    bp_assert(inv.terms.size() >= 2, "invariant needs >= 2 terms");
+    for (const auto &term : inv.terms) {
+        bp_assert(roleToId_[static_cast<std::size_t>(term.role)] != kNoEvent,
+                  "invariant references unregistered role "
+                      << roleName(term.role));
+    }
+    invariants_.push_back(std::move(inv));
+}
+
+const EventDef &
+MicroarchDescriptor::event(EventId id) const
+{
+    bp_assert(id < events_.size(), "event id out of range");
+    return events_[id];
+}
+
+const EventDef &
+MicroarchDescriptor::eventForRole(Role role) const
+{
+    return event(idForRole(role));
+}
+
+EventId
+MicroarchDescriptor::idForRole(Role role) const
+{
+    const auto idx = static_cast<std::size_t>(role);
+    bp_assert(idx < kNumRoles, "bad role");
+    const EventId id = roleToId_[idx];
+    bp_assert(id != kNoEvent, "role not in catalog: " << roleName(role));
+    return id;
+}
+
+std::optional<EventId>
+MicroarchDescriptor::findByName(const std::string &name) const
+{
+    for (const auto &e : events_)
+        if (e.name == name)
+            return e.id;
+    return std::nullopt;
+}
+
+std::vector<EventId>
+MicroarchDescriptor::programmableEvents() const
+{
+    std::vector<EventId> out;
+    for (const auto &e : events_)
+        if (!e.fixed)
+            out.push_back(e.id);
+    return out;
+}
+
+std::vector<EventId>
+MicroarchDescriptor::fixedEvents() const
+{
+    std::vector<EventId> out;
+    for (const auto &e : events_)
+        if (e.fixed)
+            out.push_back(e.id);
+    return out;
+}
+
+namespace {
+
+/**
+ * Register the architecture-independent invariant set.  Slack values
+ * separate structural identities (which the hardware guarantees) from
+ * heuristic performance-model relations.
+ */
+void
+addCommonInvariants(MicroarchDescriptor &uarch)
+{
+    const double line = uarch.cacheLineBytes();
+
+    // Instruction mix identity.
+    uarch.addInvariant({"inst_mix",
+                        {{Role::Instructions, 1.0},
+                         {Role::Loads, -1.0},
+                         {Role::Stores, -1.0},
+                         {Role::Branches, -1.0},
+                         {Role::OtherOps, -1.0}},
+                        1e-4});
+    // Branch outcome identity.
+    uarch.addInvariant({"branch_outcomes",
+                        {{Role::Branches, 1.0},
+                         {Role::BranchTaken, -1.0},
+                         {Role::BranchNotTaken, -1.0}},
+                        1e-4});
+    // L1D accesses are loads + stores.
+    uarch.addInvariant({"l1d_access",
+                        {{Role::L1DAccess, 1.0},
+                         {Role::Loads, -1.0},
+                         {Role::Stores, -1.0}},
+                        1e-4});
+    // L2 demand+prefetch traffic comes from L1D/L1I misses + prefetches.
+    uarch.addInvariant({"l2_access",
+                        {{Role::L2Access, 1.0},
+                         {Role::L1DMiss, -1.0},
+                         {Role::L1IMiss, -1.0},
+                         {Role::L2Prefetch, -1.0}},
+                        1e-4});
+    // LLC sees exactly the L2 misses.
+    uarch.addInvariant(
+        {"llc_access", {{Role::LlcAccess, 1.0}, {Role::L2Miss, -1.0}}, 1e-4});
+    // Paper's flagship relation: DRAM bytes = line x LLC misses + DMA.
+    uarch.addInvariant({"dram_bandwidth",
+                        {{Role::DramBytes, 1.0},
+                         {Role::LlcMiss, -line},
+                         {Role::DmaBytes, -1.0}},
+                        2e-3});
+    // DRAM bytes decompose into 64 B read/write transactions.
+    uarch.addInvariant({"dram_rw",
+                        {{Role::DramBytes, 1.0},
+                         {Role::DramReads, -kDramGranuleBytes},
+                         {Role::DramWrites, -kDramGranuleBytes}},
+                        1e-4});
+    // Every LLC miss goes offcore, as a read or a write.
+    uarch.addInvariant({"offcore_split",
+                        {{Role::LlcMiss, 1.0},
+                         {Role::OffcoreReads, -1.0},
+                         {Role::OffcoreWrites, -1.0}},
+                        1e-4});
+    // DMA traffic is PCIe reads + writes.
+    uarch.addInvariant({"dma_pcie",
+                        {{Role::DmaBytes, 1.0},
+                         {Role::PcieReadBytes, -1.0},
+                         {Role::PcieWriteBytes, -1.0}},
+                        1e-4});
+    // Cycle accounting (top-down style).
+    uarch.addInvariant({"cycle_accounting",
+                        {{Role::Cycles, 1.0},
+                         {Role::ActiveCycles, -1.0},
+                         {Role::StallTotal, -1.0}},
+                        1e-4});
+    uarch.addInvariant({"stall_split",
+                        {{Role::StallTotal, 1.0},
+                         {Role::StallMem, -1.0},
+                         {Role::StallFrontend, -1.0},
+                         {Role::StallBranch, -1.0}},
+                        1e-4});
+    // Soft (performance-model) relations.
+    uarch.addInvariant({"uop_issue_rate",
+                        {{Role::UopsIssued, 1.0},
+                         {Role::Instructions, -kUopPerInst}},
+                        0.05});
+    uarch.addInvariant({"uop_retire",
+                        {{Role::UopsRetired, 1.0},
+                         {Role::UopsIssued, -1.0},
+                         {Role::BranchMisses, kUopFlushPerBrMiss}},
+                        0.05});
+    uarch.addInvariant({"branch_stall_model",
+                        {{Role::StallBranch, 1.0},
+                         {Role::BranchMisses, -kBrMissPenalty}},
+                        0.08});
+    uarch.addInvariant({"l2_miss_rate_model",
+                        {{Role::L2Miss, 1.0}, {Role::L2Access, -0.4}},
+                        0.35});
+    uarch.addInvariant({"mem_stall_model",
+                        {{Role::StallMem, 1.0},
+                         {Role::L2Miss, -kL2MissPenalty},
+                         {Role::LlcMiss, -kLlcMissPenalty}},
+                        0.10});
+    // Reference clock runs at a fixed ratio of the core clock.
+    uarch.addInvariant({"ref_clock",
+                        {{Role::Cycles, 1.0},
+                         {Role::RefCycles, -kRefClockRatio}},
+                        0.02});
+}
+
+struct RoleSpec
+{
+    Role role;
+    const char *x86Name;
+    const char *ppcName;
+    double typical; // per 10 ms slice, x86 scale
+};
+
+/**
+ * Event naming tables.  x86 names follow Intel SDM style; ppc64 names
+ * follow the Power9 PMU event list style.
+ */
+const RoleSpec kFixedSpecs[] = {
+    {Role::Cycles, "CPU_CLK_UNHALTED.THREAD", "PM_RUN_CYC", 26.0e6},
+    {Role::Instructions, "INST_RETIRED.ANY", "PM_RUN_INST_CMPL", 20.0e6},
+    {Role::RefCycles, "CPU_CLK_UNHALTED.REF_TSC", "PM_REF_CYC", 25.0e6},
+};
+
+const RoleSpec kCoreSpecs[] = {
+    {Role::ActiveCycles, "UOPS_EXECUTED.CORE_CYCLES_GE_1",
+     "PM_RUN_CYC_ACTIVE", 16.0e6},
+    {Role::StallTotal, "CYCLE_ACTIVITY.STALLS_TOTAL", "PM_CMPLU_STALL",
+     10.0e6},
+    {Role::StallFrontend, "IDQ_UOPS_NOT_DELIVERED.CORE",
+     "PM_ICT_NOSLOT_CYC", 3.0e6},
+    {Role::StallBranch, "INT_MISC.RECOVERY_CYCLES",
+     "PM_CMPLU_STALL_BRU", 1.0e6},
+    {Role::UopsIssued, "UOPS_ISSUED.ANY", "PM_INST_DISP", 26.0e6},
+    {Role::UopsRetired, "UOPS_RETIRED.ALL", "PM_INST_FIN", 25.0e6},
+    {Role::Loads, "MEM_INST_RETIRED.ALL_LOADS", "PM_LD_CMPL", 5.0e6},
+    {Role::Stores, "MEM_INST_RETIRED.ALL_STORES", "PM_ST_FIN", 2.4e6},
+    {Role::OtherOps, "ARITH.ANY", "PM_FXU_FIN", 8.6e6},
+    {Role::Branches, "BR_INST_RETIRED.ALL_BRANCHES", "PM_BR_CMPL", 4.0e6},
+    {Role::BranchTaken, "BR_INST_RETIRED.NEAR_TAKEN", "PM_BR_TAKEN_CMPL",
+     2.6e6},
+    {Role::BranchNotTaken, "BR_INST_RETIRED.NOT_TAKEN",
+     "PM_BR_NOT_TAKEN_CMPL", 1.4e6},
+    {Role::BranchMisses, "BR_MISP_RETIRED.ALL_BRANCHES", "PM_BR_MPRED_CMPL",
+     8.0e4},
+    {Role::FpOps, "FP_ARITH_INST_RETIRED.SCALAR", "PM_FLOP_CMPL", 2.0e6},
+    {Role::SimdOps, "FP_ARITH_INST_RETIRED.PACKED", "PM_VECTOR_FLOP_CMPL",
+     1.0e6},
+    {Role::L1DAccess, "L1D.ALL_REF", "PM_LD_REF_L1", 7.4e6},
+    {Role::L1DMiss, "L1D.REPLACEMENT", "PM_LD_MISS_L1", 3.7e5},
+    {Role::L1IMiss, "ICACHE_64B.IFTAG_MISS", "PM_INST_FROM_L2", 6.0e4},
+    {Role::L2Access, "L2_RQSTS.REFERENCES", "PM_L2_RQST", 5.2e5},
+    {Role::L2Miss, "L2_RQSTS.MISS", "PM_L2_MISS", 1.6e5},
+    {Role::L2Prefetch, "L2_RQSTS.ALL_PF", "PM_L2_PREF", 9.0e4},
+    {Role::LlcAccess, "LONGEST_LAT_CACHE.REFERENCE", "PM_L3_RQST", 1.6e5},
+    {Role::LlcMiss, "LONGEST_LAT_CACHE.MISS", "PM_L3_MISS", 4.8e4},
+    {Role::DtlbMiss, "DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK",
+     "PM_DTLB_MISS", 2.0e4},
+    {Role::ItlbMiss, "ITLB_MISSES.MISS_CAUSES_A_WALK", "PM_ITLB_MISS",
+     4.0e3},
+    {Role::PageFaults, "faults", "faults", 2.0e2},
+    {Role::ContextSwitches, "cs", "cs", 5.0e1},
+};
+
+const RoleSpec kStallMemSpec = {Role::StallMem,
+                                "CYCLE_ACTIVITY.STALLS_L2_PENDING",
+                                "PM_CMPLU_STALL_DMISS_L2L3", 6.0e6};
+
+const RoleSpec kOffcoreSpecs[] = {
+    {Role::OffcoreReads, "OFFCORE_RESPONSE.ALL_READS", "PM_DATA_FROM_MEM",
+     3.4e4},
+    {Role::OffcoreWrites, "OFFCORE_RESPONSE.ALL_WRITES", "PM_ST_MISS_L3",
+     1.4e4},
+};
+
+const RoleSpec kUncoreSpecs[] = {
+    {Role::DramBytes, "UNC_M_BYTES.ALL", "PM_MEM_BYTES", 4.0e6},
+    {Role::DramReads, "UNC_M_CAS_COUNT.RD", "PM_MEM_READ", 4.0e4},
+    {Role::DramWrites, "UNC_M_CAS_COUNT.WR", "PM_MEM_WRITE", 2.2e4},
+    {Role::DmaBytes, "UNC_IIO_DATA_REQ_OF_CPU.ALL", "PM_DMA_BYTES", 1.0e6},
+    {Role::PcieReadBytes, "UNC_IIO_DATA_REQ_OF_CPU.MEM_READ",
+     "PM_PCIE_READ_BYTES", 6.0e5},
+    {Role::PcieWriteBytes, "UNC_IIO_DATA_REQ_OF_CPU.MEM_WRITE",
+     "PM_PCIE_WRITE_BYTES", 4.0e5},
+};
+
+} // namespace
+
+MicroarchDescriptor
+makeX86Skylake()
+{
+    // 4 effective core counters (bits 0-3) + 2 uncore counters (bits 4-5).
+    MicroarchDescriptor uarch("x86_64-skylake", 2.6, 64.0, 3, 6, 2);
+    const std::uint32_t core_mask = 0x0F;
+    const std::uint32_t uncore_mask = 0x30;
+
+    for (const auto &s : kFixedSpecs)
+        uarch.addEvent(s.role, s.x86Name, true, 0, false, s.typical);
+    for (const auto &s : kCoreSpecs) {
+        std::uint32_t mask = core_mask;
+        // Model per-counter placement restrictions the way Intel does:
+        // prefetch events only on counters 0-1.
+        if (s.role == Role::L2Prefetch)
+            mask = 0x03;
+        uarch.addEvent(s.role, s.x86Name, false, mask, false, s.typical);
+    }
+    // STALLS_L2_PENDING can be counted only on counter 2 on
+    // Haswell/Broadwell-class parts (see paper section 4).
+    uarch.addEvent(kStallMemSpec.role, kStallMemSpec.x86Name, false, 0x04,
+                   false, kStallMemSpec.typical);
+    for (const auto &s : kOffcoreSpecs)
+        uarch.addEvent(s.role, s.x86Name, false, core_mask, true, s.typical);
+    for (const auto &s : kUncoreSpecs)
+        uarch.addEvent(s.role, s.x86Name, false, uncore_mask, false,
+                       s.typical);
+
+    addCommonInvariants(uarch);
+    return uarch;
+}
+
+MicroarchDescriptor
+makePower9()
+{
+    // 6 core counters (bits 0-5) + 2 uncore counters (bits 6-7),
+    // 128 B cache lines, 3.1 GHz.
+    MicroarchDescriptor uarch("ppc64-power9", 3.1, 128.0, 3, 8, 1);
+    const std::uint32_t core_mask = 0x3F;
+    const std::uint32_t uncore_mask = 0xC0;
+    // Power9 events are ~19% denser per slice (higher clock).
+    const double scale = 3.1 / 2.6;
+
+    for (const auto &s : kFixedSpecs)
+        uarch.addEvent(s.role, s.ppcName, true, 0, false, s.typical * scale);
+    for (const auto &s : kCoreSpecs) {
+        std::uint32_t mask = core_mask;
+        if (s.role == Role::L2Prefetch)
+            mask = 0x03;
+        uarch.addEvent(s.role, s.ppcName, false, mask, false,
+                       s.typical * scale);
+    }
+    // Power9 restricts the L2/L3 stall event to PMC3/PMC4.
+    uarch.addEvent(kStallMemSpec.role, kStallMemSpec.ppcName, false, 0x18,
+                   false, kStallMemSpec.typical * scale);
+    for (const auto &s : kOffcoreSpecs)
+        uarch.addEvent(s.role, s.ppcName, false, core_mask, true,
+                       s.typical * scale);
+    for (const auto &s : kUncoreSpecs)
+        uarch.addEvent(s.role, s.ppcName, false, uncore_mask, false,
+                       s.typical * scale);
+
+    addCommonInvariants(uarch);
+    return uarch;
+}
+
+} // namespace sim
+} // namespace bperf

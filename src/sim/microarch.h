@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Microarchitecture descriptions: event catalogs, counter placement
+ * constraints, and the algebraic invariants that relate events.
+ *
+ * A MicroarchDescriptor plays the role of the vendor performance
+ * manual ([7, 19] in the paper): it lists every countable event, which
+ * programmable counters may host it, and the algebraic identities the
+ * microarchitecture guarantees between event counts (e.g. the paper's
+ * "DRAM bytes = cache-line-size x LLC misses + DMA bytes").  The
+ * ground-truth generator uses the invariants to close the event set,
+ * and the BayesPerf factor graph uses the very same invariants as
+ * statistical factors.
+ */
+
+#ifndef BPERF_SIM_MICROARCH_H
+#define BPERF_SIM_MICROARCH_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bperf {
+namespace sim {
+
+/** Index of an event within a MicroarchDescriptor catalog. */
+using EventId = std::uint32_t;
+
+/** Sentinel for "no event". */
+constexpr EventId kNoEvent = static_cast<EventId>(-1);
+
+/**
+ * Architecture-independent meaning of an event.  The ground-truth
+ * generator produces values by role; each architecture maps roles to
+ * vendor-specific names and counter constraints.
+ */
+enum class Role : std::uint32_t {
+    // Fixed-counter events.
+    Cycles,
+    Instructions,
+    RefCycles,
+    // Pipeline activity.
+    ActiveCycles,
+    StallTotal,
+    StallMem,
+    StallFrontend,
+    StallBranch,
+    UopsIssued,
+    UopsRetired,
+    // Instruction mix.
+    Loads,
+    Stores,
+    OtherOps,
+    Branches,
+    BranchTaken,
+    BranchNotTaken,
+    BranchMisses,
+    FpOps,
+    SimdOps,
+    // Cache hierarchy.
+    L1DAccess,
+    L1DMiss,
+    L1IMiss,
+    L2Access,
+    L2Miss,
+    L2Prefetch,
+    LlcAccess,
+    LlcMiss,
+    DtlbMiss,
+    ItlbMiss,
+    // Offcore / uncore.
+    OffcoreReads,
+    OffcoreWrites,
+    DramBytes,
+    DramReads,
+    DramWrites,
+    DmaBytes,
+    PcieReadBytes,
+    PcieWriteBytes,
+    // Software events.
+    PageFaults,
+    ContextSwitches,
+    NumRoles
+};
+
+/** Number of distinct roles. */
+constexpr std::size_t kNumRoles = static_cast<std::size_t>(Role::NumRoles);
+
+/** Human-readable role name (architecture independent). */
+const char *roleName(Role role);
+
+/**
+ * One countable event in an architecture's catalog.
+ */
+struct EventDef
+{
+    EventId id = kNoEvent;
+    Role role = Role::Cycles;
+    /** Vendor-style event name, e.g. "MEM_LOAD_RETIRED.ALL". */
+    std::string name;
+    /** True for fixed-counter events (always counted, not schedulable). */
+    bool fixed = false;
+    /**
+     * Bitmask over programmable counters this event may be placed on.
+     * Bit i set means counter i can host the event.  Ignored for
+     * fixed events.
+     */
+    std::uint32_t counterMask = 0;
+    /** True if the event additionally consumes an offcore-response MSR. */
+    bool needsOffcoreMsr = false;
+    /** Typical magnitude per time slice, used to scale priors. */
+    double typicalPerSlice = 1.0;
+};
+
+/** One term of a linear invariant: coefficient * event. */
+struct InvariantTerm
+{
+    Role role;
+    double coeff;
+};
+
+/**
+ * A linear identity over event counts: sum_i coeff_i * e_i = 0.
+ *
+ * `slackRel` expresses how exactly the identity holds on real
+ * hardware, as a relative standard deviation of the residual with
+ * respect to the magnitude of the largest term.  Exact structural
+ * identities (e.g. branches = taken + not-taken) have tiny slack;
+ * heuristic relations (e.g. uops ~ 1.3 x instructions) have larger
+ * slack.  The ground-truth generator perturbs soft invariants by this
+ * amount; the factor graph uses it as factor noise.
+ */
+struct LinearInvariant
+{
+    std::string name;
+    std::vector<InvariantTerm> terms;
+    double slackRel = 1e-4;
+};
+
+/**
+ * Complete description of one CPU's performance monitoring unit and
+ * the microarchitectural invariants between its events.
+ */
+class MicroarchDescriptor
+{
+  public:
+    MicroarchDescriptor(std::string name, double clock_ghz,
+                        double cache_line_bytes, std::size_t num_fixed,
+                        std::size_t num_programmable,
+                        std::size_t num_offcore_msrs);
+
+    const std::string &name() const { return name_; }
+    double clockGhz() const { return clockGhz_; }
+    double cacheLineBytes() const { return cacheLineBytes_; }
+    std::size_t numFixedCounters() const { return numFixed_; }
+    std::size_t numProgrammableCounters() const { return numProg_; }
+    std::size_t numOffcoreMsrs() const { return numOffcoreMsrs_; }
+
+    /** Register an event; returns its id. */
+    EventId addEvent(Role role, std::string name, bool fixed,
+                     std::uint32_t counter_mask, bool needs_msr,
+                     double typical_per_slice);
+
+    /** Register an invariant over roles present in the catalog. */
+    void addInvariant(LinearInvariant inv);
+
+    const std::vector<EventDef> &events() const { return events_; }
+    const std::vector<LinearInvariant> &invariants() const
+    {
+        return invariants_;
+    }
+
+    const EventDef &event(EventId id) const;
+
+    /** Event for a role; dies if the role is not in the catalog. */
+    const EventDef &eventForRole(Role role) const;
+
+    /** Event id for a role. */
+    EventId idForRole(Role role) const;
+
+    /** Lookup by vendor name; nullopt if absent. */
+    std::optional<EventId> findByName(const std::string &name) const;
+
+    /** All non-fixed event ids, in catalog order. */
+    std::vector<EventId> programmableEvents() const;
+
+    /** All fixed event ids, in catalog order. */
+    std::vector<EventId> fixedEvents() const;
+
+  private:
+    std::string name_;
+    double clockGhz_;
+    double cacheLineBytes_;
+    std::size_t numFixed_;
+    std::size_t numProg_;
+    std::size_t numOffcoreMsrs_;
+    std::vector<EventDef> events_;
+    std::vector<LinearInvariant> invariants_;
+    std::vector<EventId> roleToId_;
+};
+
+/**
+ * Build the x86_64 "Sky Lake"-like descriptor used in the paper's x86
+ * configuration: 3 fixed + 4 effective programmable core counters
+ * (8 per core split between SMT threads), 2 uncore counters, 64 B
+ * cache lines, 2.6 GHz.
+ */
+MicroarchDescriptor makeX86Skylake();
+
+/**
+ * Build the ppc64 "Power9"-like descriptor: 3 fixed + 6 programmable
+ * counters, 128 B cache lines, 3.1 GHz.
+ */
+MicroarchDescriptor makePower9();
+
+} // namespace sim
+} // namespace bperf
+
+#endif // BPERF_SIM_MICROARCH_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Performance-model constants shared between the ground-truth
+ * generator and the invariant catalog.
+ *
+ * These play the role of the microarchitecture-manual parameters that
+ * tie events together (pipeline widths, miss penalties, clock ratios).
+ * Keeping them in one place guarantees the generator and the factor
+ * graph agree on the algebra.
+ */
+
+#ifndef BPERF_SIM_MODEL_CONSTANTS_H
+#define BPERF_SIM_MODEL_CONSTANTS_H
+
+namespace bperf {
+namespace sim {
+
+/** Micro-ops issued per retired instruction (front-end cracking). */
+constexpr double kUopPerInst = 1.3;
+
+/** Micro-ops flushed per mispredicted branch. */
+constexpr double kUopFlushPerBrMiss = 12.0;
+
+/** Recovery cycles charged per mispredicted branch. */
+constexpr double kBrMissPenalty = 14.0;
+
+/** Stall cycles charged per L2 miss that hits in LLC. */
+constexpr double kL2MissPenalty = 12.0;
+
+/** Stall cycles charged per LLC miss (DRAM access). */
+constexpr double kLlcMissPenalty = 90.0;
+
+/** Core-clock to reference-clock ratio. */
+constexpr double kRefClockRatio = 1.04;
+
+/** DRAM transaction granule in bytes (CAS burst). */
+constexpr double kDramGranuleBytes = 64.0;
+
+} // namespace sim
+} // namespace bperf
+
+#endif // BPERF_SIM_MODEL_CONSTANTS_H

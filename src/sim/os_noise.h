@@ -1,0 +1,46 @@
+/**
+ * @file
+ * OS-induced measurement nondeterminism.
+ *
+ * Models the error modalities the paper lists beyond multiplexing:
+ * interrupt servicing that steals counting time, context switches,
+ * per-read jitter from the reading technique, and occasional
+ * overcounts on some processors (Weaver et al.).
+ */
+
+#ifndef BPERF_SIM_OS_NOISE_H
+#define BPERF_SIM_OS_NOISE_H
+
+namespace bperf {
+namespace sim {
+
+/** Configuration of the OS noise injected into sampled reads. */
+struct OsNoiseConfig
+{
+    /** Relative stddev of jitter on every sampled (multiplexed)
+     * counter read: PMI skid, counter lag, scheduling correlation. */
+    double readJitterRel = 0.32;
+
+    /** Relative stddev of jitter on polled reads (clean reference). */
+    double pollJitterRel = 0.004;
+
+    /** Mean hardware interrupts per slice (Poisson). */
+    double interruptsPerSlice = 3.0;
+
+    /** Fraction of a slice's counts lost per serviced interrupt. */
+    double interruptLossFrac = 0.004;
+
+    /** Probability that a read overcounts (hardware erratum). */
+    double overcountProb = 0.01;
+
+    /** Relative magnitude of an overcount glitch. */
+    double overcountRel = 0.05;
+
+    /** Scale all noise terms; 0 disables OS noise entirely. */
+    double scale = 1.0;
+};
+
+} // namespace sim
+} // namespace bperf
+
+#endif // BPERF_SIM_OS_NOISE_H

@@ -1,0 +1,254 @@
+#include "sim/perf_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace sim {
+
+double
+SliceSample::scaled() const
+{
+    if (timeRunning <= 0.0)
+        return 0.0;
+    return rawCount * timeEnabled / timeRunning;
+}
+
+std::vector<double>
+EventTrace::estimateSeries(ScalingPolicy policy) const
+{
+    std::vector<double> out(slices.size(), 0.0);
+    if (slices.empty())
+        return out;
+
+    if (policy == ScalingPolicy::HoldLastScaled) {
+        // Hold the most recent observed slice's scaled count.
+        double last = 0.0;
+        bool seen = false;
+        for (std::size_t t = 0; t < slices.size(); ++t) {
+            if (slices[t].observed) {
+                last = slices[t].scaled();
+                seen = true;
+            }
+            out[t] = last;
+        }
+        // Backfill slices before the first observation.
+        if (seen) {
+            double first = 0.0;
+            for (const auto &s : slices) {
+                if (s.observed) {
+                    first = s.scaled();
+                    break;
+                }
+            }
+            for (std::size_t t = 0; t < slices.size() && !slices[t].observed;
+                 ++t)
+                out[t] = first;
+        }
+        return out;
+    }
+
+    // CumulativeScaledDiff: the difference of consecutive cumulative
+    // tEnabled/tRunning-scaled reads, as a userspace tool polling the
+    // perf fd would compute.
+    double cum_raw = 0.0;
+    double cum_running = 0.0;
+    double prev_scaled = 0.0;
+    for (std::size_t t = 0; t < slices.size(); ++t) {
+        if (slices[t].observed) {
+            cum_raw += slices[t].rawCount;
+            cum_running += slices[t].timeRunning;
+        }
+        const double cum_enabled = static_cast<double>(t + 1);
+        const double cum_scaled =
+            cum_running > 0.0 ? cum_raw * cum_enabled / cum_running : 0.0;
+        out[t] = cum_scaled - prev_scaled;
+        prev_scaled = cum_scaled;
+    }
+    return out;
+}
+
+const EventTrace &
+PerfResult::traceFor(EventId event) const
+{
+    for (std::size_t i = 0; i < monitored.size(); ++i)
+        if (monitored[i] == event)
+            return traces[i];
+    bp_panic("event not monitored: id " << event);
+}
+
+PerfSession::PerfSession(const MicroarchDescriptor &uarch,
+                         PerfSessionConfig config)
+    : uarch_(uarch), pmu_(uarch), config_(config)
+{
+    bp_assert(config_.pmiWindowsPerSlice >= 2,
+              "need >= 2 PMI windows per slice for the Student-t model");
+}
+
+SliceSample
+PerfSession::observeSlice(const TruthTrace &truth, std::size_t slice,
+                          EventId event, double time_running, Rng &rng)
+{
+    const std::size_t subs = truth.subticksPerSlice();
+    const std::size_t counted =
+        std::max<std::size_t>(2, static_cast<std::size_t>(
+                                     std::round(time_running * subs)));
+    // The counted window lands wherever the rotation left the
+    // counter; its placement within the slice is effectively random.
+    const std::size_t start =
+        counted >= subs ? 0 : rng.uniformInt(subs - counted + 1);
+    const std::size_t W = config_.pmiWindowsPerSlice;
+    const double noise_scale = config_.noise.scale;
+
+    // Interrupts steal counting time within the slice.
+    double loss = 1.0;
+    if (config_.mode == ReadMode::Sampling && noise_scale > 0.0) {
+        const auto n_int = rng.poisson(config_.noise.interruptsPerSlice);
+        loss = 1.0 - static_cast<double>(n_int) *
+                         config_.noise.interruptLossFrac * noise_scale;
+        loss = std::max(loss, 0.8);
+    }
+
+    SliceSample sample;
+    sample.observed = true;
+    sample.timeEnabled = 1.0;
+    sample.timeRunning = static_cast<double>(counted) /
+                         static_cast<double>(subs);
+    sample.windows.reserve(W);
+
+    // Full-duty counters (fixed or polled) read cleanly; multiplexed
+    // reads carry a systematic per-scheduling-event bias (counter
+    // lag, PMI skid, extrapolation of the short counted window) that
+    // is common to all PMI windows of the slice, plus small
+    // per-window jitter.  The bias grows as the counting window
+    // shrinks.
+    const bool clean_read =
+        config_.mode == ReadMode::Polling || time_running >= 0.999;
+    const double bias_sigma =
+        config_.noise.readJitterRel * noise_scale *
+        std::sqrt(config_.jitterRefDuty /
+                  std::max(time_running, 0.01));
+    const double read_bias =
+        clean_read ? 1.0
+                   : std::max(1.0 + rng.normal(0.0, bias_sigma), 0.05);
+    const double jitter = config_.noise.pollJitterRel * noise_scale;
+
+    for (std::size_t w = 0; w < W; ++w) {
+        const std::size_t first = start + counted * w / W;
+        const std::size_t last = start + counted * (w + 1) / W;
+        double v = truth.window(slice, first, std::max<std::size_t>(
+                                                  last - first, 1),
+                                event);
+        v *= loss * read_bias;
+        if (jitter > 0.0)
+            v *= 1.0 + rng.normal(0.0, jitter);
+        if (config_.mode == ReadMode::Sampling && noise_scale > 0.0 &&
+            rng.bernoulli(config_.noise.overcountProb * noise_scale)) {
+            v *= 1.0 + config_.noise.overcountRel * noise_scale;
+        }
+        v = std::max(v, 0.0);
+        sample.windows.push_back(v);
+        sample.rawCount += v;
+    }
+    return sample;
+}
+
+PerfResult
+PerfSession::run(const TruthTrace &truth,
+                 const std::vector<EventId> &monitored,
+                 const std::vector<std::vector<EventId>> &schedule)
+{
+    bp_assert(!monitored.empty(), "no events to monitor");
+    bp_assert(!schedule.empty(), "empty schedule");
+    for (const auto &config : schedule) {
+        std::vector<EventId> programmable;
+        for (EventId e : config)
+            if (!uarch_.event(e).fixed)
+                programmable.push_back(e);
+        if (!pmu_.validate(programmable))
+            bp_fatal("schedule contains an invalid configuration");
+    }
+
+    Rng rng(config_.seed);
+    PerfResult result;
+    result.monitored = monitored;
+    result.schedule = schedule;
+    result.traces.resize(monitored.size());
+    for (std::size_t i = 0; i < monitored.size(); ++i) {
+        result.traces[i].event = monitored[i];
+        result.traces[i].slices.resize(truth.numSlices());
+    }
+
+    result.activeConfig.resize(truth.numSlices());
+    for (std::size_t t = 0; t < truth.numSlices(); ++t) {
+        const std::size_t cfg_idx = t % schedule.size();
+        result.activeConfig[t] = cfg_idx;
+        const auto &config = schedule[cfg_idx];
+
+        // Counting time per multiplexed event shrinks with the number
+        // of configurations sharing the PMU.
+        const double mux_duty = std::min(
+            config_.dutyCycle, 1.0 / static_cast<double>(schedule.size()));
+
+        for (std::size_t i = 0; i < monitored.size(); ++i) {
+            const EventId e = monitored[i];
+            const bool fixed = uarch_.event(e).fixed;
+            const bool in_config =
+                std::find(config.begin(), config.end(), e) != config.end();
+            if (fixed || in_config) {
+                const double duty =
+                    (fixed || config_.mode == ReadMode::Polling)
+                        ? 1.0
+                        : mux_duty;
+                result.traces[i].slices[t] =
+                    observeSlice(truth, t, e, duty, rng);
+            }
+        }
+    }
+    return result;
+}
+
+PerfResult
+PerfSession::runRoundRobin(const TruthTrace &truth,
+                           const std::vector<EventId> &monitored)
+{
+    std::vector<EventId> programmable;
+    for (EventId e : monitored)
+        if (!uarch_.event(e).fixed)
+            programmable.push_back(e);
+    if (programmable.empty()) {
+        // Only fixed events: a single empty configuration suffices.
+        return run(truth, monitored, {{}});
+    }
+    return run(truth, monitored, pmu_.packIntoConfigs(programmable));
+}
+
+PerfResult
+PerfSession::runPolling(const TruthTrace &truth,
+                        const std::vector<EventId> &monitored)
+{
+    const ReadMode saved = config_.mode;
+    config_.mode = ReadMode::Polling;
+
+    Rng rng(config_.seed);
+    PerfResult result;
+    result.monitored = monitored;
+    result.schedule = {monitored};
+    result.traces.resize(monitored.size());
+    result.activeConfig.assign(truth.numSlices(), 0);
+    for (std::size_t i = 0; i < monitored.size(); ++i) {
+        result.traces[i].event = monitored[i];
+        result.traces[i].slices.resize(truth.numSlices());
+        for (std::size_t t = 0; t < truth.numSlices(); ++t)
+            result.traces[i].slices[t] =
+                observeSlice(truth, t, monitored[i], 1.0, rng);
+    }
+
+    config_.mode = saved;
+    return result;
+}
+
+} // namespace sim
+} // namespace bperf

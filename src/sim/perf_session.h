@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Simulation of the Linux perf subsystem reading a ground-truth trace.
+ *
+ * A PerfSession opens a set of monitored events against a PMU.  In
+ * sampling mode, one counter configuration is active per time slice
+ * and configurations rotate across slices (the paper's Fig. 2);
+ * events not in the active configuration are not counted that slice,
+ * and user-visible estimates for them rely on time-scaling of stale
+ * windows — the multiplexing error BayesPerf corrects.  In polling
+ * mode every event is counted every slice (the paper's error
+ * baseline, obtained there from repeated 4-event runs).
+ *
+ * Each observed slice yields `pmiWindowsPerSlice` PMI sub-reads,
+ * which downstream become the N samples of the paper's Student-t
+ * measurement model (section 4.2).
+ */
+
+#ifndef BPERF_SIM_PERF_SESSION_H
+#define BPERF_SIM_PERF_SESSION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/ground_truth.h"
+#include "sim/microarch.h"
+#include "sim/os_noise.h"
+#include "sim/pmu.h"
+
+namespace bperf {
+namespace sim {
+
+/** How counters are read. */
+enum class ReadMode { Sampling, Polling };
+
+/** How per-slice user-visible estimates are derived from raw reads. */
+enum class ScalingPolicy {
+    /**
+     * Estimate for an unobserved slice is the most recent observed
+     * slice's (scaled) count: perf read-and-reset usage.
+     */
+    HoldLastScaled,
+    /**
+     * Estimate is the difference of consecutive cumulative
+     * tEnabled/tRunning-scaled reads: perf cumulative-read usage.
+     */
+    CumulativeScaledDiff,
+};
+
+/** Measurements of one event during one time slice. */
+struct SliceSample
+{
+    /** True when the event was counted during this slice. */
+    bool observed = false;
+
+    /** Raw (noisy) count over the counted window. */
+    double rawCount = 0.0;
+
+    /** Slice-fractions of wall time and counted time (tR <= tE). */
+    double timeEnabled = 1.0;
+    double timeRunning = 0.0;
+
+    /** PMI sub-window reads (sum equals rawCount); empty if unobserved. */
+    std::vector<double> windows;
+
+    /** Linux-style scaled estimate of the full-slice count. */
+    double scaled() const;
+};
+
+/** Per-slice measurements of one event over a run. */
+struct EventTrace
+{
+    EventId event = kNoEvent;
+    std::vector<SliceSample> slices;
+
+    /** Per-slice user-visible estimates under a scaling policy. */
+    std::vector<double>
+    estimateSeries(ScalingPolicy policy = ScalingPolicy::HoldLastScaled)
+        const;
+};
+
+/** Result of running a session over a truth trace. */
+struct PerfResult
+{
+    /** Monitored events, in registration order. */
+    std::vector<EventId> monitored;
+
+    /** traces[i] covers monitored[i]. */
+    std::vector<EventTrace> traces;
+
+    /** The configuration schedule that was rotated over. */
+    std::vector<std::vector<EventId>> schedule;
+
+    /** Index of the configuration active in each slice. */
+    std::vector<std::size_t> activeConfig;
+
+    const EventTrace &traceFor(EventId event) const;
+};
+
+/** Session configuration. */
+struct PerfSessionConfig
+{
+    ReadMode mode = ReadMode::Sampling;
+    OsNoiseConfig noise;
+    /** PMI reads per observed slice (N of the Student-t model). */
+    std::size_t pmiWindowsPerSlice = 4;
+
+    /**
+     * Upper bound on the fraction of an observed slice during which a
+     * multiplexed event actually counts.  The effective duty cycle is
+     * min(dutyCycle, 1/scheduleLength): the more configurations share
+     * the PMU, the less counting time each event gets, and the worse
+     * Linux's tEnabled/tRunning extrapolation becomes — the paper's
+     * Fig. 1 growth.  Fixed counters and polling-mode counters count
+     * the full slice.
+     */
+    double dutyCycle = 0.5;
+
+    /**
+     * Duty cycle at which OsNoiseConfig::readJitterRel is calibrated;
+     * the applied extrapolation bias scales as sqrt(refDuty/duty).
+     */
+    double jitterRefDuty = 0.15;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Drives a monitoring run over a ground-truth trace.
+ */
+class PerfSession
+{
+  public:
+    PerfSession(const MicroarchDescriptor &uarch, PerfSessionConfig config);
+
+    const MicroarchDescriptor &uarch() const { return uarch_; }
+    const Pmu &pmu() const { return pmu_; }
+
+    /**
+     * Measure `monitored` while rotating over an explicit schedule of
+     * configurations (one per slice, wrapping).  Every configuration
+     * must be PMU-valid.  Fixed events are always counted and need
+     * not appear in the schedule.
+     */
+    PerfResult run(const TruthTrace &truth,
+                   const std::vector<EventId> &monitored,
+                   const std::vector<std::vector<EventId>> &schedule);
+
+    /**
+     * Measure with Linux's default behaviour: pack events into
+     * configurations greedily and rotate round-robin.
+     */
+    PerfResult runRoundRobin(const TruthTrace &truth,
+                             const std::vector<EventId> &monitored);
+
+    /** Measure in polling mode (every event, every slice). */
+    PerfResult runPolling(const TruthTrace &truth,
+                          const std::vector<EventId> &monitored);
+
+  private:
+    /** Fill one observed slice's sample with noisy windowed counts. */
+    SliceSample observeSlice(const TruthTrace &truth, std::size_t slice,
+                             EventId event, double time_running, Rng &rng);
+
+    const MicroarchDescriptor &uarch_;
+    Pmu pmu_;
+    PerfSessionConfig config_;
+};
+
+} // namespace sim
+} // namespace bperf
+
+#endif // BPERF_SIM_PERF_SESSION_H

@@ -1,0 +1,113 @@
+#include "sim/pmu.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace sim {
+
+std::size_t
+CounterAssignment::used() const
+{
+    std::size_t n = 0;
+    for (EventId e : slots)
+        if (e != kNoEvent)
+            ++n;
+    return n;
+}
+
+Pmu::Pmu(const MicroarchDescriptor &uarch) : uarch_(uarch) {}
+
+std::optional<CounterAssignment>
+Pmu::assign(const std::vector<EventId> &events) const
+{
+    const std::size_t n_prog = uarch_.numProgrammableCounters();
+    if (events.size() > n_prog)
+        return std::nullopt;
+
+    std::size_t msrs_needed = 0;
+    for (EventId e : events) {
+        const EventDef &def = uarch_.event(e);
+        bp_assert(!def.fixed, "cannot place fixed event " << def.name);
+        if (def.needsOffcoreMsr)
+            ++msrs_needed;
+    }
+    if (msrs_needed > uarch_.numOffcoreMsrs())
+        return std::nullopt;
+
+    // Most-constrained-first ordering, as Linux's scheduler does.
+    std::vector<EventId> order = events;
+    std::sort(order.begin(), order.end(), [&](EventId a, EventId b) {
+        const auto pa = std::popcount(uarch_.event(a).counterMask);
+        const auto pb = std::popcount(uarch_.event(b).counterMask);
+        if (pa != pb)
+            return pa < pb;
+        return a < b;
+    });
+
+    std::vector<EventId> slots(n_prog, kNoEvent);
+    if (!assignRecursive(order, 0, slots, uarch_.numOffcoreMsrs()))
+        return std::nullopt;
+    return CounterAssignment{std::move(slots)};
+}
+
+bool
+Pmu::assignRecursive(const std::vector<EventId> &order, std::size_t next,
+                     std::vector<EventId> &slots,
+                     std::size_t msrs_left) const
+{
+    if (next == order.size())
+        return true;
+    const EventDef &def = uarch_.event(order[next]);
+    if (def.needsOffcoreMsr) {
+        if (msrs_left == 0)
+            return false;
+        --msrs_left;
+    }
+    for (std::size_t c = 0; c < slots.size(); ++c) {
+        if (slots[c] != kNoEvent)
+            continue;
+        if (!(def.counterMask & (1u << c)))
+            continue;
+        slots[c] = def.id;
+        if (assignRecursive(order, next + 1, slots, msrs_left))
+            return true;
+        slots[c] = kNoEvent;
+    }
+    return false;
+}
+
+bool
+Pmu::validate(const std::vector<EventId> &events) const
+{
+    return assign(events).has_value();
+}
+
+std::vector<std::vector<EventId>>
+Pmu::packIntoConfigs(const std::vector<EventId> &events) const
+{
+    std::vector<std::vector<EventId>> configs;
+    std::vector<EventId> pending = events;
+    while (!pending.empty()) {
+        std::vector<EventId> config;
+        std::vector<EventId> rest;
+        for (EventId e : pending) {
+            config.push_back(e);
+            if (!validate(config)) {
+                config.pop_back();
+                rest.push_back(e);
+            }
+        }
+        bp_assert(!config.empty(),
+                  "event cannot be scheduled on any counter: "
+                      << uarch_.event(pending.front()).name);
+        configs.push_back(std::move(config));
+        pending = std::move(rest);
+    }
+    return configs;
+}
+
+} // namespace sim
+} // namespace bperf

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Performance monitoring unit model: placement of events onto
+ * programmable counters under per-event counter masks and offcore-MSR
+ * budgets.
+ *
+ * Mirrors the Linux perf_event validity checker the paper relies on
+ * (section 4.1): events are placed most-constrained-first, with
+ * backtracking, and a configuration is valid iff a complete placement
+ * exists.
+ */
+
+#ifndef BPERF_SIM_PMU_H
+#define BPERF_SIM_PMU_H
+
+#include <optional>
+#include <vector>
+
+#include "sim/microarch.h"
+
+namespace bperf {
+namespace sim {
+
+/**
+ * A concrete placement: slot i holds the event counted on
+ * programmable counter i (kNoEvent for idle counters).
+ */
+struct CounterAssignment
+{
+    std::vector<EventId> slots;
+
+    /** Number of non-idle slots. */
+    std::size_t used() const;
+};
+
+/**
+ * Counter placement and validity checking for one microarchitecture.
+ */
+class Pmu
+{
+  public:
+    explicit Pmu(const MicroarchDescriptor &uarch);
+
+    const MicroarchDescriptor &uarch() const { return uarch_; }
+
+    /**
+     * Attempt to place `events` (all distinct, all programmable) onto
+     * the programmable counters.  Returns the placement, or nullopt
+     * when no placement satisfies the counter masks and the offcore
+     * MSR budget.
+     */
+    std::optional<CounterAssignment>
+    assign(const std::vector<EventId> &events) const;
+
+    /** True iff assign(events) would succeed. */
+    bool validate(const std::vector<EventId> &events) const;
+
+    /**
+     * Greedily split `events` into the minimum-size-first sequence of
+     * valid configurations, packing each configuration with as many
+     * events as the constraints allow.  This reproduces Linux's
+     * round-robin group construction.
+     */
+    std::vector<std::vector<EventId>>
+    packIntoConfigs(const std::vector<EventId> &events) const;
+
+  private:
+    bool assignRecursive(const std::vector<EventId> &order, std::size_t next,
+                         std::vector<EventId> &slots,
+                         std::size_t msrs_left) const;
+
+    const MicroarchDescriptor &uarch_;
+};
+
+} // namespace sim
+} // namespace bperf
+
+#endif // BPERF_SIM_PMU_H

@@ -1,0 +1,38 @@
+#include "sim/ring_buffer.h"
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace sim {
+
+RingBuffer::RingBuffer(std::size_t capacity) : buffer_(capacity)
+{
+    bp_assert(capacity > 0, "ring buffer capacity must be positive");
+}
+
+bool
+RingBuffer::push(const PerfRecord &rec)
+{
+    if (full()) {
+        ++dropped_;
+        return false;
+    }
+    buffer_[(head_ + size_) % buffer_.size()] = rec;
+    ++size_;
+    ++pushed_;
+    return true;
+}
+
+std::optional<PerfRecord>
+RingBuffer::pop()
+{
+    if (empty())
+        return std::nullopt;
+    PerfRecord rec = buffer_[head_];
+    head_ = (head_ + 1) % buffer_.size();
+    --size_;
+    return rec;
+}
+
+} // namespace sim
+} // namespace bperf

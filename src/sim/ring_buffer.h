@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Kernel-to-userspace sample ring buffer.
+ *
+ * Models the perf mmap ring: the kernel enqueues sample records, the
+ * monitoring process (or the BayesPerf shim/accelerator) dequeues
+ * them.  New samples are dropped when the buffer is full, which is
+ * exactly perf's backpressure behaviour (section 5 of the paper).
+ */
+
+#ifndef BPERF_SIM_RING_BUFFER_H
+#define BPERF_SIM_RING_BUFFER_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/microarch.h"
+
+namespace bperf {
+namespace sim {
+
+/** One sample record, as written by the PMI handler. */
+struct PerfRecord
+{
+    std::uint32_t slice = 0;
+    EventId event = kNoEvent;
+    double value = 0.0;
+    double timeEnabled = 0.0;
+    double timeRunning = 0.0;
+};
+
+/**
+ * Fixed-capacity single-producer single-consumer FIFO of PerfRecords.
+ */
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t capacity);
+
+    /** Enqueue; returns false (and counts a drop) when full. */
+    bool push(const PerfRecord &rec);
+
+    /** Dequeue the oldest record, if any. */
+    std::optional<PerfRecord> pop();
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return buffer_.size(); }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == buffer_.size(); }
+
+    /** Number of records dropped due to backpressure. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Total records ever enqueued successfully. */
+    std::uint64_t pushed() const { return pushed_; }
+
+  private:
+    std::vector<PerfRecord> buffer_;
+    std::size_t head_ = 0; // next pop
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t pushed_ = 0;
+};
+
+} // namespace sim
+} // namespace bperf
+
+#endif // BPERF_SIM_RING_BUFFER_H

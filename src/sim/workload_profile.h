@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Workload description consumed by the ground-truth generator.
+ *
+ * A workload is a sequence of phases; each phase fixes the mean
+ * behaviour of the core's primary drivers (instruction rate, mix,
+ * miss ratios, DMA traffic) plus how bursty the workload is inside a
+ * phase.  Phase changes are the non-stationarity that multiplexed
+ * counter reads cannot track, which is the error source the paper
+ * corrects.
+ */
+
+#ifndef BPERF_SIM_WORKLOAD_PROFILE_H
+#define BPERF_SIM_WORKLOAD_PROFILE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bperf {
+namespace sim {
+
+/** Mean behaviour of the CPU's primary drivers during one phase. */
+struct PhaseParams
+{
+    /** Mean instructions retired per time slice. */
+    double instPerSlice = 20.0e6;
+
+    // Instruction mix (fractions of instructions; must sum < 0.95).
+    double fracLoad = 0.25;
+    double fracStore = 0.12;
+    double fracBranch = 0.20;
+
+    // Branch behaviour.
+    double brTakenFrac = 0.65;
+    double brMispRate = 0.02; // per branch
+
+    // Cache behaviour (miss ratios per access at each level).
+    double l1dMissRate = 0.05;
+    double l1iMissRate = 0.003; // per instruction
+    double l2MissRate = 0.30;
+    double llcMissRate = 0.30;
+    double l2PrefetchRatio = 0.25; // prefetches per L1D miss
+
+    // TLB behaviour.
+    double dtlbMissRate = 0.003; // per L1D access
+    double itlbMissRate = 0.0002; // per instruction
+
+    // IO / uncore.
+    double dmaBytesPerSlice = 1.0e6;
+    double pcieReadFrac = 0.6;  // of DMA bytes
+    double dramReadFrac = 0.65; // of DRAM bytes
+    double offcoreReadFrac = 0.7;
+
+    // Floating point intensity (fractions of instructions).
+    double fpFrac = 0.10;
+    double simdFrac = 0.05;
+
+    // Pipeline model.
+    double cpiBase = 0.45;         // active cycles per instruction
+    double stallFePerInst = 0.12;  // frontend stall cycles per instruction
+
+    // Software events (means per slice).
+    double pageFaultsPerSlice = 200.0;
+    double ctxSwitchesPerSlice = 50.0;
+
+    /**
+     * Slow intra-phase burstiness: stationary standard deviation of
+     * the log-scale Ornstein-Uhlenbeck modulation applied to the
+     * drivers.  Governs slice-to-slice variation.
+     */
+    double burstiness = 0.25;
+
+    /** Slow OU correlation time in slices. */
+    double ouTauSlices = 4.0;
+
+    /**
+     * Fast burstiness: a second OU component with sub-slice
+     * correlation time.  It is what makes extrapolating a short
+     * counting window to the whole slice (Linux's tE/tR scaling)
+     * error-prone — the paper's multiplexing error mechanism.
+     */
+    double fastBurstiness = 0.5;
+
+    /** Fast OU correlation time in sub-ticks. */
+    double fastTauSubticks = 1.5;
+};
+
+/** One phase: parameters plus its duration. */
+struct Phase
+{
+    PhaseParams params;
+    std::size_t durationSlices = 20;
+};
+
+/** Complete phase-structured workload description. */
+struct WorkloadProfile
+{
+    std::string name;
+    std::vector<Phase> phases;
+    /** When true, the phase list repeats if the run is longer. */
+    bool loop = true;
+};
+
+} // namespace sim
+} // namespace bperf
+
+#endif // BPERF_SIM_WORKLOAD_PROFILE_H

@@ -1,0 +1,353 @@
+#include "workloads/hibench.h"
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace wl {
+
+using sim::Phase;
+using sim::PhaseParams;
+using sim::WorkloadProfile;
+
+namespace {
+
+/** Compute-bound map phase: high IPC, warm caches. */
+PhaseParams
+computePhase()
+{
+    PhaseParams p;
+    p.instPerSlice = 22.0e6;
+    p.fracLoad = 0.22;
+    p.fracStore = 0.10;
+    p.fracBranch = 0.18;
+    p.l1dMissRate = 0.02;
+    p.l2MissRate = 0.20;
+    p.llcMissRate = 0.20;
+    p.dmaBytesPerSlice = 0.3e6;
+    p.fpFrac = 0.12;
+    p.cpiBase = 0.40;
+    p.burstiness = 0.08;
+    p.fastBurstiness = 0.20;
+    return p;
+}
+
+/** Shuffle phase: IO heavy, cache-hostile. */
+PhaseParams
+shufflePhase()
+{
+    PhaseParams p;
+    p.instPerSlice = 12.0e6;
+    p.fracLoad = 0.30;
+    p.fracStore = 0.18;
+    p.fracBranch = 0.16;
+    p.l1dMissRate = 0.09;
+    p.l2MissRate = 0.45;
+    p.llcMissRate = 0.50;
+    p.dmaBytesPerSlice = 6.0e6;
+    p.pcieReadFrac = 0.5;
+    p.fpFrac = 0.02;
+    p.cpiBase = 0.55;
+    p.stallFePerInst = 0.18;
+    p.burstiness = 0.13;
+    p.ouTauSlices = 25.0;
+    p.fastBurstiness = 0.36;
+    return p;
+}
+
+/** Memory-bound scan phase: streaming misses. */
+PhaseParams
+scanPhase()
+{
+    PhaseParams p;
+    p.instPerSlice = 14.0e6;
+    p.fracLoad = 0.35;
+    p.fracStore = 0.08;
+    p.fracBranch = 0.14;
+    p.l1dMissRate = 0.12;
+    p.l2MissRate = 0.55;
+    p.llcMissRate = 0.60;
+    p.l2PrefetchRatio = 0.50;
+    p.dmaBytesPerSlice = 2.0e6;
+    p.fpFrac = 0.03;
+    p.cpiBase = 0.50;
+    p.burstiness = 0.10;
+    p.ouTauSlices = 25.0;
+    p.fastBurstiness = 0.25;
+    return p;
+}
+
+/** Irregular pointer-chasing phase (graph/web search). */
+PhaseParams
+irregularPhase()
+{
+    PhaseParams p;
+    p.instPerSlice = 10.0e6;
+    p.fracLoad = 0.32;
+    p.fracStore = 0.06;
+    p.fracBranch = 0.24;
+    p.brMispRate = 0.06;
+    p.l1dMissRate = 0.15;
+    p.l2MissRate = 0.60;
+    p.llcMissRate = 0.65;
+    p.dtlbMissRate = 0.012;
+    p.dmaBytesPerSlice = 1.0e6;
+    p.fpFrac = 0.01;
+    p.cpiBase = 0.60;
+    p.burstiness = 0.11;
+    p.ouTauSlices = 25.0;
+    p.fastBurstiness = 0.29;
+    return p;
+}
+
+/** Numeric iteration phase (ML training inner loop). */
+PhaseParams
+numericPhase()
+{
+    PhaseParams p;
+    p.instPerSlice = 24.0e6;
+    p.fracLoad = 0.28;
+    p.fracStore = 0.08;
+    p.fracBranch = 0.10;
+    p.brMispRate = 0.008;
+    p.l1dMissRate = 0.04;
+    p.l2MissRate = 0.35;
+    p.llcMissRate = 0.35;
+    p.fpFrac = 0.30;
+    p.simdFrac = 0.20;
+    p.cpiBase = 0.38;
+    p.burstiness = 0.08;
+    p.ouTauSlices = 25.0;
+    p.fastBurstiness = 0.20;
+    return p;
+}
+
+/** Aggregation/reduce phase between ML iterations. */
+PhaseParams
+reducePhase()
+{
+    PhaseParams p;
+    p.instPerSlice = 9.0e6;
+    p.fracLoad = 0.30;
+    p.fracStore = 0.15;
+    p.fracBranch = 0.18;
+    p.l1dMissRate = 0.08;
+    p.l2MissRate = 0.40;
+    p.llcMissRate = 0.45;
+    p.dmaBytesPerSlice = 3.5e6;
+    p.fpFrac = 0.05;
+    p.cpiBase = 0.52;
+    p.burstiness = 0.13;
+    p.ouTauSlices = 25.0;
+    p.fastBurstiness = 0.34;
+    return p;
+}
+
+/** Streaming steady-state with microbursts. */
+PhaseParams
+streamPhase()
+{
+    PhaseParams p;
+    p.instPerSlice = 15.0e6;
+    p.fracLoad = 0.26;
+    p.fracStore = 0.12;
+    p.fracBranch = 0.20;
+    p.l1dMissRate = 0.06;
+    p.l2MissRate = 0.35;
+    p.llcMissRate = 0.40;
+    p.dmaBytesPerSlice = 2.5e6;
+    p.fpFrac = 0.03;
+    p.cpiBase = 0.48;
+    p.burstiness = 0.15;
+    p.ouTauSlices = 25.0;
+    p.fastBurstiness = 0.38;
+    p.fastTauSubticks = 2.0;
+    return p;
+}
+
+/** Idle phase (the Sleep microbenchmark). */
+PhaseParams
+idlePhase()
+{
+    PhaseParams p;
+    p.instPerSlice = 0.5e6;
+    p.fracLoad = 0.20;
+    p.fracStore = 0.08;
+    p.fracBranch = 0.22;
+    p.l1dMissRate = 0.03;
+    p.dmaBytesPerSlice = 0.05e6;
+    p.fpFrac = 0.0;
+    p.cpiBase = 0.45;
+    p.burstiness = 0.04;
+    p.fastBurstiness = 0.13;
+    p.pageFaultsPerSlice = 5.0;
+    p.ctxSwitchesPerSlice = 200.0;
+    return p;
+}
+
+/** Scale the overall intensity of a phase. */
+PhaseParams
+scaled(PhaseParams p, double inst_scale, double dma_scale = 1.0,
+       double burst_scale = 1.0)
+{
+    p.instPerSlice *= inst_scale;
+    p.dmaBytesPerSlice *= dma_scale;
+    p.burstiness *= burst_scale;
+    return p;
+}
+
+/** Map/shuffle/reduce job of the classic Spark shape. */
+WorkloadProfile
+batchJob(const std::string &name, PhaseParams map, std::size_t map_len,
+         PhaseParams mid, std::size_t mid_len, PhaseParams red,
+         std::size_t red_len)
+{
+    WorkloadProfile w;
+    w.name = name;
+    w.phases = {{map, map_len}, {mid, mid_len}, {red, red_len}};
+    return w;
+}
+
+/** Iterative ML job: alternating compute and aggregation. */
+WorkloadProfile
+iterativeJob(const std::string &name, PhaseParams compute,
+             std::size_t compute_len, PhaseParams agg, std::size_t agg_len)
+{
+    WorkloadProfile w;
+    w.name = name;
+    w.phases = {{compute, compute_len}, {agg, agg_len}};
+    return w;
+}
+
+/** Streaming job: steady state with periodic load surges. */
+WorkloadProfile
+streamJob(const std::string &name, PhaseParams p)
+{
+    WorkloadProfile w;
+    w.name = name;
+    w.phases = {{p, 28}, {scaled(p, 1.6, 1.4), 14}};
+    return w;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+hibenchNames()
+{
+    static const std::vector<std::string> names = {
+        "Sort", "WordCount", "TeraSort", "Repartition", "DFSIOE", "Sleep",
+        "Bayes", "KMeans", "GMM", "LR", "ALS", "GBT", "XGBoost", "Linear",
+        "LDA", "PCA", "RF", "SVM", "SVD", "Scan", "Join", "Aggregate",
+        "PageRank", "NutchIndexing", "NWeight", "Identity",
+        "StreamRepartition", "StatefulWordCount", "FixWindow"};
+    return names;
+}
+
+WorkloadProfile
+makeHibench(const std::string &name)
+{
+    // Microbenchmarks.
+    if (name == "Sort")
+        return batchJob(name, scanPhase(), 20, shufflePhase(), 16,
+                        computePhase(), 16);
+    if (name == "WordCount")
+        return batchJob(name, computePhase(), 28, shufflePhase(), 8,
+                        reducePhase(), 12);
+    if (name == "TeraSort")
+        return batchJob(name, scaled(scanPhase(), 2.1, 1.5), 16,
+                        scaled(shufflePhase(), 2.0, 1.6, 1.1), 24,
+                        scanPhase(), 12);
+    if (name == "Repartition")
+        return batchJob(name, scaled(shufflePhase(), 0.9, 1.3), 24,
+                        streamPhase(), 12, shufflePhase(), 16);
+    if (name == "DFSIOE")
+        return batchJob(name, scaled(scanPhase(), 0.7, 4.0), 24,
+                        scaled(shufflePhase(), 0.6, 3.0), 20,
+                        scaled(scanPhase(), 0.7, 4.0), 16);
+    if (name == "Sleep")
+        return streamJob(name, idlePhase());
+
+    // Machine learning.
+    if (name == "Bayes")
+        return iterativeJob(name, scaled(computePhase(), 0.9), 16,
+                            reducePhase(), 12);
+    if (name == "KMeans")
+        return iterativeJob(name, numericPhase(), 20, reducePhase(), 8);
+    if (name == "GMM")
+        return iterativeJob(name, scaled(numericPhase(), 2.1), 24,
+                            reducePhase(), 10);
+    if (name == "LR")
+        return iterativeJob(name, scaled(numericPhase(), 0.95), 16,
+                            reducePhase(), 6);
+    if (name == "ALS")
+        return iterativeJob(name, scaled(numericPhase(), 0.9, 1.0, 1.4), 18,
+                            scaled(reducePhase(), 2.0, 1.4), 12);
+    if (name == "GBT")
+        return iterativeJob(name, scaled(irregularPhase(), 2.2), 20,
+                            reducePhase(), 8);
+    if (name == "XGBoost")
+        return iterativeJob(name, scaled(irregularPhase(), 2.4), 16,
+                            scaled(reducePhase(), 2.1), 6);
+    if (name == "Linear")
+        return iterativeJob(name, scaled(numericPhase(), 2.05), 14,
+                            reducePhase(), 6);
+    if (name == "LDA")
+        return iterativeJob(name, scaled(irregularPhase(), 0.9, 1.0, 1.2),
+                            11, reducePhase(), 10);
+    if (name == "PCA")
+        return iterativeJob(name, scaled(numericPhase(), 2.2), 18,
+                            scaled(reducePhase(), 2.2), 8);
+    if (name == "RF")
+        return iterativeJob(name, scaled(irregularPhase(), 2.1), 18,
+                            reducePhase(), 8);
+    if (name == "SVM")
+        return iterativeJob(name, numericPhase(), 22, reducePhase(), 8);
+    if (name == "SVD")
+        return iterativeJob(name, scaled(numericPhase(), 2.15), 20,
+                            scaled(reducePhase(), 2.1), 10);
+
+    // SQL.
+    if (name == "Scan")
+        return streamJob(name, scanPhase());
+    if (name == "Join")
+        return batchJob(name, scanPhase(), 16, scaled(irregularPhase(), 2.1),
+                        10, shufflePhase(), 12);
+    if (name == "Aggregate")
+        return batchJob(name, scanPhase(), 20, reducePhase(), 16,
+                        computePhase(), 8);
+
+    // Web search / graph.
+    if (name == "PageRank")
+        return iterativeJob(name, irregularPhase(), 24,
+                            scaled(reducePhase(), 0.9, 1.3), 10);
+    if (name == "NutchIndexing")
+        return batchJob(name, scaled(irregularPhase(), 2.1), 18,
+                        computePhase(), 14, shufflePhase(), 12);
+    if (name == "NWeight")
+        return iterativeJob(name, scaled(irregularPhase(), 0.9, 1.2, 1.2),
+                            13, reducePhase(), 10);
+
+    // Streaming.
+    if (name == "Identity")
+        return streamJob(name, scaled(streamPhase(), 0.8, 0.8));
+    if (name == "StreamRepartition")
+        return streamJob(name, scaled(streamPhase(), 0.9, 1.8, 1.1));
+    if (name == "StatefulWordCount")
+        return streamJob(name, scaled(streamPhase(), 2.1, 1.0, 1.2));
+    if (name == "FixWindow")
+        return streamJob(name, scaled(streamPhase(), 2.0, 1.2, 1.3));
+
+    bp_fatal("unknown HiBench workload: " << name);
+}
+
+std::vector<WorkloadProfile>
+allHibench()
+{
+    std::vector<WorkloadProfile> out;
+    out.reserve(hibenchNames().size());
+    for (const auto &name : hibenchNames())
+        out.push_back(makeHibench(name));
+    return out;
+}
+
+} // namespace wl
+} // namespace bperf

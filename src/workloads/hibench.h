@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Synthetic HiBench workload suite.
+ *
+ * The paper evaluates on the 29 workloads of the HiBench suite
+ * (microbenchmarks, machine learning, SQL, web search, graph
+ * analytics, streaming).  Here each workload is a phase-structured
+ * profile for the ground-truth generator: the phase mixes capture
+ * what matters for counter-error behaviour — how non-stationary each
+ * workload is, how memory- or compute-bound, and how IO-heavy.
+ */
+
+#ifndef BPERF_WORKLOADS_HIBENCH_H
+#define BPERF_WORKLOADS_HIBENCH_H
+
+#include <string>
+#include <vector>
+
+#include "sim/workload_profile.h"
+
+namespace bperf {
+namespace wl {
+
+/** Names of the 29 workloads, in the paper's Fig. 6 order. */
+const std::vector<std::string> &hibenchNames();
+
+/** Build the named workload; dies on unknown names. */
+sim::WorkloadProfile makeHibench(const std::string &name);
+
+/** Build all 29 workloads. */
+std::vector<sim::WorkloadProfile> allHibench();
+
+} // namespace wl
+} // namespace bperf
+
+#endif // BPERF_WORKLOADS_HIBENCH_H

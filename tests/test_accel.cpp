@@ -1,0 +1,172 @@
+/** @file Tests for the accelerator timing, area/power, and latency
+ * models. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "accel/latency.h"
+#include "accel/noc.h"
+#include "accel/power.h"
+
+namespace bperf {
+namespace accel {
+namespace {
+
+TEST(Noc, ButterflyStagesAreLog2Ports)
+{
+    EXPECT_EQ(ButterflyNoc({.ports = 16}).stages(), 4u);
+    EXPECT_EQ(ButterflyNoc({.ports = 8}).stages(), 3u);
+}
+
+TEST(Noc, LatencyCoversAllStages)
+{
+    NocConfig cfg;
+    ButterflyNoc noc(cfg);
+    const auto lat = noc.messageLatency(0, 9);
+    EXPECT_EQ(lat, 4 * cfg.cyclesPerHop +
+                       cfg.flitsPerMessage * cfg.cyclesPerFlit);
+    // Local delivery is just serialization.
+    EXPECT_EQ(noc.messageLatency(3, 3),
+              cfg.flitsPerMessage * cfg.cyclesPerFlit);
+}
+
+TEST(Noc, LoadInflatesLatency)
+{
+    ButterflyNoc noc;
+    EXPECT_GT(noc.messageLatencyLoaded(0, 5, 0.8),
+              noc.messageLatencyLoaded(0, 5, 0.0));
+}
+
+TEST(Accelerator, MoreSweepsCostMoreCycles)
+{
+    Accelerator acc;
+    InferenceJob job;
+    job.numSites = 64;
+    job.numSweeps = 2;
+    const auto t2 = acc.simulate(job);
+    job.numSweeps = 8;
+    const auto t8 = acc.simulate(job);
+    EXPECT_GT(t8.totalCycles, 3 * t2.totalCycles);
+}
+
+TEST(Accelerator, MoreEnginesAreFaster)
+{
+    AcceleratorConfig cfg;
+    cfg.epEngines = 1;
+    Accelerator slow(cfg);
+    cfg.epEngines = 4;
+    Accelerator fast(cfg);
+    InferenceJob job;
+    job.numSites = 96;
+    EXPECT_LT(fast.simulate(job).totalCycles,
+              slow.simulate(job).totalCycles);
+}
+
+TEST(Accelerator, CapiTransferCheaperThanPcieDma)
+{
+    AcceleratorConfig cfg;
+    cfg.hostInterface = HostInterface::Capi;
+    Accelerator capi(cfg);
+    cfg.hostInterface = HostInterface::PcieDma;
+    Accelerator pcie(cfg);
+    InferenceJob job;
+    job.numSites = 64;
+    EXPECT_LT(capi.simulate(job).hostTransferCycles,
+              pcie.simulate(job).hostTransferCycles);
+}
+
+TEST(Accelerator, PollLatencyWithinTwoPercentOnCapi)
+{
+    Accelerator acc;
+    const std::uint64_t native = 3450;
+    const auto poll = acc.pollLatencyHostCycles(2.6, native);
+    EXPECT_LT(static_cast<double>(poll),
+              1.02 * static_cast<double>(native));
+    EXPECT_GT(poll, native);
+}
+
+TEST(Accelerator, UtilizationsAreFractions)
+{
+    Accelerator acc;
+    InferenceJob job;
+    job.numSites = 72;
+    job.numSweeps = 4;
+    const auto t = acc.simulate(job);
+    EXPECT_GT(t.samplerUtilization, 0.0);
+    EXPECT_LE(t.samplerUtilization, 1.0);
+    EXPECT_GT(t.epEngineUtilization, 0.0);
+    EXPECT_LE(t.epEngineUtilization, 1.0);
+}
+
+TEST(Power, Table1UtilizationMatchesPaper)
+{
+    const auto x86 = buildAreaPowerReport(BoardConfig::X86Pcie);
+    EXPECT_EQ(std::lround(x86.utilBramPct), 62);
+    EXPECT_EQ(std::lround(x86.utilDspPct), 78);
+    EXPECT_EQ(std::lround(x86.utilFfPct), 52);
+    EXPECT_EQ(std::lround(x86.utilLutPct), 81);
+    EXPECT_EQ(std::lround(x86.utilUramPct), 58);
+    EXPECT_NEAR(x86.vivadoWatts, 11.2, 0.05);
+    EXPECT_NEAR(x86.measuredWatts, 17.2, 0.1);
+
+    const auto ppc = buildAreaPowerReport(BoardConfig::Ppc64Capi);
+    EXPECT_EQ(std::lround(ppc.utilBramPct), 71);
+    EXPECT_EQ(std::lround(ppc.utilDspPct), 66);
+    EXPECT_EQ(std::lround(ppc.utilFfPct), 49);
+    EXPECT_EQ(std::lround(ppc.utilLutPct), 79);
+    EXPECT_EQ(std::lround(ppc.utilUramPct), 58);
+    EXPECT_NEAR(ppc.vivadoWatts, 10.5, 0.05);
+    EXPECT_NEAR(ppc.measuredWatts, 16.1, 0.1);
+}
+
+TEST(Power, EfficiencyRatiosMatchPaper)
+{
+    const auto x86 = buildAreaPowerReport(BoardConfig::X86Pcie);
+    const auto ppc = buildAreaPowerReport(BoardConfig::Ppc64Capi);
+    EXPECT_NEAR(hostTdpWatts(BoardConfig::X86Pcie) / x86.measuredWatts,
+                5.8, 0.1);
+    EXPECT_NEAR(hostTdpWatts(BoardConfig::Ppc64Capi) / ppc.measuredWatts,
+                11.8, 0.1);
+}
+
+TEST(Power, DesignFitsTheVu3p)
+{
+    for (auto cfg : {BoardConfig::X86Pcie, BoardConfig::Ppc64Capi}) {
+        const auto r = buildAreaPowerReport(cfg);
+        EXPECT_LE(r.utilLutPct, 100.0);
+        EXPECT_LE(r.utilBramPct, 100.0);
+        EXPECT_LE(r.utilDspPct, 100.0);
+    }
+}
+
+TEST(Latency, OrderingMatchesFig3)
+{
+    ReadLatencyModel model;
+    Accelerator acc;
+    const auto report = model.report(acc);
+    ASSERT_EQ(report.size(), 5u);
+    const auto linux_c = report[0].cycles;
+    const auto rdpmc = report[1].cycles;
+    const auto bp_cpu = report[2].cycles;
+    const auto bp_acc = report[3].cycles;
+    const auto cm = report[4].cycles;
+
+    EXPECT_LT(rdpmc, linux_c);
+    EXPECT_GT(bp_cpu, 2 * linux_c);   // software inference is costly
+    EXPECT_LT(bp_acc, linux_c + linux_c / 10); // near-native
+    EXPECT_GT(cm, linux_c);           // online mining is costly
+}
+
+TEST(Latency, AccelReadBeatsCpuReadByOrderOfMagnitude)
+{
+    ReadLatencyModel model;
+    Accelerator acc;
+    EXPECT_GT(model.bayesPerfCpuCycles(),
+              2 * model.bayesPerfAccelCycles(acc));
+}
+
+} // namespace
+} // namespace accel
+} // namespace bperf

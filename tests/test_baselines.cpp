@@ -1,0 +1,151 @@
+/** @file Tests for the Linux, CounterMiner, and WM+Pin baselines. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/counterminer.h"
+#include "baselines/linux_scaling.h"
+#include "baselines/wmpin.h"
+#include "workloads/hibench.h"
+
+namespace bperf {
+namespace baselines {
+namespace {
+
+using sim::EventId;
+using sim::Role;
+
+sim::PerfResult
+makeRun(const sim::MicroarchDescriptor &uarch, const sim::TruthTrace &truth,
+        const std::vector<EventId> &monitored)
+{
+    sim::PerfSessionConfig cfg;
+    cfg.seed = 9;
+    sim::PerfSession session(uarch, cfg);
+    return session.runRoundRobin(truth, monitored);
+}
+
+struct Fixture
+{
+    sim::MicroarchDescriptor uarch = sim::makeX86Skylake();
+    sim::TruthTrace truth = make();
+
+    sim::TruthTrace
+    make()
+    {
+        sim::GroundTruthGenerator gen(uarch, wl::makeHibench("Scan"));
+        return gen.generate(24, 3);
+    }
+};
+
+TEST(LinuxEstimator, MatchesHoldLastSemantics)
+{
+    Fixture f;
+    const EventId llc = f.uarch.idForRole(Role::LlcMiss);
+    const auto run = makeRun(f.uarch, f.truth, {llc});
+    LinuxEstimator est;
+    EXPECT_EQ(est.series(run, llc),
+              run.traceFor(llc).estimateSeries(
+                  sim::ScalingPolicy::HoldLastScaled));
+}
+
+TEST(CounterMiner, PassesCleanSamplesThrough)
+{
+    // A steady workload: CM must keep clean fixed-counter reads.
+    sim::MicroarchDescriptor uarch = sim::makeX86Skylake();
+    sim::WorkloadProfile steady;
+    steady.name = "steady";
+    sim::PhaseParams p;
+    p.burstiness = 0.05;
+    p.fastBurstiness = 0.05;
+    steady.phases = {{p, 30}};
+    sim::GroundTruthGenerator gen(uarch, steady);
+    const auto truth = gen.generate(24, 3);
+
+    const EventId cyc = uarch.idForRole(Role::Cycles);
+    const auto run = makeRun(uarch, truth, {cyc});
+    CounterMinerEstimator cm;
+    const auto series = cm.series(run, cyc);
+    for (std::size_t t = 0; t < series.size(); ++t) {
+        const double raw = run.traceFor(cyc).slices[t].scaled();
+        EXPECT_NEAR(series[t], raw, 0.25 * raw);
+    }
+}
+
+TEST(CounterMiner, DropsSingleOutlier)
+{
+    // Hand-build a trace with one absurd spike.
+    sim::PerfResult run;
+    run.monitored = {0};
+    run.schedule = {{0}};
+    sim::EventTrace trace;
+    trace.event = 0;
+    trace.slices.resize(10);
+    for (std::size_t t = 0; t < 10; ++t) {
+        auto &s = trace.slices[t];
+        s.observed = true;
+        s.timeEnabled = 1.0;
+        s.timeRunning = 1.0;
+        s.rawCount = 100.0 + static_cast<double>(t % 3);
+    }
+    trace.slices[6].rawCount = 5000.0; // spike
+    run.traces = {trace};
+
+    CounterMinerEstimator cm;
+    const auto series = cm.series(run, 0);
+    EXPECT_LT(series[6], 200.0); // imputed, not trusted
+    EXPECT_NEAR(series[5], 102.0, 5.0);
+}
+
+TEST(CounterMiner, RecoversAfterStageChange)
+{
+    // A persistent level shift must be accepted after a few drops.
+    sim::PerfResult run;
+    run.monitored = {0};
+    run.schedule = {{0}};
+    sim::EventTrace trace;
+    trace.event = 0;
+    trace.slices.resize(20);
+    for (std::size_t t = 0; t < 20; ++t) {
+        auto &s = trace.slices[t];
+        s.observed = true;
+        s.timeEnabled = 1.0;
+        s.timeRunning = 1.0;
+        s.rawCount = t < 10 ? 100.0 + static_cast<double>(t % 2)
+                            : 1000.0 + static_cast<double>(t % 2);
+    }
+    run.traces = {trace};
+
+    CounterMinerEstimator cm;
+    const auto series = cm.series(run, 0);
+    // By the end of the new stage CM tracks the new level.
+    EXPECT_NEAR(series[19], 1000.0, 50.0);
+}
+
+TEST(WmPin, OnlyCorrectsInstructions)
+{
+    Fixture f;
+    const EventId inst = f.uarch.idForRole(Role::Instructions);
+    const EventId llc = f.uarch.idForRole(Role::LlcMiss);
+    const auto run = makeRun(f.uarch, f.truth, {inst, llc});
+
+    WmPinEstimator wm(f.uarch);
+    LinuxEstimator linux_est;
+    // Non-instruction events pass through untouched.
+    EXPECT_EQ(wm.series(run, llc), linux_est.series(run, llc));
+    // Instruction counts are reduced by the interrupt overcount.
+    const auto wm_inst = wm.series(run, inst);
+    const auto lx_inst = linux_est.series(run, inst);
+    for (std::size_t t = 0; t < wm_inst.size(); ++t)
+        EXPECT_LE(wm_inst[t], lx_inst[t]);
+}
+
+TEST(WmPin, ReportsPinOverhead)
+{
+    Fixture f;
+    WmPinEstimator wm(f.uarch);
+    EXPECT_GT(wm.overheadFactor(), 100.0);
+}
+
+} // namespace
+} // namespace baselines
+} // namespace bperf

@@ -1,0 +1,105 @@
+/** @file Tests for dynamic time warping and the paper's error metric. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/dtw.h"
+#include "analysis/error_metrics.h"
+
+namespace bperf {
+namespace ana {
+namespace {
+
+TEST(Dtw, IdenticalSeriesHaveZeroDistance)
+{
+    const std::vector<double> a = {1, 2, 3, 2, 1};
+    const auto r = dtw(a, a);
+    EXPECT_DOUBLE_EQ(r.distance, 0.0);
+    // Path is the diagonal.
+    for (const auto &[i, j] : r.path)
+        EXPECT_EQ(i, j);
+}
+
+TEST(Dtw, AlignsShiftedSeries)
+{
+    // A one-step shift should cost almost nothing under DTW but a lot
+    // element-wise.
+    const std::vector<double> a = {0, 0, 10, 0, 0, 0};
+    const std::vector<double> b = {0, 0, 0, 10, 0, 0};
+    EXPECT_LT(dtw(a, b).distance, 1e-9);
+}
+
+TEST(Dtw, PathIsMonotoneAndComplete)
+{
+    const std::vector<double> a = {3, 1, 4, 1, 5};
+    const std::vector<double> b = {2, 7, 1, 8};
+    const auto r = dtw(a, b);
+    ASSERT_FALSE(r.path.empty());
+    EXPECT_EQ(r.path.front(), (std::pair<std::size_t, std::size_t>{0, 0}));
+    EXPECT_EQ(r.path.back(),
+              (std::pair<std::size_t, std::size_t>{4, 3}));
+    for (std::size_t k = 1; k < r.path.size(); ++k) {
+        EXPECT_GE(r.path[k].first, r.path[k - 1].first);
+        EXPECT_GE(r.path[k].second, r.path[k - 1].second);
+        EXPECT_LE(r.path[k].first - r.path[k - 1].first, 1u);
+        EXPECT_LE(r.path[k].second - r.path[k - 1].second, 1u);
+    }
+}
+
+TEST(Dtw, BandLimitsWarping)
+{
+    const std::vector<double> a = {0, 0, 0, 0, 10, 0, 0, 0, 0, 0};
+    std::vector<double> b = a;
+    std::rotate(b.begin(), b.begin() + 3, b.end()); // shift by 3
+    // A wide band absorbs the shift; a band of 1 cannot.
+    EXPECT_LT(dtwBanded(a, b, 5).distance, 1e-9);
+    EXPECT_GT(dtwBanded(a, b, 1).distance, 10.0);
+}
+
+TEST(Dtw, DistanceIsSymmetric)
+{
+    const std::vector<double> a = {1, 5, 2, 8, 3};
+    const std::vector<double> b = {2, 4, 4, 6};
+    EXPECT_NEAR(dtw(a, b).distance, dtw(b, a).distance, 1e-9);
+}
+
+TEST(ErrorMetric, ZeroForIdenticalTraces)
+{
+    const std::vector<double> ref = {10, 20, 30, 20, 10, 15, 25, 30};
+    EXPECT_NEAR(traceErrorPercent(ref, ref), 0.0, 1e-9);
+}
+
+TEST(ErrorMetric, ScalesWithRelativeDeviation)
+{
+    std::vector<double> ref(32, 100.0);
+    std::vector<double> est(32, 110.0);
+    EXPECT_NEAR(traceErrorPercent(est, ref), 10.0, 0.5);
+    std::vector<double> worse(32, 150.0);
+    EXPECT_NEAR(traceErrorPercent(worse, ref), 50.0, 2.0);
+}
+
+TEST(ErrorMetric, FloorPreventsDivisionBlowup)
+{
+    // Near-zero reference points must not dominate.
+    std::vector<double> ref(16, 100.0);
+    ref[3] = 1e-9;
+    std::vector<double> est(16, 100.0);
+    est[3] = 1.0;
+    EXPECT_LT(traceErrorPercent(est, ref), 5.0);
+}
+
+TEST(ErrorMetric, ElementWiseModeRequiresEqualLength)
+{
+    const std::vector<double> a = {1, 2, 3};
+    const std::vector<double> b = {1, 2};
+    EXPECT_DEATH((void)traceErrorPercent(a, b, false), "equal lengths");
+}
+
+TEST(ErrorMetric, NormalizedImprovement)
+{
+    EXPECT_DOUBLE_EQ(normalizedImprovement(40.0, 8.0), 5.0);
+    EXPECT_DOUBLE_EQ(normalizedImprovement(40.0, 0.0), 1.0);
+}
+
+} // namespace
+} // namespace ana
+} // namespace bperf

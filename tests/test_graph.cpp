@@ -1,0 +1,179 @@
+/** @file Tests for the factor graph, Gaussians, and exact inference. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/exact.h"
+#include "graph/factor_graph.h"
+#include "graph/gaussian.h"
+
+namespace bperf {
+namespace graph {
+namespace {
+
+TEST(Gaussian, MomentRoundTrip)
+{
+    const Gaussian g = Gaussian::fromMeanVar(3.0, 4.0);
+    EXPECT_DOUBLE_EQ(g.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(g.variance(), 4.0);
+}
+
+TEST(Gaussian, ProductIsPrecisionWeighted)
+{
+    const Gaussian a = Gaussian::fromMeanVar(0.0, 1.0);
+    const Gaussian b = Gaussian::fromMeanVar(10.0, 1.0);
+    const Gaussian p = a * b;
+    EXPECT_DOUBLE_EQ(p.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(p.variance(), 0.5);
+}
+
+TEST(Gaussian, DivisionInvertsProduct)
+{
+    const Gaussian a = Gaussian::fromMeanVar(2.0, 3.0);
+    const Gaussian b = Gaussian::fromMeanVar(-1.0, 5.0);
+    const Gaussian back = (a * b) / b;
+    EXPECT_NEAR(back.mean(), a.mean(), 1e-12);
+    EXPECT_NEAR(back.variance(), a.variance(), 1e-12);
+}
+
+TEST(Gaussian, FlatIsIdentity)
+{
+    const Gaussian a = Gaussian::fromMeanVar(2.0, 3.0);
+    const Gaussian p = a * Gaussian::flat();
+    EXPECT_DOUBLE_EQ(p.mean(), 2.0);
+    EXPECT_FALSE(Gaussian::flat().isProper());
+}
+
+FactorGraph
+chainGraph()
+{
+    // a - f1 - b - f2 - c, plus d isolated-ish via f3(d, a).
+    FactorGraph g;
+    const auto a = g.addVariable("a", 1.0);
+    const auto b = g.addVariable("b", 1.0);
+    const auto c = g.addVariable("c", 1.0);
+    const auto d = g.addVariable("d", 1.0);
+    g.addLinearGaussian("f1", {{a, 1.0}, {b, -1.0}}, 0.0, 1.0);
+    g.addLinearGaussian("f2", {{b, 1.0}, {c, -1.0}}, 0.0, 1.0);
+    g.addLinearGaussian("f3", {{d, 1.0}, {a, -1.0}}, 0.0, 1.0);
+    return g;
+}
+
+TEST(FactorGraph, MarkovBlanketIsFactorNeighbours)
+{
+    const FactorGraph g = chainGraph();
+    EXPECT_EQ(g.markovBlanket(0), (std::set<VarId>{1, 3})); // a: b, d
+    EXPECT_EQ(g.markovBlanket(1), (std::set<VarId>{0, 2})); // b: a, c
+    EXPECT_EQ(g.markovBlanket(3), (std::set<VarId>{0}));    // d: a
+}
+
+TEST(FactorGraph, BlanketOfSetExcludesSet)
+{
+    const FactorGraph g = chainGraph();
+    const auto blanket = g.markovBlanketOfSet({0, 1});
+    EXPECT_EQ(blanket, (std::set<VarId>{2, 3}));
+}
+
+TEST(FactorGraph, ShortestPathFollowsChain)
+{
+    const FactorGraph g = chainGraph();
+    EXPECT_EQ(g.shortestPath(3, 2), (std::vector<VarId>{3, 0, 1, 2}));
+    EXPECT_EQ(g.shortestPath(1, 1), (std::vector<VarId>{1}));
+}
+
+TEST(FactorGraph, DisconnectedPathIsEmpty)
+{
+    FactorGraph g;
+    g.addVariable("a", 1.0);
+    g.addVariable("b", 1.0);
+    EXPECT_TRUE(g.shortestPath(0, 1).empty());
+}
+
+TEST(GaussianSolver, SingleVariablePosterior)
+{
+    // Prior N(0, 1), Gaussian observation N(4, 1) -> posterior N(2, 0.5).
+    FactorGraph g;
+    const auto x = g.addVariable("x", 1.0);
+    g.addGaussianPrior("p", x, 0.0, 1.0);
+    g.addGaussianPrior("m", x, 4.0, 1.0);
+    const auto joint = GaussianSolver(g).solve();
+    EXPECT_NEAR(joint.mean[0], 2.0, 1e-9);
+    EXPECT_NEAR(joint.covariance(0, 0), 0.5, 1e-9);
+}
+
+TEST(GaussianSolver, LinearConstraintCouplesVariables)
+{
+    // x ~ N(0, 1), y ~ N(10, 1), constraint x = y (tight):
+    // both posteriors -> 5 with strong correlation.
+    FactorGraph g;
+    const auto x = g.addVariable("x", 1.0);
+    const auto y = g.addVariable("y", 1.0);
+    g.addGaussianPrior("px", x, 0.0, 1.0);
+    g.addGaussianPrior("py", y, 10.0, 1.0);
+    g.addLinearGaussian("eq", {{x, 1.0}, {y, -1.0}}, 0.0, 1e-4);
+    const auto joint = GaussianSolver(g).solve();
+    EXPECT_NEAR(joint.mean[0], 5.0, 1e-3);
+    EXPECT_NEAR(joint.mean[1], 5.0, 1e-3);
+    const double corr =
+        joint.covariance(0, 1) /
+        std::sqrt(joint.covariance(0, 0) * joint.covariance(1, 1));
+    EXPECT_GT(corr, 0.99);
+}
+
+TEST(GaussianSolver, ScaleHintsDoNotChangeAnswer)
+{
+    // The same model expressed with very different scale hints must
+    // produce identical posteriors (hints only precondition).
+    auto build = [](double hint) {
+        FactorGraph g;
+        const auto x = g.addVariable("x", hint);
+        const auto y = g.addVariable("y", hint * 100.0);
+        g.addGaussianPrior("px", x, 1.0e6, 1.0e6);
+        g.addGaussianPrior("py", y, 2.0e6, 1.0e6);
+        g.addLinearGaussian("f", {{x, 1.0}, {y, -0.5}}, 0.0, 1e3);
+        return GaussianSolver(g).solve();
+    };
+    const auto a = build(4.0e5);
+    const auto b = build(2.0e6);
+    EXPECT_NEAR(a.mean[0], b.mean[0], 1e-3 * std::abs(a.mean[0]));
+    EXPECT_NEAR(a.covariance(0, 0), b.covariance(0, 0),
+                1e-3 * a.covariance(0, 0));
+}
+
+TEST(GaussianSolver, SitesActAsExtraPriors)
+{
+    FactorGraph g;
+    const auto x = g.addVariable("x", 1.0);
+    g.addGaussianPrior("p", x, 0.0, 1.0);
+    std::vector<Gaussian> sites{Gaussian::fromMeanVar(4.0, 1.0)};
+    const auto joint = GaussianSolver(g).solve(sites);
+    EXPECT_NEAR(joint.mean[0], 2.0, 1e-9);
+}
+
+TEST(GaussianSolver, OffsetShiftsSolution)
+{
+    // x - 3 ~ N(0, small) -> x = 3.
+    FactorGraph g;
+    const auto x = g.addVariable("x", 1.0);
+    g.addGaussianPrior("p", x, 0.0, 100.0);
+    g.addLinearGaussian("obs", {{x, 1.0}}, -3.0, 1e-3);
+    const auto joint = GaussianSolver(g).solve();
+    EXPECT_NEAR(joint.mean[0], 3.0, 1e-3);
+}
+
+TEST(GaussianSolver, DetectsNonGaussianFactors)
+{
+    FactorGraph g;
+    const auto x = g.addVariable("x", 1.0);
+    g.addGaussianPrior("p", x, 0.0, 1.0);
+    GaussianSolver s1(g);
+    EXPECT_FALSE(s1.hasNonGaussianFactors());
+    g.addStudentT("m", x, 1.0, 1.0, 3.0);
+    GaussianSolver s2(g);
+    EXPECT_TRUE(s2.hasNonGaussianFactors());
+}
+
+} // namespace
+} // namespace graph
+} // namespace bperf

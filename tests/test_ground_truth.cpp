@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Property tests of the ground-truth generator: every invariant the
+ * factor graph will rely on must hold on the generated traces, for
+ * every HiBench workload on both architectures.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/ground_truth.h"
+#include "workloads/hibench.h"
+
+namespace bperf {
+namespace sim {
+namespace {
+
+/** Largest |coeff * value| over an invariant's terms at a slice. */
+double
+invariantMagnitude(const MicroarchDescriptor &u, const TruthTrace &t,
+                   const LinearInvariant &inv, std::size_t slice)
+{
+    double mag = 0.0;
+    for (const auto &term : inv.terms)
+        mag = std::max(mag, std::abs(term.coeff *
+                                     t.sliceTotal(slice,
+                                                  u.idForRole(term.role))));
+    return mag;
+}
+
+double
+invariantResidual(const MicroarchDescriptor &u, const TruthTrace &t,
+                  const LinearInvariant &inv, std::size_t slice)
+{
+    double r = 0.0;
+    for (const auto &term : inv.terms)
+        r += term.coeff * t.sliceTotal(slice, u.idForRole(term.role));
+    return r;
+}
+
+class TruthInvariantTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TruthInvariantTest, InvariantsHoldWithinSlack)
+{
+    const auto uarch = makeX86Skylake();
+    const auto workload = wl::makeHibench(GetParam());
+    GroundTruthGenerator gen(uarch, workload);
+    const auto truth = gen.generate(24, 99);
+
+    for (const auto &inv : uarch.invariants()) {
+        for (std::size_t t = 0; t < truth.numSlices(); t += 4) {
+            const double mag = invariantMagnitude(uarch, truth, inv, t);
+            if (mag <= 0.0)
+                continue;
+            const double residual =
+                std::abs(invariantResidual(uarch, truth, inv, t));
+            // Soft invariants drift with their OU slack modulators;
+            // allow 6 sigma.  Exact invariants are tight.
+            const double budget = 6.0 * inv.slackRel * mag + 1e-6 * mag;
+            EXPECT_LE(residual, budget)
+                << GetParam() << ": " << inv.name << " @ slice " << t;
+        }
+    }
+}
+
+TEST_P(TruthInvariantTest, AllValuesFiniteAndNonNegative)
+{
+    const auto uarch = makePower9();
+    const auto workload = wl::makeHibench(GetParam());
+    GroundTruthGenerator gen(uarch, workload);
+    const auto truth = gen.generate(12, 5);
+    for (std::size_t t = 0; t < truth.numSlices(); ++t) {
+        for (const auto &e : uarch.events()) {
+            const double v = truth.sliceTotal(t, e.id);
+            ASSERT_TRUE(std::isfinite(v)) << e.name;
+            ASSERT_GE(v, 0.0) << e.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, TruthInvariantTest,
+                         ::testing::ValuesIn(wl::hibenchNames()));
+
+TEST(GroundTruth, DeterministicPerSeed)
+{
+    const auto uarch = makeX86Skylake();
+    const auto workload = wl::makeHibench("Sort");
+    GroundTruthGenerator gen(uarch, workload);
+    const auto a = gen.generate(8, 42);
+    const auto b = gen.generate(8, 42);
+    const auto c = gen.generate(8, 43);
+    const EventId cyc = uarch.idForRole(Role::Cycles);
+    bool any_diff = false;
+    for (std::size_t t = 0; t < 8; ++t) {
+        EXPECT_DOUBLE_EQ(a.sliceTotal(t, cyc), b.sliceTotal(t, cyc));
+        any_diff |= a.sliceTotal(t, cyc) != c.sliceTotal(t, cyc);
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(GroundTruth, WindowSumsMatchSliceTotals)
+{
+    const auto uarch = makeX86Skylake();
+    const auto workload = wl::makeHibench("Scan");
+    GroundTruthGenerator gen(uarch, workload);
+    const auto truth = gen.generate(4, 1);
+    const EventId inst = uarch.idForRole(Role::Instructions);
+    const std::size_t subs = truth.subticksPerSlice();
+    const double split = truth.window(1, 0, subs / 2, inst) +
+                         truth.window(1, subs / 2, subs - subs / 2, inst);
+    EXPECT_NEAR(split, truth.sliceTotal(1, inst), 1e-9);
+}
+
+TEST(GroundTruth, PhaseRampIsMonotonicBlend)
+{
+    // A two-phase workload with very different rates must show a
+    // smooth transition over the ramp, not a step.
+    const auto uarch = makeX86Skylake();
+    WorkloadProfile w;
+    w.name = "ramp-test";
+    PhaseParams lo, hi;
+    lo.instPerSlice = 5.0e6;
+    lo.burstiness = 0.0;
+    lo.fastBurstiness = 0.0;
+    hi = lo;
+    hi.instPerSlice = 25.0e6;
+    w.phases = {{lo, 20}, {hi, 20}};
+
+    GeneratorConfig cfg;
+    cfg.rampSlices = 8.0;
+    cfg.phaseJitter = 0.0;
+    GroundTruthGenerator gen(uarch, w, cfg);
+    const auto truth = gen.generate(32, 3);
+    const EventId inst = uarch.idForRole(Role::Instructions);
+
+    // Slices 20..27 ramp from lo to hi monotonically.
+    double prev = truth.sliceTotal(19, inst);
+    for (std::size_t t = 20; t < 28; ++t) {
+        const double cur = truth.sliceTotal(t, inst);
+        EXPECT_GT(cur, prev * 0.999) << "slice " << t;
+        prev = cur;
+    }
+    EXPECT_NEAR(truth.sliceTotal(18, inst), 5.0e6, 5e5);
+    EXPECT_NEAR(truth.sliceTotal(30, inst), 25.0e6, 2e6);
+}
+
+TEST(GroundTruth, BurstinessControlsVariability)
+{
+    const auto uarch = makeX86Skylake();
+    WorkloadProfile calm, wild;
+    PhaseParams p;
+    p.burstiness = 0.02;
+    p.fastBurstiness = 0.02;
+    calm = {"calm", {{p, 30}}, true};
+    p.burstiness = 0.5;
+    p.fastBurstiness = 0.8;
+    wild = {"wild", {{p, 30}}, true};
+
+    GroundTruthGenerator g1(uarch, calm), g2(uarch, wild);
+    const auto t1 = g1.generate(30, 8);
+    const auto t2 = g2.generate(30, 8);
+    const EventId inst = uarch.idForRole(Role::Instructions);
+
+    auto rel_change = [&](const TruthTrace &t) {
+        double s = 0.0;
+        for (std::size_t i = 1; i < t.numSlices(); ++i)
+            s += std::abs(t.sliceTotal(i, inst) -
+                          t.sliceTotal(i - 1, inst)) /
+                 t.sliceTotal(i - 1, inst);
+        return s / static_cast<double>(t.numSlices() - 1);
+    };
+    EXPECT_GT(rel_change(t2), 4.0 * rel_change(t1));
+}
+
+} // namespace
+} // namespace sim
+} // namespace bperf

@@ -1,0 +1,144 @@
+/** @file Tests for the dense matrix and linear solves. */
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace bperf {
+namespace {
+
+Matrix
+randomSpd(std::size_t n, Rng &rng)
+{
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            a(r, c) = rng.normal();
+    Matrix spd = a * a.transpose();
+    for (std::size_t i = 0; i < n; ++i)
+        spd(i, i) += static_cast<double>(n);
+    return spd;
+}
+
+TEST(Matrix, IdentityProperties)
+{
+    const Matrix eye = Matrix::identity(4);
+    Matrix m(4, 4);
+    Rng rng(3);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            m(r, c) = rng.normal();
+    const Matrix prod = eye * m;
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_DOUBLE_EQ(prod(r, c), m(r, c));
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Rng rng(5);
+    Matrix m(3, 5);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            m(r, c) = rng.normal();
+    const Matrix tt = m.transpose().transpose();
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            EXPECT_DOUBLE_EQ(tt(r, c), m(r, c));
+}
+
+TEST(Matrix, SolveCholeskyRecoversSolution)
+{
+    Rng rng(7);
+    const std::size_t n = 12;
+    const Matrix a = randomSpd(n, rng);
+    std::vector<double> x_true(n);
+    for (double &v : x_true)
+        v = rng.normal();
+    const std::vector<double> b = a.apply(x_true);
+    const std::vector<double> x = a.solveCholesky(b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Matrix, SolveLuHandlesNonSymmetric)
+{
+    Rng rng(9);
+    const std::size_t n = 10;
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            a(r, c) = rng.normal() + (r == c ? 5.0 : 0.0);
+    std::vector<double> x_true(n);
+    for (double &v : x_true)
+        v = rng.normal();
+    const std::vector<double> b = a.apply(x_true);
+    const std::vector<double> x = a.solveLU(b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Matrix, InverseTimesSelfIsIdentity)
+{
+    Rng rng(11);
+    const Matrix a = randomSpd(8, rng);
+    const Matrix prod = a * a.inverse();
+    for (std::size_t r = 0; r < 8; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+            EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-8);
+}
+
+TEST(Matrix, CholeskyInverseMatchesLuInverse)
+{
+    Rng rng(13);
+    const Matrix a = randomSpd(15, rng);
+    const Matrix inv_lu = a.inverse();
+    const Matrix inv_ch = a.choleskyInverse();
+    EXPECT_NEAR((inv_lu - inv_ch).frobeniusNorm(), 0.0, 1e-7);
+}
+
+TEST(Matrix, CholeskyInverseIsSymmetric)
+{
+    Rng rng(17);
+    const Matrix inv = randomSpd(9, rng).choleskyInverse();
+    for (std::size_t r = 0; r < 9; ++r)
+        for (std::size_t c = 0; c < 9; ++c)
+            EXPECT_DOUBLE_EQ(inv(r, c), inv(c, r));
+}
+
+TEST(MatrixDeathTest, NonSpdPanics)
+{
+    Matrix m(2, 2);
+    m(0, 0) = 1.0;
+    m(1, 1) = -1.0;
+    EXPECT_DEATH((void)m.choleskyInverse(), "positive definite");
+}
+
+TEST(Matrix, ApplyMatchesOperator)
+{
+    Rng rng(19);
+    Matrix a(4, 3);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            a(r, c) = rng.normal();
+    const std::vector<double> v = {1.0, -2.0, 0.5};
+    const std::vector<double> av = a.apply(v);
+    for (std::size_t r = 0; r < 4; ++r) {
+        double expect = 0.0;
+        for (std::size_t c = 0; c < 3; ++c)
+            expect += a(r, c) * v[c];
+        EXPECT_NEAR(av[r], expect, 1e-12);
+    }
+}
+
+TEST(Matrix, FrobeniusNorm)
+{
+    Matrix m(2, 2);
+    m(0, 0) = 3.0;
+    m(1, 1) = 4.0;
+    EXPECT_DOUBLE_EQ(m.frobeniusNorm(), 5.0);
+}
+
+} // namespace
+} // namespace bperf

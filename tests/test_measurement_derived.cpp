@@ -1,0 +1,130 @@
+/** @file Tests for the Student-t measurement fit and derived metrics. */
+
+#include <gtest/gtest.h>
+
+#include "core/derived.h"
+#include "core/measurement.h"
+
+namespace bperf {
+namespace core {
+namespace {
+
+using sim::Role;
+
+sim::SliceSample
+sampleWith(std::vector<double> windows, double duty)
+{
+    sim::SliceSample s;
+    s.observed = true;
+    s.timeEnabled = 1.0;
+    s.timeRunning = duty;
+    s.windows = std::move(windows);
+    for (double w : s.windows)
+        s.rawCount += w;
+    return s;
+}
+
+TEST(Measurement, LocationIsScaledCount)
+{
+    const auto s = sampleWith({10.0, 12.0, 11.0, 9.0}, 0.25);
+    const auto m = fitMeasurement(s);
+    // Mean window 10.5, extrapolation factor 4 / 0.25 = 16.
+    EXPECT_NEAR(m.loc, 10.5 * 16.0, 1e-9);
+    EXPECT_NEAR(m.loc, s.scaled(), 1e-9);
+}
+
+TEST(Measurement, NuIsWindowsMinusOne)
+{
+    const auto s = sampleWith({1.0, 2.0, 3.0, 4.0, 5.0, 6.0}, 0.5);
+    EXPECT_DOUBLE_EQ(fitMeasurement(s).nu, 5.0);
+}
+
+TEST(Measurement, ScaleGrowsWithWindowSpread)
+{
+    const auto tight = fitMeasurement(sampleWith({10, 10, 10, 10}, 0.5));
+    const auto loose = fitMeasurement(sampleWith({2, 18, 5, 15}, 0.5));
+    EXPECT_GT(loose.scale, 5.0 * tight.scale);
+}
+
+TEST(Measurement, AbsoluteFloorApplies)
+{
+    const auto s = sampleWith({10, 10, 10, 10}, 0.5);
+    const auto m = fitMeasurement(s, 0.005, /*floor=*/123.0);
+    EXPECT_GE(m.scale, 123.0);
+}
+
+TEST(MeasurementDeathTest, RejectsUnobserved)
+{
+    sim::SliceSample s;
+    s.observed = false;
+    EXPECT_DEATH((void)fitMeasurement(s), "unobserved");
+}
+
+TEST(Derived, StandardSetHasTenMetrics)
+{
+    EXPECT_EQ(standardDerivedMetrics().size(), 10u);
+}
+
+TEST(Derived, RolesUsedAreUnique)
+{
+    const auto roles = rolesUsed(standardDerivedMetrics());
+    std::set<Role> unique(roles.begin(), roles.end());
+    EXPECT_EQ(unique.size(), roles.size());
+    EXPECT_GE(roles.size(), 10u);
+}
+
+TEST(Derived, EvalIpc)
+{
+    const auto uarch = sim::makeX86Skylake();
+    const DerivedMetric &ipc = standardDerivedMetrics()[0];
+    EXPECT_EQ(ipc.name, "IPC");
+    auto value = [&](sim::EventId e) {
+        if (e == uarch.idForRole(Role::Instructions))
+            return 20.0e6;
+        if (e == uarch.idForRole(Role::Cycles))
+            return 25.0e6;
+        return 0.0;
+    };
+    EXPECT_NEAR(evalDerived(ipc, uarch, value), 0.8, 1e-12);
+}
+
+TEST(Derived, ZeroDenominatorYieldsZero)
+{
+    const auto uarch = sim::makeX86Skylake();
+    const DerivedMetric &ipc = standardDerivedMetrics()[0];
+    auto value = [&](sim::EventId) { return 0.0; };
+    EXPECT_DOUBLE_EQ(evalDerived(ipc, uarch, value), 0.0);
+}
+
+TEST(Derived, SeriesAppliesPerSlice)
+{
+    const auto uarch = sim::makeX86Skylake();
+    DerivedMetric mpki{"test_mpki",
+                       {{Role::BranchMisses, 1.0}},
+                       {{Role::Instructions, 1.0}},
+                       1000.0};
+    auto series = [&](sim::EventId e) {
+        if (e == uarch.idForRole(Role::BranchMisses))
+            return std::vector<double>{100.0, 200.0};
+        return std::vector<double>{1.0e5, 1.0e5};
+    };
+    const auto v = derivedSeries(mpki, uarch, 2, series);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_NEAR(v[0], 1.0, 1e-12);
+    EXPECT_NEAR(v[1], 2.0, 1e-12);
+}
+
+TEST(Derived, ScaleMultiplies)
+{
+    const auto uarch = sim::makeX86Skylake();
+    DerivedMetric plain{"sum",
+                        {{Role::Loads, 1.0}, {Role::Stores, 1.0}},
+                        {},
+                        2.5};
+    auto value = [&](sim::EventId) { return 4.0; };
+    EXPECT_DOUBLE_EQ(evalDerived(plain, uarch, value), 2.5 * 8.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace bperf

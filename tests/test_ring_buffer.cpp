@@ -1,0 +1,91 @@
+/** @file Tests for the kernel-to-user sample ring buffer. */
+
+#include <gtest/gtest.h>
+
+#include "sim/ring_buffer.h"
+
+namespace bperf {
+namespace sim {
+namespace {
+
+PerfRecord
+rec(std::uint32_t slice, double value)
+{
+    PerfRecord r;
+    r.slice = slice;
+    r.value = value;
+    return r;
+}
+
+TEST(RingBuffer, FifoOrder)
+{
+    RingBuffer rb(4);
+    rb.push(rec(0, 1.0));
+    rb.push(rec(1, 2.0));
+    rb.push(rec(2, 3.0));
+    EXPECT_EQ(rb.size(), 3u);
+    EXPECT_DOUBLE_EQ(rb.pop()->value, 1.0);
+    EXPECT_DOUBLE_EQ(rb.pop()->value, 2.0);
+    EXPECT_DOUBLE_EQ(rb.pop()->value, 3.0);
+    EXPECT_FALSE(rb.pop().has_value());
+}
+
+TEST(RingBuffer, DropsWhenFull)
+{
+    RingBuffer rb(2);
+    EXPECT_TRUE(rb.push(rec(0, 1.0)));
+    EXPECT_TRUE(rb.push(rec(1, 2.0)));
+    EXPECT_TRUE(rb.full());
+    EXPECT_FALSE(rb.push(rec(2, 3.0)));
+    EXPECT_EQ(rb.dropped(), 1u);
+    EXPECT_EQ(rb.pushed(), 2u);
+    // The oldest record is preserved (new data dropped, not old).
+    EXPECT_EQ(rb.pop()->slice, 0u);
+}
+
+TEST(RingBuffer, WrapsAround)
+{
+    RingBuffer rb(3);
+    for (std::uint32_t i = 0; i < 3; ++i)
+        rb.push(rec(i, i));
+    rb.pop();
+    rb.pop();
+    rb.push(rec(3, 3.0));
+    rb.push(rec(4, 4.0));
+    EXPECT_TRUE(rb.full());
+    EXPECT_EQ(rb.pop()->slice, 2u);
+    EXPECT_EQ(rb.pop()->slice, 3u);
+    EXPECT_EQ(rb.pop()->slice, 4u);
+}
+
+TEST(RingBuffer, StressConsistency)
+{
+    RingBuffer rb(16);
+    std::uint32_t next_push = 0, next_pop = 0;
+    for (int round = 0; round < 1000; ++round) {
+        if (round % 3 != 2) {
+            if (rb.push(rec(next_push, next_push)))
+                ++next_push;
+        } else {
+            const auto r = rb.pop();
+            if (r) {
+                EXPECT_EQ(r->slice, next_pop);
+                ++next_pop;
+            }
+        }
+    }
+    while (auto r = rb.pop()) {
+        EXPECT_EQ(r->slice, next_pop);
+        ++next_pop;
+    }
+    EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(RingBufferDeathTest, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(RingBuffer rb(0), "capacity");
+}
+
+} // namespace
+} // namespace sim
+} // namespace bperf

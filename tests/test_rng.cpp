@@ -1,0 +1,168 @@
+/** @file Tests for the deterministic RNG and its distributions. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace bperf {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        s.push(u);
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(9);
+    std::vector<int> counts(7, 0);
+    for (int i = 0; i < 14000; ++i) {
+        const auto x = rng.uniformInt(7);
+        ASSERT_LT(x, 7u);
+        ++counts[x];
+    }
+    for (int c : counts)
+        EXPECT_NEAR(c, 2000, 250);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.push(rng.normal(3.0, 2.0));
+    EXPECT_NEAR(s.mean(), 3.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, StudentTHasHeavyTails)
+{
+    Rng rng(13);
+    int extreme_t = 0, extreme_n = 0;
+    for (int i = 0; i < 50000; ++i) {
+        if (std::abs(rng.studentT(3.0)) > 4.0)
+            ++extreme_t;
+        if (std::abs(rng.normal()) > 4.0)
+            ++extreme_n;
+    }
+    EXPECT_GT(extreme_t, 10 * (extreme_n + 1));
+}
+
+TEST(Rng, GammaMoments)
+{
+    Rng rng(17);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.push(rng.gamma(4.0, 2.5));
+    EXPECT_NEAR(s.mean(), 10.0, 0.15);
+    EXPECT_NEAR(s.variance(), 25.0, 1.5);
+}
+
+TEST(Rng, GammaSmallShape)
+{
+    Rng rng(19);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i) {
+        const double x = rng.gamma(0.5, 1.0);
+        ASSERT_GT(x, 0.0);
+        s.push(x);
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.03);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(23);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.push(rng.exponential(0.25));
+    EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, PoissonSmallAndLargeMean)
+{
+    Rng rng(29);
+    RunningStats small, large;
+    for (int i = 0; i < 30000; ++i) {
+        small.push(static_cast<double>(rng.poisson(3.0)));
+        large.push(static_cast<double>(rng.poisson(300.0)));
+    }
+    EXPECT_NEAR(small.mean(), 3.0, 0.1);
+    EXPECT_NEAR(small.variance(), 3.0, 0.2);
+    EXPECT_NEAR(large.mean(), 300.0, 1.0);
+    EXPECT_NEAR(large.variance(), 300.0, 15.0);
+}
+
+TEST(Rng, BinomialMatchesMoments)
+{
+    Rng rng(31);
+    RunningStats s;
+    for (int i = 0; i < 30000; ++i)
+        s.push(static_cast<double>(rng.binomial(40, 0.3)));
+    EXPECT_NEAR(s.mean(), 12.0, 0.15);
+    EXPECT_NEAR(s.variance(), 8.4, 0.5);
+}
+
+TEST(Rng, CategoricalFollowsWeights)
+{
+    Rng rng(37);
+    std::vector<double> w = {1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[rng.categorical(w)];
+    EXPECT_NEAR(counts[0], 2000, 250);
+    EXPECT_NEAR(counts[1], 6000, 400);
+    EXPECT_NEAR(counts[2], 12000, 500);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(41);
+    Rng child = a.fork();
+    // The child stream should not reproduce the parent stream.
+    Rng b(41);
+    (void)b(); // parent consumed one draw when forking
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += child() == b() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(43);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+} // namespace
+} // namespace bperf

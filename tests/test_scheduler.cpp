@@ -1,0 +1,171 @@
+/** @file Tests for the overlap-aware counter scheduler (section 4.1). */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+
+namespace bperf {
+namespace core {
+namespace {
+
+using sim::EventId;
+using sim::Role;
+
+TEST(Scheduler, EveryConfigIsPmuValid)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler scheduler(uarch);
+    const auto schedule = scheduler.build(uarch.programmableEvents());
+    sim::Pmu pmu(uarch);
+    for (const auto &config : schedule.configs)
+        EXPECT_TRUE(pmu.validate(config));
+}
+
+TEST(Scheduler, CoversEveryMonitoredEvent)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler scheduler(uarch);
+    const auto monitored = uarch.programmableEvents();
+    const auto schedule = scheduler.build(monitored);
+
+    std::set<EventId> scheduled;
+    for (const auto &config : schedule.configs)
+        for (EventId e : config)
+            scheduled.insert(e);
+    for (EventId e : monitored)
+        EXPECT_TRUE(scheduled.count(e)) << uarch.event(e).name;
+}
+
+TEST(Scheduler, ConsecutiveConfigsShareCarriedEvent)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler scheduler(uarch);
+    const auto schedule = scheduler.build(uarch.programmableEvents());
+    ASSERT_GT(schedule.configs.size(), 1u);
+    for (std::size_t i = 1; i < schedule.configs.size(); ++i) {
+        const EventId carry = schedule.carried[i];
+        if (carry == sim::kNoEvent)
+            continue; // chain break
+        const auto &prev = schedule.configs[i - 1];
+        const auto &cur = schedule.configs[i];
+        EXPECT_NE(std::find(prev.begin(), prev.end(), carry), prev.end());
+        EXPECT_NE(std::find(cur.begin(), cur.end(), carry), cur.end());
+    }
+    // At least one real overlap must exist in a rich event set.
+    EXPECT_TRUE(std::any_of(schedule.carried.begin(),
+                            schedule.carried.end(),
+                            [](EventId e) { return e != sim::kNoEvent; }));
+}
+
+TEST(Scheduler, ConsecutiveConfigsAreStatisticallyLinked)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler scheduler(uarch);
+    const auto schedule = scheduler.build(uarch.programmableEvents());
+    for (std::size_t i = 1; i < schedule.configs.size(); ++i) {
+        if (schedule.carried[i] == sim::kNoEvent)
+            continue;
+        EXPECT_TRUE(scheduler.configsLinked(schedule.configs[i - 1],
+                                            schedule.configs[i]));
+    }
+}
+
+TEST(Scheduler, RoundRobinModeHasNoCarry)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler scheduler(uarch, {.reserveOverlapSlot = false});
+    const auto schedule = scheduler.build(uarch.programmableEvents());
+    for (EventId c : schedule.carried)
+        EXPECT_EQ(c, sim::kNoEvent);
+}
+
+TEST(Scheduler, OverlapScheduleIsLongerThanRoundRobin)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler with(uarch);
+    OverlapScheduler without(uarch, {.reserveOverlapSlot = false});
+    const auto monitored = uarch.programmableEvents();
+    EXPECT_GE(with.build(monitored).configs.size(),
+              without.build(monitored).configs.size());
+}
+
+TEST(Scheduler, MarkovBlanketReflectsInvariants)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler scheduler(uarch);
+    // dram_bytes shares the dram_bandwidth factor with llc_miss.
+    const auto blanket =
+        scheduler.blanketOf({uarch.idForRole(Role::DramBytes)});
+    EXPECT_TRUE(blanket.count(uarch.idForRole(Role::LlcMiss)));
+    EXPECT_TRUE(blanket.count(uarch.idForRole(Role::DmaBytes)));
+}
+
+TEST(Scheduler, ShortestEventPathCrossesInvariants)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler scheduler(uarch);
+    // loads -> l1d_access (l1d invariant) or inst_mix; one hop.
+    const auto path = scheduler.shortestEventPath(
+        uarch.idForRole(Role::Loads), uarch.idForRole(Role::L1DAccess));
+    EXPECT_EQ(path.size(), 2u);
+    // l1i_miss relates to dram_writes only through a longer chain.
+    const auto longer = scheduler.shortestEventPath(
+        uarch.idForRole(Role::L1IMiss),
+        uarch.idForRole(Role::DramWrites));
+    EXPECT_GT(longer.size(), 2u);
+    // dtlb_miss participates in no invariant: disconnected.
+    EXPECT_TRUE(scheduler
+                    .shortestEventPath(uarch.idForRole(Role::DtlbMiss),
+                                       uarch.idForRole(Role::DramWrites))
+                    .empty());
+}
+
+TEST(Scheduler, BridgeEmptyWhenAlreadyLinked)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler scheduler(uarch);
+    const auto bridge =
+        scheduler.bridge({uarch.idForRole(Role::Loads)},
+                         {uarch.idForRole(Role::Stores)});
+    EXPECT_TRUE(bridge.empty()); // both in inst_mix / l1d_access
+}
+
+TEST(Scheduler, PruneRedundantDropsEqualBlanketSteps)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler scheduler(uarch);
+    const EventId loads = uarch.idForRole(Role::Loads);
+    std::vector<std::vector<EventId>> chain = {{loads}, {loads}, {loads}};
+    const auto pruned = scheduler.pruneRedundantSteps(chain);
+    EXPECT_EQ(pruned.size(), 1u);
+}
+
+TEST(Scheduler, PruneCommonCondensesThroughSharedNeighbour)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler scheduler(uarch);
+    // Taken and not-taken branches share "branches" in their blankets.
+    std::vector<std::vector<EventId>> chain = {
+        {uarch.idForRole(Role::BranchTaken),
+         uarch.idForRole(Role::BranchNotTaken)}};
+    const auto pruned = scheduler.pruneCommonSteps(chain);
+    ASSERT_EQ(pruned.size(), 1u);
+    ASSERT_EQ(pruned[0].size(), 1u);
+    EXPECT_EQ(uarch.event(pruned[0][0]).role, Role::Branches);
+}
+
+TEST(Scheduler, FixedOnlyMonitoringYieldsEmptyConfig)
+{
+    const auto uarch = sim::makeX86Skylake();
+    OverlapScheduler scheduler(uarch);
+    const auto schedule = scheduler.build(uarch.fixedEvents());
+    ASSERT_EQ(schedule.configs.size(), 1u);
+    EXPECT_TRUE(schedule.configs[0].empty());
+}
+
+} // namespace
+} // namespace core
+} // namespace bperf

@@ -1,0 +1,140 @@
+/** @file Tests for descriptive statistics and densities. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace bperf {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    const std::vector<double> xs = {1.0, 4.0, 2.5, -3.0, 7.5, 0.0};
+    RunningStats s;
+    for (double x : xs)
+        s.push(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_DOUBLE_EQ(s.mean(), mean(xs));
+    EXPECT_NEAR(s.variance(), variance(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation)
+{
+    Rng rng(5);
+    RunningStats a, b, all;
+    for (int i = 0; i < 100; ++i) {
+        const double x = rng.normal(2.0, 3.0);
+        (i % 2 ? a : b).push(x);
+        all.push(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.push(1.0);
+    a.push(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Stats, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    const std::vector<double> xs = {0.0, 10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 5.0);
+}
+
+TEST(Stats, CorrelationExtremes)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+    std::vector<double> z = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+    std::vector<double> c = {3, 3, 3, 3, 3};
+    EXPECT_DOUBLE_EQ(correlation(x, c), 0.0);
+}
+
+TEST(Stats, MeanAbsPercentError)
+{
+    EXPECT_NEAR(meanAbsPercentError({110.0, 90.0}, {100.0, 100.0}), 10.0,
+                1e-12);
+    // Zero reference entries are skipped.
+    EXPECT_NEAR(meanAbsPercentError({110.0, 5.0}, {100.0, 0.0}), 10.0,
+                1e-12);
+}
+
+TEST(Stats, NormalPdfIntegratesToOne)
+{
+    double sum = 0.0;
+    const double step = 0.01;
+    for (double x = -8.0; x <= 8.0; x += step)
+        sum += normalPdf(x, 0.0, 1.0) * step;
+    EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+TEST(Stats, NormalCdfSymmetry)
+{
+    EXPECT_NEAR(normalCdf(0.0, 0.0, 1.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.96, 0.0, 1.0), 0.975, 1e-3);
+    EXPECT_NEAR(normalCdf(-1.96, 0.0, 1.0), 0.025, 1e-3);
+}
+
+TEST(Stats, LogPdfConsistentWithPdf)
+{
+    for (double x : {-2.0, 0.0, 1.5}) {
+        EXPECT_NEAR(std::exp(normalLogPdf(x, 0.5, 2.0)),
+                    normalPdf(x, 0.5, 2.0), 1e-12);
+    }
+}
+
+TEST(Stats, StudentTLogPdfApproachesNormal)
+{
+    // nu -> infinity: Student-t converges to the normal.
+    const double x = 1.3;
+    EXPECT_NEAR(studentTLogPdf(x, 1e7, 0.0, 1.0),
+                normalLogPdf(x, 0.0, 1.0), 1e-3);
+}
+
+TEST(Stats, StudentTHeavierTailThanNormal)
+{
+    EXPECT_GT(studentTLogPdf(6.0, 3.0, 0.0, 1.0),
+              normalLogPdf(6.0, 0.0, 1.0));
+}
+
+TEST(Stats, GumbelOutlierScoreBehaviour)
+{
+    // A point at the mean is not an outlier (score near 1).
+    EXPECT_GT(gumbelOutlierScore(10.0, 10.0, 2.0, 8), 0.9);
+    // A point many sigma away scores near 0.
+    EXPECT_LT(gumbelOutlierScore(30.0, 10.0, 2.0, 8), 0.01);
+    // Degenerate inputs return 0 (never drop).
+    EXPECT_DOUBLE_EQ(gumbelOutlierScore(30.0, 10.0, 0.0, 8), 0.0);
+    EXPECT_DOUBLE_EQ(gumbelOutlierScore(30.0, 10.0, 2.0, 1), 0.0);
+}
+
+} // namespace
+} // namespace bperf
