@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The BayesPerf monitoring daemon end to end: several tenants stream
+ * live PMI records into one service, posteriors are polled mid-run,
+ * and each session's final posterior is scored against ground truth.
+ *
+ * Walks through the service API:
+ *   1. start a MonitorService (shared worker pool, sharded registry),
+ *   2. open one session per tenant workload,
+ *   3. stream each tenant's PerfRecords from a producer thread,
+ *      slice by slice, through the per-session SPSC ring,
+ *   4. poll latest() while inference is still running,
+ *   5. close the sessions and read full posterior series + stats.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.h"
+#include "service/monitor_service.h"
+#include "service/record_stream.h"
+#include "sim/ground_truth.h"
+#include "workloads/hibench.h"
+
+using namespace bperf;
+
+int
+main()
+{
+    const sim::MicroarchDescriptor uarch = sim::makeX86Skylake();
+
+    // 1. The daemon: 4 inference workers shared by every tenant.
+    service::MonitorServiceConfig cfg;
+    cfg.numWorkers = 4;
+    cfg.sessionDefaults.streaming.inference.windowSlices = 6;
+    service::MonitorService daemon(uarch, cfg);
+
+    // 2. Four tenants, each monitoring 13 events (3 fixed + 10
+    // multiplexed) on its own workload.
+    const std::vector<std::string> tenants = {"KMeans", "Sort", "Bayes",
+                                              "PageRank"};
+    std::vector<sim::EventId> events;
+    for (sim::Role r :
+         {sim::Role::LlcMiss, sim::Role::L2Miss, sim::Role::L1DMiss,
+          sim::Role::Loads, sim::Role::Stores, sim::Role::Branches,
+          sim::Role::BranchMisses, sim::Role::StallMem,
+          sim::Role::StallTotal, sim::Role::DramBytes})
+        events.push_back(uarch.idForRole(r));
+
+    const std::size_t num_slices = 48;
+    std::vector<service::SessionId> ids;
+    std::vector<sim::TruthTrace> truths;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        ids.push_back(daemon.open(events));
+        const sim::GroundTruthGenerator generator(
+            uarch, wl::makeHibench(tenants[t]));
+        truths.push_back(generator.generate(num_slices, 1000 + t));
+    }
+    const auto monitored = daemon.monitoredEvents(ids[0]);
+
+    // 3. One producer thread per tenant, replaying the kernel-side
+    // record stream slice by slice.
+    std::vector<std::thread> producers;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        producers.emplace_back([&, t] {
+            sim::PerfSessionConfig perf_cfg;
+            perf_cfg.seed = 42 + t;
+            sim::PerfSession session(uarch, perf_cfg);
+            const sim::PerfResult run =
+                session.runRoundRobin(truths[t], monitored);
+            for (std::size_t s = 0; s < num_slices; ++s)
+                daemon.ingestBatch(ids[t], service::sliceRecords(run, s));
+        });
+    }
+
+    // 4. Poll one tenant's LLC-miss posterior while streaming.
+    const sim::EventId llc = uarch.idForRole(sim::Role::LlcMiss);
+    for (int poll = 0; poll < 3; ++poll) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (const auto p = daemon.latest(ids[0], llc)) {
+            std::printf("[poll %d] %s LLC misses: %.0f +/- %.0f\n", poll,
+                        tenants[0].c_str(), p->mean, p->stddev);
+        }
+    }
+    for (auto &p : producers)
+        p.join();
+    daemon.quiesce();
+
+    // 5. Close everything; score posteriors against ground truth.
+    TablePrinter table({"tenant", "slices", "windows", "ms/window",
+                        "post err %"});
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        const auto report = daemon.close(ids[t]);
+        if (!report)
+            continue;
+        const auto mean = report->posterior.meanSeries(llc);
+        double err = 0.0;
+        for (std::size_t s = 0; s < mean.size(); ++s) {
+            const double truth_val = truths[t].sliceTotal(s, llc);
+            err += std::abs(mean[s] - truth_val) /
+                   std::max(truth_val, 1.0);
+        }
+        table.addRow(tenants[t],
+                     {static_cast<double>(report->stats.slicesAssembled),
+                      static_cast<double>(report->stats.windowsRun),
+                      1e3 * report->stats.windowSeconds.mean(),
+                      100.0 * err / static_cast<double>(mean.size())});
+    }
+    table.print(std::cout);
+
+    const service::ServiceStats stats = daemon.stats();
+    std::printf("sessions: %llu opened, %llu closed; records: %llu "
+                "ingested, %llu dropped; windows: %llu (%.1f EP "
+                "sweeps/window)\n",
+                static_cast<unsigned long long>(stats.sessionsOpened),
+                static_cast<unsigned long long>(stats.sessionsClosed),
+                static_cast<unsigned long long>(
+                    stats.totals.recordsIngested),
+                static_cast<unsigned long long>(
+                    stats.totals.recordsDropped),
+                static_cast<unsigned long long>(stats.totals.windowsRun),
+                stats.totals.windowsRun
+                    ? static_cast<double>(stats.totals.epSweeps) /
+                          static_cast<double>(stats.totals.windowsRun)
+                    : 0.0);
+    return 0;
+}

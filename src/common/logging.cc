@@ -1,13 +1,18 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace bperf {
 namespace detail {
 
 namespace {
-bool g_verbose = false;
+std::atomic<bool> g_verbose{false};
+
+/** Serializes log lines emitted by concurrent service workers. */
+std::mutex g_emit_mutex;
 
 const char *
 levelName(LogLevel level)
@@ -39,6 +44,7 @@ emit(LogLevel level, const std::string &msg)
 {
     if (!g_verbose && (level == LogLevel::Inform || level == LogLevel::Warn))
         return;
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
     std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
 }
 

@@ -187,12 +187,33 @@ normalCdf(double x, double m, double s)
     return 0.5 * std::erfc(-(x - m) / (s * std::sqrt(2.0)));
 }
 
+namespace {
+
+/**
+ * Thread-safe log-gamma.  glibc's lgamma() writes the global signgam,
+ * which races when EP workers of different sessions evaluate
+ * Student-t likelihoods concurrently; the arguments here are always
+ * positive, so the sign is known and the reentrant form is exact.
+ */
+double
+logGamma(double x)
+{
+#if defined(__GLIBC__) || defined(__APPLE__)
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
+
+} // namespace
+
 double
 studentTLogPdf(double x, double nu, double mu, double scale)
 {
     bp_assert(nu > 0.0 && scale > 0.0, "studentTLogPdf bad params");
     const double z = (x - mu) / scale;
-    const double a = std::lgamma((nu + 1.0) / 2.0) - std::lgamma(nu / 2.0);
+    const double a = logGamma((nu + 1.0) / 2.0) - logGamma(nu / 2.0);
     const double b = -0.5 * std::log(nu * M_PI) - std::log(scale);
     const double c = -(nu + 1.0) / 2.0 * std::log1p(z * z / nu);
     return a + b + c;

@@ -13,23 +13,31 @@ BayesPerfSession::BayesPerfSession(const sim::MicroarchDescriptor &uarch,
 {
 }
 
+std::vector<sim::EventId>
+resolveMonitoredSet(const sim::MicroarchDescriptor &uarch,
+                    const std::vector<sim::EventId> &events)
+{
+    std::vector<sim::EventId> monitored;
+    // Fixed counters are always on and anchor the factor graph.
+    for (sim::EventId e : uarch.fixedEvents())
+        monitored.push_back(e);
+    sim::Pmu pmu(uarch);
+    for (sim::EventId e : events) {
+        if (std::find(monitored.begin(), monitored.end(), e) !=
+            monitored.end())
+            continue;
+        if (!uarch.event(e).fixed && !pmu.validate({e}))
+            bp_fatal("event not schedulable on any counter: "
+                     << uarch.event(e).name);
+        monitored.push_back(e);
+    }
+    return monitored;
+}
+
 void
 BayesPerfSession::open(const std::vector<sim::EventId> &events)
 {
-    monitored_.clear();
-    // Fixed counters are always on and anchor the factor graph.
-    for (sim::EventId e : uarch_.fixedEvents())
-        monitored_.push_back(e);
-    sim::Pmu pmu(uarch_);
-    for (sim::EventId e : events) {
-        if (std::find(monitored_.begin(), monitored_.end(), e) !=
-            monitored_.end())
-            continue;
-        if (!uarch_.event(e).fixed && !pmu.validate({e}))
-            bp_fatal("event not schedulable on any counter: "
-                     << uarch_.event(e).name);
-        monitored_.push_back(e);
-    }
+    monitored_ = resolveMonitoredSet(uarch_, events);
 }
 
 BayesPerfRun

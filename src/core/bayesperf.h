@@ -58,6 +58,17 @@ struct BayesPerfRun
 };
 
 /**
+ * Resolve a requested event set to the session's monitored list:
+ * fixed counters first (always on, perf_event_open semantics), then
+ * the requested events deduplicated in order.  Dies if any event
+ * cannot be scheduled on this PMU at all.  Shared by the batch
+ * session API and the monitoring service.
+ */
+std::vector<sim::EventId>
+resolveMonitoredSet(const sim::MicroarchDescriptor &uarch,
+                    const std::vector<sim::EventId> &events);
+
+/**
  * A BayesPerf monitoring session.
  */
 class BayesPerfSession

@@ -7,11 +7,21 @@
  * and carries the trailing posterior forward as the next window's
  * prior — the compositional chaining of inference across time slices
  * that the paper describes.
+ *
+ * Two entry points share one window runner:
+ *   - WindowedInference consumes slices incrementally (push/finish)
+ *     and only ever buffers the last window's worth of measurements —
+ *     the streaming form the monitoring service (src/service/) runs on
+ *     live sessions;
+ *   - InferenceEngine::infer replays a complete measurement run
+ *     through the same streaming path, so batch and streaming
+ *     posteriors are identical by construction.
  */
 
 #ifndef BPERF_CORE_INFERENCE_H
 #define BPERF_CORE_INFERENCE_H
 
+#include <deque>
 #include <vector>
 
 #include "core/ep.h"
@@ -41,6 +51,16 @@ struct InferenceConfig
      * of a new window does not double-count old data.
      */
     double carryVarInflation = 2.0;
+
+    /**
+     * Posterior history retained by the streaming engine, in slices;
+     * 0 keeps the full series (batch replay, short sessions).  A
+     * bounded value caps a long-lived session's memory: the series
+     * then covers only the last retainSlices inferred slices (plus
+     * anything a future window may still rewrite), and results carry
+     * the index of their first retained slice.
+     */
+    std::size_t retainSlices = 0;
 };
 
 /** Posterior of one event at one slice. */
@@ -54,8 +74,13 @@ struct PosteriorPoint
 struct InferenceResult
 {
     std::vector<sim::EventId> events;
-    /** series[i][t] is the posterior of events[i] at slice t. */
+    /**
+     * series[i][t] is the posterior of events[i] at slice
+     * firstSlice + t (firstSlice is 0 unless the producing engine ran
+     * with bounded retention, InferenceConfig::retainSlices).
+     */
     std::vector<std::vector<PosteriorPoint>> series;
+    std::size_t firstSlice = 0;
 
     std::size_t windowsRun = 0;
     std::size_t epSweepsTotal = 0;
@@ -69,7 +94,130 @@ struct InferenceResult
 };
 
 /**
- * Runs BayesPerf inference over a measurement run.
+ * One slice's measurements for every monitored event, aligned with
+ * the engine's event list (samples[i] belongs to events()[i]).
+ * Unobserved events carry a default-constructed (observed = false)
+ * sample.
+ */
+using SliceMeasurements = std::vector<sim::SliceSample>;
+
+/**
+ * Streaming sliding-window EP over an unbounded slice sequence.
+ *
+ * Slices are pushed one at a time; whenever a full window of k slices
+ * has accumulated past the next window start, EP runs eagerly and the
+ * trailing posterior is carried forward as the next window's prior.
+ * Only the slices the next window can still reach are retained, so
+ * memory for measurements is O(k · events), independent of stream
+ * length.  finish() drains the tail with the (possibly truncated)
+ * windows a batch run would produce.
+ *
+ * Not thread-safe: one streaming engine belongs to one session and is
+ * driven by one worker at a time (the service layer guarantees this).
+ */
+class WindowedInference
+{
+  public:
+    /**
+     * @param schedule_period  Length of the multiplexing schedule the
+     *        measurements rotate over; used to adapt the window size
+     *        when config.windowSlices is 0 (see InferenceConfig).
+     */
+    WindowedInference(const sim::MicroarchDescriptor &uarch,
+                      std::vector<sim::EventId> events,
+                      InferenceConfig config = {},
+                      std::size_t schedule_period = 0);
+
+    /**
+     * Append the next slice's measurements and run any window that
+     * became ready.  Returns the number of windows run.
+     */
+    std::size_t push(const SliceMeasurements &slice);
+
+    /**
+     * Run EP over the remaining tail (truncated windows).  Call once
+     * after the last push; further pushes are rejected.  Returns the
+     * number of windows run.
+     */
+    std::size_t finish();
+
+    const std::vector<sim::EventId> &events() const { return events_; }
+    const InferenceConfig &config() const { return config_; }
+
+    /** Window length k in slices (resolved from the config). */
+    std::size_t windowSlices() const { return k_; }
+
+    /** Total slices pushed so far. */
+    std::size_t slicesSeen() const { return numSlices_; }
+
+    /** Slices with a posterior (prefix of the stream). */
+    std::size_t slicesCovered() const { return coveredEnd_; }
+
+    /** First slice still retained in series() (0 without retention). */
+    std::size_t firstRetainedSlice() const { return seriesBase_; }
+
+    /** series()[i][t]: posterior of events()[i] at slice
+     * firstRetainedSlice() + t; valid while that index is below
+     * slicesCovered(). */
+    const std::vector<std::vector<PosteriorPoint>> &series() const
+    {
+        return series_;
+    }
+
+    /** Most recent posterior of events()[event_index]. */
+    PosteriorPoint latest(std::size_t event_index) const;
+
+    std::size_t windowsRun() const { return windowsRun_; }
+    std::size_t epSweepsTotal() const { return epSweepsTotal_; }
+
+    /** Cumulative wall time spent inside window EP runs. */
+    double inferSeconds() const { return inferSeconds_; }
+
+    /** Wall time of each window run since the last call (latency
+     * sampling hook for the service's statistics). */
+    std::vector<double> takeWindowSeconds();
+
+    /** Assemble the run's result (moves the retained posterior
+     * series).  Requires finish(); the engine is spent afterwards. */
+    InferenceResult takeResult();
+
+  private:
+    /** Run one window of w_len slices starting at nextStart_. */
+    void runWindow(std::size_t w_len);
+
+    /** Measurements of absolute slice t (t within the live buffer). */
+    const SliceMeasurements &slice(std::size_t t) const;
+
+    const sim::MicroarchDescriptor &uarch_;
+    std::vector<sim::EventId> events_;
+    InferenceConfig config_;
+    std::size_t k_ = 0;      // window length, slices
+    std::size_t stride_ = 0; // window start spacing
+
+    /** Live measurement buffer: absolute slices
+     * [bufferBase_, bufferBase_ + buffer_.size()). */
+    std::deque<SliceMeasurements> buffer_;
+    std::size_t bufferBase_ = 0;
+
+    std::size_t numSlices_ = 0;  // total pushed
+    std::size_t nextStart_ = 0;  // next window's first slice
+    std::size_t coveredEnd_ = 0; // posterior exists for [0, coveredEnd_)
+    bool finished_ = false;
+
+    std::vector<CarryPrior> carry_;
+    /** Retained posterior rows: absolute slice seriesBase_ + t. */
+    std::vector<std::vector<PosteriorPoint>> series_;
+    std::size_t seriesBase_ = 0;
+
+    std::size_t windowsRun_ = 0;
+    std::size_t epSweepsTotal_ = 0;
+    double inferSeconds_ = 0.0;
+    std::vector<double> pendingWindowSeconds_;
+};
+
+/**
+ * Runs BayesPerf inference over a complete measurement run by
+ * replaying it through the streaming engine.
  */
 class InferenceEngine
 {

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The BayesPerf monitoring daemon: many concurrent sessions, one
+ * shared worker pool, streaming windowed inference per session.
+ *
+ * Pipeline (per session):
+ *
+ *   producer -> SPSC ring (perf mmap semantics, drop-on-full)
+ *            -> worker pool drain -> SliceAssembler
+ *            -> WindowedInference (EP per window, carry-over priors)
+ *            -> posterior series / latest-posterior snapshot
+ *
+ * Scheduling: a session transitions Idle -> Queued when its producer
+ * delivers records, is claimed Queued -> Running by exactly one
+ * worker, and producers arriving mid-drain mark it RunningDirty so
+ * the same worker loops — each session is single-consumer while the
+ * pool stays fully work-conserving across sessions.
+ */
+
+#ifndef BPERF_SERVICE_MONITOR_SERVICE_H
+#define BPERF_SERVICE_MONITOR_SERVICE_H
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "service/session.h"
+#include "service/session_registry.h"
+#include "service/worker_pool.h"
+#include "sim/microarch.h"
+
+namespace bperf {
+namespace service {
+
+/** Service-wide configuration. */
+struct MonitorServiceConfig
+{
+    /** Inference worker threads shared by all sessions. */
+    std::size_t numWorkers = 4;
+
+    /** Registry shards (lock granularity of session lookup). */
+    std::size_t numShards = 16;
+
+    /** Defaults applied to sessions opened without overrides. */
+    SessionConfig sessionDefaults;
+};
+
+/** Aggregate statistics across live and closed sessions. */
+struct ServiceStats
+{
+    std::uint64_t sessionsOpened = 0;
+    std::uint64_t sessionsClosed = 0;
+    std::size_t sessionsLive = 0;
+    /** Sums over every session ever opened. */
+    SessionStats totals;
+};
+
+/** Everything a closed session hands back. */
+struct SessionReport
+{
+    SessionId id = 0;
+    std::vector<sim::EventId> events;
+    core::InferenceResult posterior;
+    SessionStats stats;
+};
+
+/**
+ * Concurrent multi-session BayesPerf monitoring service.
+ *
+ * Thread contract: open/close/stats/latest may be called from any
+ * thread; ingest/ingestBatch for one session must come from a single
+ * producer thread at a time (the SPSC ring's producer side).
+ */
+class MonitorService
+{
+  public:
+    explicit MonitorService(const sim::MicroarchDescriptor &uarch,
+                            MonitorServiceConfig config = {});
+    ~MonitorService();
+
+    MonitorService(const MonitorService &) = delete;
+    MonitorService &operator=(const MonitorService &) = delete;
+
+    /**
+     * Open a session monitoring `events` (fixed counters are always
+     * added, perf_event_open style).  Dies if an event cannot be
+     * scheduled on this PMU at all.  `overrides` replaces the
+     * service-wide session defaults when given.
+     */
+    SessionId open(const std::vector<sim::EventId> &events,
+                   const SessionConfig *overrides = nullptr);
+
+    /**
+     * Deliver one sample record.  Returns false when the session is
+     * unknown or the record was dropped by backpressure.
+     */
+    bool ingest(SessionId id, const sim::PerfRecord &rec);
+
+    /**
+     * Deliver a batch with one session lookup and one worker
+     * notification.  Returns the number of records accepted.
+     */
+    std::size_t ingestBatch(SessionId id,
+                            const std::vector<sim::PerfRecord> &records);
+
+    /**
+     * Close a session: drain whatever is still queued, flush the
+     * assembler, run the tail windows and return the full posterior.
+     * The producer must have stopped ingesting.  nullopt for unknown
+     * ids.
+     */
+    std::optional<SessionReport> close(SessionId id);
+
+    /** Monitored events of a live session (empty if unknown). */
+    std::vector<sim::EventId> monitoredEvents(SessionId id) const;
+
+    /** Latest posterior of one event of one session; nullopt before
+     * the first inferred window or for unknown ids/events. */
+    std::optional<core::PosteriorPoint> latest(SessionId id,
+                                               sim::EventId event) const;
+
+    /** Block until every delivered record has been processed. */
+    void quiesce() { pool_.quiesce(); }
+
+    /** Aggregate statistics (live sessions + closed accumulator). */
+    ServiceStats stats() const;
+
+    std::size_t openSessions() const { return registry_.size(); }
+    const sim::MicroarchDescriptor &uarch() const { return uarch_; }
+    const MonitorServiceConfig &config() const { return config_; }
+
+  private:
+    /** Worker callback: claim and drain one queued session. */
+    void processSession(SessionId id);
+
+    /** Producer-side: make sure a worker will visit the session. */
+    void notifyWork(Session &session);
+
+    const sim::MicroarchDescriptor &uarch_;
+    MonitorServiceConfig config_;
+    SessionRegistry registry_;
+
+    mutable std::mutex closedMutex_;
+    SessionStats closedTotals_;
+    /** Sessions between registry erase and closed-totals merge. */
+    std::vector<std::shared_ptr<Session>> closing_;
+    std::uint64_t sessionsOpened_ = 0;
+    std::uint64_t sessionsClosed_ = 0;
+
+    /** Last member: workers must stop before anything else dies. */
+    WorkerPool pool_;
+};
+
+} // namespace service
+} // namespace bperf
+
+#endif // BPERF_SERVICE_MONITOR_SERVICE_H

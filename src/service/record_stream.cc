@@ -1,0 +1,53 @@
+#include "service/record_stream.h"
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace service {
+
+std::vector<sim::PerfRecord>
+sliceRecords(const sim::PerfResult &result, std::size_t slice)
+{
+    std::vector<sim::PerfRecord> out;
+    for (std::size_t i = 0; i < result.monitored.size(); ++i) {
+        const auto &trace = result.traces[i];
+        bp_assert(slice < trace.slices.size(), "slice out of range");
+        const sim::SliceSample &sample = trace.slices[slice];
+        if (!sample.observed)
+            continue;
+        sim::PerfRecord rec;
+        rec.slice = static_cast<std::uint32_t>(slice);
+        rec.event = result.monitored[i];
+        rec.timeEnabled = sample.timeEnabled;
+        rec.timeRunning = sample.timeRunning;
+        if (sample.windows.empty()) {
+            // Aggregate-only sample: a single record carrying the
+            // whole count (the assembler splits it for the t-fit).
+            rec.value = sample.rawCount;
+            out.push_back(rec);
+        } else {
+            for (double w : sample.windows) {
+                rec.value = w;
+                out.push_back(rec);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<sim::PerfRecord>
+recordStream(const sim::PerfResult &result)
+{
+    std::vector<sim::PerfRecord> out;
+    if (result.traces.empty())
+        return out;
+    const std::size_t num_slices = result.traces.front().slices.size();
+    for (std::size_t t = 0; t < num_slices; ++t) {
+        auto slice = sliceRecords(result, t);
+        out.insert(out.end(), slice.begin(), slice.end());
+    }
+    return out;
+}
+
+} // namespace service
+} // namespace bperf

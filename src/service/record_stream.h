@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Flattening of simulated measurement runs into PerfRecord streams.
+ *
+ * The service ingests what a kernel PMI handler would write into the
+ * perf mmap ring: one record per PMI window read, in slice order.
+ * These helpers turn a PerfResult (the simulator's per-event trace
+ * matrix) into exactly that stream, for producers, tests and
+ * benchmarks that replay simulated runs against the daemon.
+ */
+
+#ifndef BPERF_SERVICE_RECORD_STREAM_H
+#define BPERF_SERVICE_RECORD_STREAM_H
+
+#include <vector>
+
+#include "sim/perf_session.h"
+#include "sim/ring_buffer.h"
+
+namespace bperf {
+namespace service {
+
+/**
+ * One record per PMI window read of every observed (event, slice),
+ * slice-major — the arrival order the assembler expects.
+ */
+std::vector<sim::PerfRecord> recordStream(const sim::PerfResult &result);
+
+/** Records of a single slice of the run (slice-replay producers). */
+std::vector<sim::PerfRecord> sliceRecords(const sim::PerfResult &result,
+                                          std::size_t slice);
+
+} // namespace service
+} // namespace bperf
+
+#endif // BPERF_SERVICE_RECORD_STREAM_H

@@ -1,0 +1,125 @@
+#include "service/session.h"
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace service {
+
+void
+SessionStats::merge(const SessionStats &other)
+{
+    recordsOffered += other.recordsOffered;
+    recordsIngested += other.recordsIngested;
+    recordsDropped += other.recordsDropped;
+    recordsRejected += other.recordsRejected;
+    slicesAssembled += other.slicesAssembled;
+    windowsRun += other.windowsRun;
+    epSweeps += other.epSweeps;
+    drainPasses += other.drainPasses;
+    inferSeconds += other.inferSeconds;
+    windowSeconds.merge(other.windowSeconds);
+}
+
+Session::Session(SessionId id, const sim::MicroarchDescriptor &uarch,
+                 std::vector<sim::EventId> events, SessionConfig config)
+    : id_(id), queue_(config.queueCapacity),
+      inference_(uarch, std::move(events), config.streaming)
+{
+}
+
+bool
+Session::offer(const sim::PerfRecord &rec)
+{
+    return queue_.push(rec);
+}
+
+std::size_t
+Session::drain()
+{
+    std::size_t drained = 0;
+    while (auto rec = queue_.pop()) {
+        // Publish per completed window, not per drain pass: a long
+        // backlog drains in one pass, and pollers should see
+        // posteriors as soon as the first window lands.
+        if (inference_.consume(*rec) > 0)
+            publishPosteriors();
+        ++drained;
+    }
+    publishStats(/*drain_pass=*/true);
+    return drained;
+}
+
+void
+Session::finishStream()
+{
+    if (inference_.finish() > 0)
+        publishPosteriors();
+    publishStats(/*drain_pass=*/false);
+}
+
+/**
+ * Copy the engine's counters into the mutex-guarded snapshot.  The
+ * engine itself is single-threaded (worker-owned); cross-thread
+ * readers only ever see the published copy.
+ */
+void
+Session::publishStats(bool drain_pass)
+{
+    const std::vector<double> window_seconds =
+        inference_.takeWindowSeconds();
+    const auto &engine = inference_.engine();
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    if (drain_pass)
+        ++stats_.drainPasses;
+    stats_.recordsRejected = inference_.recordsRejected();
+    stats_.slicesAssembled = engine.slicesSeen();
+    stats_.windowsRun = engine.windowsRun();
+    stats_.epSweeps = engine.epSweepsTotal();
+    stats_.inferSeconds = engine.inferSeconds();
+    for (double seconds : window_seconds)
+        stats_.windowSeconds.push(seconds);
+}
+
+void
+Session::publishPosteriors()
+{
+    const auto &engine = inference_.engine();
+    if (engine.slicesCovered() == 0)
+        return;
+    std::lock_guard<std::mutex> lock(publishMutex_);
+    latest_.resize(engine.events().size());
+    for (std::size_t i = 0; i < latest_.size(); ++i)
+        latest_[i] = engine.latest(i);
+    latestValid_ = true;
+}
+
+std::optional<core::PosteriorPoint>
+Session::latest(sim::EventId event) const
+{
+    std::lock_guard<std::mutex> lock(publishMutex_);
+    if (!latestValid_)
+        return std::nullopt;
+    const auto &events = inference_.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (events[i] == event)
+            return latest_[i];
+    }
+    return std::nullopt;
+}
+
+SessionStats
+Session::statsSnapshot() const
+{
+    SessionStats snap;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        snap = stats_;
+    }
+    snap.recordsIngested = queue_.pushed();
+    snap.recordsDropped = queue_.dropped();
+    snap.recordsOffered = snap.recordsIngested + snap.recordsDropped;
+    return snap;
+}
+
+} // namespace service
+} // namespace bperf

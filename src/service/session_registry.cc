@@ -1,0 +1,81 @@
+#include "service/session_registry.h"
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace service {
+
+SessionRegistry::SessionRegistry(std::size_t num_shards)
+{
+    bp_assert(num_shards > 0, "registry needs at least one shard");
+    shards_.reserve(num_shards);
+    for (std::size_t i = 0; i < num_shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+SessionId
+SessionRegistry::allocateId()
+{
+    return nextId_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+SessionRegistry::insert(std::shared_ptr<Session> session)
+{
+    bp_assert(session != nullptr, "null session");
+    Shard &shard = shardFor(session->id());
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, inserted] =
+        shard.sessions.emplace(session->id(), std::move(session));
+    (void)it;
+    bp_assert(inserted, "duplicate session id");
+}
+
+std::shared_ptr<Session>
+SessionRegistry::find(SessionId id) const
+{
+    const Shard &shard = shardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.sessions.find(id);
+    return it == shard.sessions.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Session>
+SessionRegistry::erase(SessionId id)
+{
+    Shard &shard = shardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.sessions.find(id);
+    if (it == shard.sessions.end())
+        return nullptr;
+    std::shared_ptr<Session> session = std::move(it->second);
+    shard.sessions.erase(it);
+    return session;
+}
+
+std::size_t
+SessionRegistry::size() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->sessions.size();
+    }
+    return total;
+}
+
+void
+SessionRegistry::forEach(
+    const std::function<void(const Session &)> &fn) const
+{
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const auto &[id, session] : shard->sessions) {
+            (void)id;
+            fn(*session);
+        }
+    }
+}
+
+} // namespace service
+} // namespace bperf

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sharded map of live monitoring sessions.
+ *
+ * Lookup is on the ingestion hot path — every record batch resolves a
+ * session id — so the table is split into independently locked shards
+ * to keep producer threads for different sessions from contending on
+ * one mutex.  Ids are dense, so shard selection is a simple modulus.
+ */
+
+#ifndef BPERF_SERVICE_SESSION_REGISTRY_H
+#define BPERF_SERVICE_SESSION_REGISTRY_H
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "service/session.h"
+
+namespace bperf {
+namespace service {
+
+/**
+ * Thread-safe session table.  Sessions are held by shared_ptr: a
+ * producer or worker that resolved a session keeps it alive even if a
+ * concurrent close() removes it from the table.
+ */
+class SessionRegistry
+{
+  public:
+    explicit SessionRegistry(std::size_t num_shards = 16);
+
+    /** Reserve the next session id (ids are never reused). */
+    SessionId allocateId();
+
+    /** Insert a session under its id.  Dies on duplicate ids. */
+    void insert(std::shared_ptr<Session> session);
+
+    /** Resolve an id; nullptr if closed or never opened. */
+    std::shared_ptr<Session> find(SessionId id) const;
+
+    /** Remove and return a session; nullptr if absent. */
+    std::shared_ptr<Session> erase(SessionId id);
+
+    /** Live session count. */
+    std::size_t size() const;
+
+    /** Visit every live session (shard at a time, under its lock). */
+    void forEach(const std::function<void(const Session &)> &fn) const;
+
+    std::size_t numShards() const { return shards_.size(); }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<SessionId, std::shared_ptr<Session>> sessions;
+    };
+
+    Shard &shardFor(SessionId id) { return *shards_[id % shards_.size()]; }
+    const Shard &shardFor(SessionId id) const
+    {
+        return *shards_[id % shards_.size()];
+    }
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<SessionId> nextId_{1};
+};
+
+} // namespace service
+} // namespace bperf
+
+#endif // BPERF_SERVICE_SESSION_REGISTRY_H

@@ -1,0 +1,69 @@
+#include "service/worker_pool.h"
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace service {
+
+WorkerPool::WorkerPool(std::size_t num_threads,
+                       std::function<void(SessionId)> process)
+    : process_(std::move(process))
+{
+    bp_assert(num_threads > 0, "worker pool needs at least one thread");
+    bp_assert(process_ != nullptr, "worker pool needs a process callback");
+    threads_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::submit(SessionId id)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(id);
+    }
+    cv_.notify_one();
+}
+
+void
+WorkerPool::quiesce()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock,
+                 [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_)
+            return;
+        const SessionId id = queue_.front();
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        process_(id);
+        lock.lock();
+        --active_;
+        if (queue_.empty() && active_ == 0)
+            idleCv_.notify_all();
+    }
+}
+
+} // namespace service
+} // namespace bperf

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fixed-size worker pool draining ready sessions.
+ *
+ * Workers block on a shared run queue of session ids; the service
+ * enqueues a session exactly once per Idle->Queued transition (see
+ * SessionState), so the queue holds each session at most once and a
+ * session is never drained by two workers concurrently.
+ */
+
+#ifndef BPERF_SERVICE_WORKER_POOL_H
+#define BPERF_SERVICE_WORKER_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/session.h"
+
+namespace bperf {
+namespace service {
+
+/**
+ * N threads popping session ids and handing them to a processing
+ * callback (MonitorService::processSession).
+ */
+class WorkerPool
+{
+  public:
+    /**
+     * Starts `num_threads` workers.  `process` is invoked once per
+     * dequeued id, from worker threads, possibly concurrently for
+     * different ids.
+     */
+    WorkerPool(std::size_t num_threads,
+               std::function<void(SessionId)> process);
+
+    /** Stops and joins all workers (pending queue entries are
+     * discarded; the service re-drains on close anyway). */
+    ~WorkerPool();
+
+    /** Enqueue a session for processing. */
+    void submit(SessionId id);
+
+    /** Block until the run queue is empty and all workers are idle. */
+    void quiesce();
+
+    std::size_t numThreads() const { return threads_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::function<void(SessionId)> process_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;        // queue became non-empty / stop
+    std::condition_variable idleCv_;    // a worker went idle
+    std::deque<SessionId> queue_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+
+    std::vector<std::thread> threads_;
+};
+
+} // namespace service
+} // namespace bperf
+
+#endif // BPERF_SERVICE_WORKER_POOL_H

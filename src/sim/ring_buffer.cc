@@ -13,24 +13,30 @@ RingBuffer::RingBuffer(std::size_t capacity) : buffer_(capacity)
 bool
 RingBuffer::push(const PerfRecord &rec)
 {
-    if (full()) {
-        ++dropped_;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == buffer_.size()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
-    buffer_[(head_ + size_) % buffer_.size()] = rec;
-    ++size_;
-    ++pushed_;
+    buffer_[tail % buffer_.size()] = rec;
+    // Release pairs with the consumer's acquire of tail_: the record
+    // write above is visible before the new tail is.
+    tail_.store(tail + 1, std::memory_order_release);
     return true;
 }
 
 std::optional<PerfRecord>
 RingBuffer::pop()
 {
-    if (empty())
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (tail == head)
         return std::nullopt;
-    PerfRecord rec = buffer_[head_];
-    head_ = (head_ + 1) % buffer_.size();
-    --size_;
+    PerfRecord rec = buffer_[head % buffer_.size()];
+    // Release pairs with the producer's acquire of head_: the slot is
+    // fully read before it is handed back for reuse.
+    head_.store(head + 1, std::memory_order_release);
     return rec;
 }
 

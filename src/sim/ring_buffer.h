@@ -6,11 +6,19 @@
  * monitoring process (or the BayesPerf shim/accelerator) dequeues
  * them.  New samples are dropped when the buffer is full, which is
  * exactly perf's backpressure behaviour (section 5 of the paper).
+ *
+ * The ring is a wait-free single-producer single-consumer FIFO: one
+ * thread may push (the PMI handler / ingestion thread) while one other
+ * thread pops (the inference worker), without locks.  Head and tail
+ * are monotonically increasing counters with acquire/release pairing —
+ * the same discipline as the kernel's data_head/data_tail protocol on
+ * the real perf mmap page.
  */
 
 #ifndef BPERF_SIM_RING_BUFFER_H
 #define BPERF_SIM_RING_BUFFER_H
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -32,6 +40,10 @@ struct PerfRecord
 
 /**
  * Fixed-capacity single-producer single-consumer FIFO of PerfRecords.
+ *
+ * Thread contract: at most one concurrent pusher and one concurrent
+ * popper.  Every accessor is safe to call from either side (sizes and
+ * counters may be momentarily stale under concurrency, never torn).
  */
 class RingBuffer
 {
@@ -44,23 +56,35 @@ class RingBuffer
     /** Dequeue the oldest record, if any. */
     std::optional<PerfRecord> pop();
 
-    std::size_t size() const { return size_; }
+    std::size_t size() const
+    {
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(tail - head);
+    }
     std::size_t capacity() const { return buffer_.size(); }
-    bool empty() const { return size_ == 0; }
-    bool full() const { return size_ == buffer_.size(); }
+    bool empty() const { return size() == 0; }
+    bool full() const { return size() == buffer_.size(); }
 
     /** Number of records dropped due to backpressure. */
-    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
 
     /** Total records ever enqueued successfully. */
-    std::uint64_t pushed() const { return pushed_; }
+    std::uint64_t pushed() const
+    {
+        return tail_.load(std::memory_order_acquire);
+    }
 
   private:
     std::vector<PerfRecord> buffer_;
-    std::size_t head_ = 0; // next pop
-    std::size_t size_ = 0;
-    std::uint64_t dropped_ = 0;
-    std::uint64_t pushed_ = 0;
+    /** Pop cursor: owned by the consumer, published to the producer. */
+    std::atomic<std::uint64_t> head_{0};
+    /** Push cursor: owned by the producer, published to the consumer. */
+    std::atomic<std::uint64_t> tail_{0};
+    std::atomic<std::uint64_t> dropped_{0};
 };
 
 } // namespace sim
