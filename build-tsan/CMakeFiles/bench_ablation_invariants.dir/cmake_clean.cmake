@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_invariants.dir/bench/bench_ablation_invariants.cpp.o"
+  "CMakeFiles/bench_ablation_invariants.dir/bench/bench_ablation_invariants.cpp.o.d"
+  "bench_ablation_invariants"
+  "bench_ablation_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

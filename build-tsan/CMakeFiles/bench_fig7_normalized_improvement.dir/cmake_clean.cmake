@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_normalized_improvement.dir/bench/bench_fig7_normalized_improvement.cpp.o"
+  "CMakeFiles/bench_fig7_normalized_improvement.dir/bench/bench_fig7_normalized_improvement.cpp.o.d"
+  "bench_fig7_normalized_improvement"
+  "bench_fig7_normalized_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_normalized_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

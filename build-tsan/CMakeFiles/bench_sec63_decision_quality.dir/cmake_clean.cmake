@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec63_decision_quality.dir/bench/bench_sec63_decision_quality.cpp.o"
+  "CMakeFiles/bench_sec63_decision_quality.dir/bench/bench_sec63_decision_quality.cpp.o.d"
+  "bench_sec63_decision_quality"
+  "bench_sec63_decision_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_decision_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

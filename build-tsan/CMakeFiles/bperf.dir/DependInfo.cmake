@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cc" "CMakeFiles/bperf.dir/src/accel/accelerator.cc.o" "gcc" "CMakeFiles/bperf.dir/src/accel/accelerator.cc.o.d"
+  "/root/repo/src/accel/latency.cc" "CMakeFiles/bperf.dir/src/accel/latency.cc.o" "gcc" "CMakeFiles/bperf.dir/src/accel/latency.cc.o.d"
+  "/root/repo/src/accel/noc.cc" "CMakeFiles/bperf.dir/src/accel/noc.cc.o" "gcc" "CMakeFiles/bperf.dir/src/accel/noc.cc.o.d"
+  "/root/repo/src/accel/power.cc" "CMakeFiles/bperf.dir/src/accel/power.cc.o" "gcc" "CMakeFiles/bperf.dir/src/accel/power.cc.o.d"
+  "/root/repo/src/analysis/dtw.cc" "CMakeFiles/bperf.dir/src/analysis/dtw.cc.o" "gcc" "CMakeFiles/bperf.dir/src/analysis/dtw.cc.o.d"
+  "/root/repo/src/analysis/error_metrics.cc" "CMakeFiles/bperf.dir/src/analysis/error_metrics.cc.o" "gcc" "CMakeFiles/bperf.dir/src/analysis/error_metrics.cc.o.d"
+  "/root/repo/src/baselines/bayesperf_estimator.cc" "CMakeFiles/bperf.dir/src/baselines/bayesperf_estimator.cc.o" "gcc" "CMakeFiles/bperf.dir/src/baselines/bayesperf_estimator.cc.o.d"
+  "/root/repo/src/baselines/counterminer.cc" "CMakeFiles/bperf.dir/src/baselines/counterminer.cc.o" "gcc" "CMakeFiles/bperf.dir/src/baselines/counterminer.cc.o.d"
+  "/root/repo/src/baselines/linux_scaling.cc" "CMakeFiles/bperf.dir/src/baselines/linux_scaling.cc.o" "gcc" "CMakeFiles/bperf.dir/src/baselines/linux_scaling.cc.o.d"
+  "/root/repo/src/baselines/wmpin.cc" "CMakeFiles/bperf.dir/src/baselines/wmpin.cc.o" "gcc" "CMakeFiles/bperf.dir/src/baselines/wmpin.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/bperf.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/bperf.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/matrix.cc" "CMakeFiles/bperf.dir/src/common/matrix.cc.o" "gcc" "CMakeFiles/bperf.dir/src/common/matrix.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/bperf.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/bperf.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/bperf.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/bperf.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/bperf.dir/src/common/table.cc.o" "gcc" "CMakeFiles/bperf.dir/src/common/table.cc.o.d"
+  "/root/repo/src/core/bayesperf.cc" "CMakeFiles/bperf.dir/src/core/bayesperf.cc.o" "gcc" "CMakeFiles/bperf.dir/src/core/bayesperf.cc.o.d"
+  "/root/repo/src/core/derived.cc" "CMakeFiles/bperf.dir/src/core/derived.cc.o" "gcc" "CMakeFiles/bperf.dir/src/core/derived.cc.o.d"
+  "/root/repo/src/core/ep.cc" "CMakeFiles/bperf.dir/src/core/ep.cc.o" "gcc" "CMakeFiles/bperf.dir/src/core/ep.cc.o.d"
+  "/root/repo/src/core/inference.cc" "CMakeFiles/bperf.dir/src/core/inference.cc.o" "gcc" "CMakeFiles/bperf.dir/src/core/inference.cc.o.d"
+  "/root/repo/src/core/measurement.cc" "CMakeFiles/bperf.dir/src/core/measurement.cc.o" "gcc" "CMakeFiles/bperf.dir/src/core/measurement.cc.o.d"
+  "/root/repo/src/core/model_builder.cc" "CMakeFiles/bperf.dir/src/core/model_builder.cc.o" "gcc" "CMakeFiles/bperf.dir/src/core/model_builder.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "CMakeFiles/bperf.dir/src/core/scheduler.cc.o" "gcc" "CMakeFiles/bperf.dir/src/core/scheduler.cc.o.d"
+  "/root/repo/src/graph/exact.cc" "CMakeFiles/bperf.dir/src/graph/exact.cc.o" "gcc" "CMakeFiles/bperf.dir/src/graph/exact.cc.o.d"
+  "/root/repo/src/graph/factor_graph.cc" "CMakeFiles/bperf.dir/src/graph/factor_graph.cc.o" "gcc" "CMakeFiles/bperf.dir/src/graph/factor_graph.cc.o.d"
+  "/root/repo/src/graph/gaussian.cc" "CMakeFiles/bperf.dir/src/graph/gaussian.cc.o" "gcc" "CMakeFiles/bperf.dir/src/graph/gaussian.cc.o.d"
+  "/root/repo/src/mlsched/collab_filter.cc" "CMakeFiles/bperf.dir/src/mlsched/collab_filter.cc.o" "gcc" "CMakeFiles/bperf.dir/src/mlsched/collab_filter.cc.o.d"
+  "/root/repo/src/mlsched/mlp.cc" "CMakeFiles/bperf.dir/src/mlsched/mlp.cc.o" "gcc" "CMakeFiles/bperf.dir/src/mlsched/mlp.cc.o.d"
+  "/root/repo/src/mlsched/pcie.cc" "CMakeFiles/bperf.dir/src/mlsched/pcie.cc.o" "gcc" "CMakeFiles/bperf.dir/src/mlsched/pcie.cc.o.d"
+  "/root/repo/src/mlsched/rl_scheduler.cc" "CMakeFiles/bperf.dir/src/mlsched/rl_scheduler.cc.o" "gcc" "CMakeFiles/bperf.dir/src/mlsched/rl_scheduler.cc.o.d"
+  "/root/repo/src/mlsched/shuffle_env.cc" "CMakeFiles/bperf.dir/src/mlsched/shuffle_env.cc.o" "gcc" "CMakeFiles/bperf.dir/src/mlsched/shuffle_env.cc.o.d"
+  "/root/repo/src/service/monitor_service.cc" "CMakeFiles/bperf.dir/src/service/monitor_service.cc.o" "gcc" "CMakeFiles/bperf.dir/src/service/monitor_service.cc.o.d"
+  "/root/repo/src/service/record_stream.cc" "CMakeFiles/bperf.dir/src/service/record_stream.cc.o" "gcc" "CMakeFiles/bperf.dir/src/service/record_stream.cc.o.d"
+  "/root/repo/src/service/session.cc" "CMakeFiles/bperf.dir/src/service/session.cc.o" "gcc" "CMakeFiles/bperf.dir/src/service/session.cc.o.d"
+  "/root/repo/src/service/session_registry.cc" "CMakeFiles/bperf.dir/src/service/session_registry.cc.o" "gcc" "CMakeFiles/bperf.dir/src/service/session_registry.cc.o.d"
+  "/root/repo/src/service/slice_assembler.cc" "CMakeFiles/bperf.dir/src/service/slice_assembler.cc.o" "gcc" "CMakeFiles/bperf.dir/src/service/slice_assembler.cc.o.d"
+  "/root/repo/src/service/streaming_inference.cc" "CMakeFiles/bperf.dir/src/service/streaming_inference.cc.o" "gcc" "CMakeFiles/bperf.dir/src/service/streaming_inference.cc.o.d"
+  "/root/repo/src/service/worker_pool.cc" "CMakeFiles/bperf.dir/src/service/worker_pool.cc.o" "gcc" "CMakeFiles/bperf.dir/src/service/worker_pool.cc.o.d"
+  "/root/repo/src/sim/ground_truth.cc" "CMakeFiles/bperf.dir/src/sim/ground_truth.cc.o" "gcc" "CMakeFiles/bperf.dir/src/sim/ground_truth.cc.o.d"
+  "/root/repo/src/sim/microarch.cc" "CMakeFiles/bperf.dir/src/sim/microarch.cc.o" "gcc" "CMakeFiles/bperf.dir/src/sim/microarch.cc.o.d"
+  "/root/repo/src/sim/perf_session.cc" "CMakeFiles/bperf.dir/src/sim/perf_session.cc.o" "gcc" "CMakeFiles/bperf.dir/src/sim/perf_session.cc.o.d"
+  "/root/repo/src/sim/pmu.cc" "CMakeFiles/bperf.dir/src/sim/pmu.cc.o" "gcc" "CMakeFiles/bperf.dir/src/sim/pmu.cc.o.d"
+  "/root/repo/src/sim/ring_buffer.cc" "CMakeFiles/bperf.dir/src/sim/ring_buffer.cc.o" "gcc" "CMakeFiles/bperf.dir/src/sim/ring_buffer.cc.o.d"
+  "/root/repo/src/workloads/hibench.cc" "CMakeFiles/bperf.dir/src/workloads/hibench.cc.o" "gcc" "CMakeFiles/bperf.dir/src/workloads/hibench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

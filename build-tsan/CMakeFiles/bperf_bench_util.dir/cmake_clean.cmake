@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bperf_bench_util.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bperf_bench_util.dir/bench/bench_util.cc.o.d"
+  "libbperf_bench_util.a"
+  "libbperf_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bperf_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

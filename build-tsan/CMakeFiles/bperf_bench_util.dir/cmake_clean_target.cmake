@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbperf_bench_util.a"
+)

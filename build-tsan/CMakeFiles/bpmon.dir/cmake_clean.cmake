@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpmon.dir/examples/bpmon.cpp.o"
+  "CMakeFiles/bpmon.dir/examples/bpmon.cpp.o.d"
+  "bpmon"
+  "bpmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcie_scheduler.dir/examples/pcie_scheduler.cpp.o"
+  "CMakeFiles/pcie_scheduler.dir/examples/pcie_scheduler.cpp.o.d"
+  "pcie_scheduler"
+  "pcie_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcie_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

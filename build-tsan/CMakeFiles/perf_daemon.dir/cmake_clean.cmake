@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_daemon.dir/examples/perf_daemon.cpp.o"
+  "CMakeFiles/perf_daemon.dir/examples/perf_daemon.cpp.o.d"
+  "perf_daemon"
+  "perf_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

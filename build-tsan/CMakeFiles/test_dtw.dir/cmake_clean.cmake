@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtw.dir/tests/test_dtw.cpp.o"
+  "CMakeFiles/test_dtw.dir/tests/test_dtw.cpp.o.d"
+  "test_dtw"
+  "test_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

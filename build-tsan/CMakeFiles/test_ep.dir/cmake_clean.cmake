@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ep.dir/tests/test_ep.cpp.o"
+  "CMakeFiles/test_ep.dir/tests/test_ep.cpp.o.d"
+  "test_ep"
+  "test_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ground_truth.dir/tests/test_ground_truth.cpp.o"
+  "CMakeFiles/test_ground_truth.dir/tests/test_ground_truth.cpp.o.d"
+  "test_ground_truth"
+  "test_ground_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ground_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

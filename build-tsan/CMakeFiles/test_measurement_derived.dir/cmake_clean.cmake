@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measurement_derived.dir/tests/test_measurement_derived.cpp.o"
+  "CMakeFiles/test_measurement_derived.dir/tests/test_measurement_derived.cpp.o.d"
+  "test_measurement_derived"
+  "test_measurement_derived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measurement_derived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

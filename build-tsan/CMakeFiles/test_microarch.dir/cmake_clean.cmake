@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microarch.dir/tests/test_microarch.cpp.o"
+  "CMakeFiles/test_microarch.dir/tests/test_microarch.cpp.o.d"
+  "test_microarch"
+  "test_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

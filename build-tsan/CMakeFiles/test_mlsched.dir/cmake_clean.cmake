@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlsched.dir/tests/test_mlsched.cpp.o"
+  "CMakeFiles/test_mlsched.dir/tests/test_mlsched.cpp.o.d"
+  "test_mlsched"
+  "test_mlsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

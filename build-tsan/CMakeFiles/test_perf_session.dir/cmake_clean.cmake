@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_session.dir/tests/test_perf_session.cpp.o"
+  "CMakeFiles/test_perf_session.dir/tests/test_perf_session.cpp.o.d"
+  "test_perf_session"
+  "test_perf_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

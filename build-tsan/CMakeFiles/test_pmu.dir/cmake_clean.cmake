@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmu.dir/tests/test_pmu.cpp.o"
+  "CMakeFiles/test_pmu.dir/tests/test_pmu.cpp.o.d"
+  "test_pmu"
+  "test_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_buffer.dir/tests/test_ring_buffer.cpp.o"
+  "CMakeFiles/test_ring_buffer.dir/tests/test_ring_buffer.cpp.o.d"
+  "test_ring_buffer"
+  "test_ring_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

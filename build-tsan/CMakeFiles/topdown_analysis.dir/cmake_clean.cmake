@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topdown_analysis.dir/examples/topdown_analysis.cpp.o"
+  "CMakeFiles/topdown_analysis.dir/examples/topdown_analysis.cpp.o.d"
+  "topdown_analysis"
+  "topdown_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topdown_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_monitor.dir/examples/uncertainty_monitor.cpp.o"
+  "CMakeFiles/uncertainty_monitor.dir/examples/uncertainty_monitor.cpp.o.d"
+  "uncertainty_monitor"
+  "uncertainty_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
