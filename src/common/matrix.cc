@@ -11,6 +11,14 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
 {
 }
 
+void
+Matrix::reset(std::size_t rows, std::size_t cols, double fill)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+}
+
 Matrix
 Matrix::identity(std::size_t n)
 {
@@ -223,14 +231,30 @@ Matrix::inverse() const
 Matrix
 Matrix::choleskyInverse() const
 {
+    Matrix out;
+    std::vector<double> lscratch;
+    choleskyInverseInto(out, lscratch);
+    return out;
+}
+
+void
+Matrix::choleskyInverseInto(Matrix &out, std::vector<double> &lscratch)
+    const
+{
     bp_assert(rows_ == cols_, "choleskyInverse requires square matrix");
     const std::size_t n = rows_;
 
-    // Factorize A = L L^T once.
-    std::vector<double> L(n * n, 0.0);
+    // lscratch holds L (first n*n) and L^-1 (second n*n).
+    lscratch.assign(2 * n * n, 0.0);
+    double *L = lscratch.data();
+    double *Linv = lscratch.data() + n * n;
+
+    // Factorize A = L L^T once (raw pointers: operator()'s bounds
+    // assert would dominate these O(n^3) loops).
+    const double *a = data_.data();
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j <= i; ++j) {
-            double s = (*this)(i, j);
+            double s = a[i * n + j];
             for (std::size_t k = 0; k < j; ++k)
                 s -= L[i * n + k] * L[j * n + k];
             if (i == j) {
@@ -242,8 +266,7 @@ Matrix::choleskyInverse() const
         }
     }
 
-    // Invert L in place (lower triangular inverse).
-    std::vector<double> Linv(n * n, 0.0);
+    // Invert L (lower triangular inverse).
     for (std::size_t i = 0; i < n; ++i) {
         Linv[i * n + i] = 1.0 / L[i * n + i];
         for (std::size_t j = 0; j < i; ++j) {
@@ -255,17 +278,17 @@ Matrix::choleskyInverse() const
     }
 
     // A^-1 = Linv^T Linv.
-    Matrix out(n, n, 0.0);
+    out.reset(n, n, 0.0);
+    double *o = out.data();
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j <= i; ++j) {
             double s = 0.0;
             for (std::size_t k = std::max(i, j); k < n; ++k)
                 s += Linv[k * n + i] * Linv[k * n + j];
-            out(i, j) = s;
-            out(j, i) = s;
+            o[i * n + j] = s;
+            o[j * n + i] = s;
         }
     }
-    return out;
 }
 
 double

@@ -30,8 +30,27 @@ class Matrix
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
 
+    /**
+     * Reshape to rows x cols and fill every entry with `fill`.
+     * Allocation-free when the existing storage capacity suffices
+     * (capacity() never shrinks), which lets hot loops reuse one
+     * Matrix across solves of equal size.
+     */
+    void reset(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /** Element storage capacity (for allocation accounting). */
+    std::size_t capacity() const { return data_.capacity(); }
+
     double &operator()(std::size_t r, std::size_t c);
     double operator()(std::size_t r, std::size_t c) const;
+
+    /**
+     * Raw row-major storage, element (r, c) at data()[r * cols() + c].
+     * No bounds checks — for hot loops where the per-element
+     * bp_assert of operator() costs more than the arithmetic.
+     */
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
 
     Matrix operator+(const Matrix &other) const;
     Matrix operator-(const Matrix &other) const;
@@ -64,6 +83,14 @@ class Matrix
      * solves).  Dies if the matrix is not SPD within tolerance.
      */
     Matrix choleskyInverse() const;
+
+    /**
+     * choleskyInverse() writing into `out`, with the factorization
+     * scratch kept in `lscratch` (two n*n buffers).  Allocation-free
+     * when out and lscratch already have the capacity for n*n.
+     */
+    void choleskyInverseInto(Matrix &out, std::vector<double> &lscratch)
+        const;
 
     /** Frobenius norm. */
     double frobeniusNorm() const;

@@ -13,6 +13,7 @@ namespace core {
 using graph::FactorGraph;
 using graph::FactorKind;
 using graph::Gaussian;
+using graph::GaussianSolver;
 
 void
 tiltedMomentsQuadrature(double cavity_mean, double cavity_var, double loc,
@@ -30,19 +31,43 @@ tiltedMomentsQuadrature(double cavity_mean, double cavity_var, double loc,
                                loc + 10.0 * scale);
     const double step = (hi - lo) / static_cast<double>(points - 1);
 
-    // Log-sum-exp weighted moments.
-    std::vector<double> logw(points);
+    // Log-weight of grid point x, with every x-independent term of
+    // the two log-densities dropped: the normal's -log(sd)-log(2pi)/2
+    // and the Student-t's lgamma/log(nu pi)/log(scale) constants shift
+    // all weights equally and cancel in the normalized moments, so
+    // the inner loop needs no lgamma/log calls — only one log1p.
+    const double inv_sd = 1.0 / cavity_sd;
+    const double inv_scale = 1.0 / scale;
+    const double half_nup1 = 0.5 * (nu + 1.0);
+    const double inv_nu = 1.0 / nu;
+
+    // Single fused pass: instead of materializing all log-weights and
+    // shifting by their max (two passes + a buffer), keep the running
+    // max and rescale the partial sums whenever it moves.  The tilted
+    // density is unimodal on this grid, so rescales stop at the mode.
     double max_logw = -1e300;
-    for (std::size_t i = 0; i < points; ++i) {
-        const double x = lo + step * static_cast<double>(i);
-        logw[i] = normalLogPdf(x, cavity_mean, cavity_sd) +
-                  studentTLogPdf(x, nu, loc, scale);
-        max_logw = std::max(max_logw, logw[i]);
-    }
     double z = 0.0, m1 = 0.0, m2 = 0.0;
     for (std::size_t i = 0; i < points; ++i) {
         const double x = lo + step * static_cast<double>(i);
-        const double w = std::exp(logw[i] - max_logw);
+        const double u = (x - cavity_mean) * inv_sd;
+        // -u^2/2 upper-bounds the log-weight (the likelihood term is
+        // <= 0), and the running max only grows: points whose bound
+        // sits 40 nats under it contribute < 5e-18 of the mass — skip
+        // them without paying the log1p/exp.
+        const double gauss_term = -0.5 * u * u;
+        if (gauss_term - max_logw < -40.0)
+            continue;
+        const double t = (x - loc) * inv_scale;
+        const double logw =
+            gauss_term - half_nup1 * std::log1p(t * t * inv_nu);
+        if (logw > max_logw) {
+            const double r = std::exp(max_logw - logw);
+            z *= r;
+            m1 *= r;
+            m2 *= r;
+            max_logw = logw;
+        }
+        const double w = std::exp(logw - max_logw);
         z += w;
         m1 += w * x;
         m2 += w * x * x;
@@ -63,9 +88,16 @@ tiltedMomentsMcmc(double cavity_mean, double cavity_var, double loc,
     Rng rng(seed);
     const double cavity_sd = std::sqrt(cavity_var);
 
+    // Constant-free log-target: the dropped normalizers cancel in the
+    // Metropolis accept ratio exactly as they do in quadrature.
+    const double inv_sd = 1.0 / cavity_sd;
+    const double inv_scale = 1.0 / scale;
+    const double half_nup1 = 0.5 * (nu + 1.0);
+    const double inv_nu = 1.0 / nu;
     auto log_target = [&](double x) {
-        return normalLogPdf(x, cavity_mean, cavity_sd) +
-               studentTLogPdf(x, nu, loc, scale);
+        const double u = (x - cavity_mean) * inv_sd;
+        const double t = (x - loc) * inv_scale;
+        return -0.5 * u * u - half_nup1 * std::log1p(t * t * inv_nu);
     };
 
     // Random-walk Metropolis with a proposal matched to the tighter
@@ -93,6 +125,12 @@ tiltedMomentsMcmc(double cavity_mean, double cavity_var, double loc,
                        1e-6 * std::min(cavity_var, scale * scale));
 }
 
+std::size_t
+EpWorkspace::totalAllocations() const
+{
+    return grows_ + scratch_.grows + solver_.bufferGrows();
+}
+
 ExpectationPropagation::ExpectationPropagation(EpConfig config)
     : config_(config)
 {
@@ -101,21 +139,30 @@ ExpectationPropagation::ExpectationPropagation(EpConfig config)
 EpResult
 ExpectationPropagation::run(const FactorGraph &graph) const
 {
+    EpWorkspace ws;
+    return run(graph, ws);
+}
+
+EpResult
+ExpectationPropagation::run(const FactorGraph &graph, EpWorkspace &ws) const
+{
     const std::size_t n = graph.numVariables();
-    graph::GaussianSolver solver(graph);
+
+    EpResult result;
+    const std::size_t grows_before = ws.totalAllocations();
+    ++ws.runs_;
+
+    GaussianSolver &solver = ws.solver_;
+    solver.rebind(graph);
 
     // Collect the Student-t factors; each owns one site.
-    struct Site
-    {
-        graph::VarId var;
-        double loc, scale, nu;
-        Gaussian approx; // natural units
-    };
-    std::vector<Site> sites;
-    for (const auto &f : graph.factors()) {
-        if (f.kind != FactorKind::StudentT)
-            continue;
-        Site s;
+    const auto &t_factors = graph.factorsOfKind(FactorKind::StudentT);
+    if (ws.sites_.capacity() < t_factors.size())
+        ++ws.grows_;
+    ws.sites_.clear();
+    for (graph::FactorId fid : t_factors) {
+        const auto &f = graph.factor(fid);
+        EpWorkspace::Site s;
         s.var = f.vars[0];
         s.loc = f.loc;
         s.scale = f.scale;
@@ -126,30 +173,47 @@ ExpectationPropagation::run(const FactorGraph &graph) const
                                  ? s.scale * s.scale * s.nu / (s.nu - 2.0)
                                  : 9.0 * s.scale * s.scale;
         s.approx = Gaussian::fromMeanVar(s.loc, t_var);
-        sites.push_back(s);
+        ws.sites_.push_back(s);
     }
 
-    std::vector<Gaussian> site_by_var(n, Gaussian::flat());
+    if (ws.siteByVar_.capacity() < n)
+        ++ws.grows_;
     auto rebuild_site_sums = [&]() {
-        std::fill(site_by_var.begin(), site_by_var.end(), Gaussian::flat());
-        for (const auto &s : sites)
-            site_by_var[s.var] = site_by_var[s.var] * s.approx;
+        ws.siteByVar_.assign(n, Gaussian::flat());
+        for (const auto &s : ws.sites_)
+            ws.siteByVar_[s.var] = ws.siteByVar_[s.var] * s.approx;
     };
 
-    EpResult result;
-    Rng rng(config_.seed);
+    std::size_t updates_since_refactor = 0;
+    auto full_solve = [&]() {
+        // Rebuild the per-variable site sums from scratch so the
+        // re-factorized joint carries no additive drift.
+        rebuild_site_sums();
+        solver.solveInto(ws.siteByVar_, ws.joint_, ws.scratch_);
+        ++result.fullSolves;
+        updates_since_refactor = 0;
+    };
 
-    rebuild_site_sums();
-    graph::GaussianJoint joint = solver.solve(site_by_var);
+    Rng rng(config_.seed);
+    full_solve();
+
+    // Damping protects the early sweeps, where parallel conflicts
+    // between coupled sites are large; near the fixed point it only
+    // slows the geometric tail.  Once a sweep's total movement is
+    // within 20x tolerance AND still shrinking, run undamped; any
+    // sweep that fails to shrink (e.g. an undamped limit cycle)
+    // restores the damped factor.
+    double damping = config_.damping;
+    double prev_change = 1e300;
 
     for (std::size_t sweep = 0; sweep < config_.maxSweeps; ++sweep) {
         ++result.sweeps;
         double max_rel_change = 0.0;
 
-        for (auto &site : sites) {
+        for (auto &site : ws.sites_) {
             const graph::VarId v = site.var;
-            const double marg_var = joint.covariance(v, v);
-            const double marg_mean = joint.mean[v];
+            const double marg_var = ws.joint_.covariance(v, v);
+            const double marg_mean = ws.joint_.mean[v];
             if (marg_var <= 0.0) {
                 ++result.skippedUpdates;
                 continue;
@@ -157,7 +221,15 @@ ExpectationPropagation::run(const FactorGraph &graph) const
             const Gaussian marginal =
                 Gaussian::fromMeanVar(marg_mean, marg_var);
             const Gaussian cavity = marginal / site.approx;
-            if (!cavity.isProper()) {
+            // Degenerate cavity: skip when the division leaves less
+            // than 1e-9 of the marginal precision.  True rounding
+            // noise appears near 1e-16 of the marginal; the margin is
+            // deliberately conservative — a cavity carrying under a
+            // billionth of the precision contributes nothing real to
+            // moment matching, and near the noise floor its sign is
+            // arbitrary.  Subsumes the classic improper (lambda <= 0)
+            // case.
+            if (!(cavity.lambda * marg_var > 1e-9)) {
                 ++result.skippedUpdates;
                 continue;
             }
@@ -184,7 +256,7 @@ ExpectationPropagation::run(const FactorGraph &graph) const
             if (updated.lambda < 0.0)
                 updated = Gaussian::flat();
 
-            const double d = config_.damping;
+            const double d = damping;
             const Gaussian damped(
                 d * updated.lambda + (1.0 - d) * site.approx.lambda,
                 d * updated.eta + (1.0 - d) * site.approx.eta);
@@ -198,24 +270,50 @@ ExpectationPropagation::run(const FactorGraph &graph) const
                 std::max(max_rel_change,
                          std::abs(new_mean - old_mean) / scale_hint);
 
+            const Gaussian delta = damped / site.approx;
             site.approx = damped;
-        }
+            ws.siteByVar_[v] = ws.siteByVar_[v] * delta;
+            if (delta.lambda == 0.0 && delta.eta == 0.0)
+                continue;
 
-        rebuild_site_sums();
-        joint = solver.solve(site_by_var);
+            // Bring the joint up to date with this one site change.
+            if (config_.jointStrategy == JointStrategy::DenseResolve) {
+                solver.solveInto(ws.siteByVar_, ws.joint_, ws.scratch_);
+                ++result.fullSolves;
+            } else if (config_.refactorInterval > 0 &&
+                       updates_since_refactor >= config_.refactorInterval) {
+                full_solve();
+            } else if (GaussianSolver::rank1SiteUpdate(
+                           ws.joint_, v, delta.lambda, delta.eta,
+                           ws.scratch_)) {
+                ++result.rank1Updates;
+                ++updates_since_refactor;
+            } else {
+                // Downdate refused (near-improper joint): recover with
+                // a fresh factorization.
+                full_solve();
+            }
+        }
 
         if (max_rel_change < config_.tolerance) {
             result.converged = true;
             break;
         }
+        damping = (max_rel_change < 20.0 * config_.tolerance &&
+                   max_rel_change < prev_change)
+                      ? 1.0
+                      : config_.damping;
+        prev_change = max_rel_change;
     }
 
     result.mean.resize(n);
     result.stddev.resize(n);
     for (std::size_t v = 0; v < n; ++v) {
-        result.mean[v] = joint.mean[v];
-        result.stddev[v] = std::sqrt(std::max(joint.covariance(v, v), 0.0));
+        result.mean[v] = ws.joint_.mean[v];
+        result.stddev[v] =
+            std::sqrt(std::max(ws.joint_.covariance(v, v), 0.0));
     }
+    result.workspaceAllocations = ws.totalAllocations() - grows_before;
     return result;
 }
 

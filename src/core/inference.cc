@@ -198,7 +198,7 @@ WindowedInference::runWindow(std::size_t w_len)
     }
 
     ExpectationPropagation ep(config_.ep);
-    const EpResult ep_result = ep.run(model.graph());
+    const EpResult ep_result = ep.run(model.graph(), epWorkspace_);
     ++windowsRun_;
     epSweepsTotal_ += ep_result.sweeps;
 
@@ -277,6 +277,7 @@ WindowedInference::takeResult()
     result.windowsRun = windowsRun_;
     result.epSweepsTotal = epSweepsTotal_;
     result.wallSeconds = inferSeconds_;
+    result.epWorkspaceAllocations = epWorkspace_.totalAllocations();
     // The engine is spent: reset the stream cursors so stray reads
     // fail fast instead of indexing the moved-out series.
     series_.assign(events_.size(), {});

@@ -85,6 +85,14 @@ struct InferenceResult
     std::size_t windowsRun = 0;
     std::size_t epSweepsTotal = 0;
     double wallSeconds = 0.0;
+    /**
+     * Cumulative EpWorkspace buffer growths across the run's windows.
+     * After the warm-up window this stops growing: steady-state EP
+     * runs reuse the workspace (the O(n^2) solver working set)
+     * without allocating.  Per-window model construction and result
+     * vectors are outside this counter.
+     */
+    std::size_t epWorkspaceAllocations = 0;
 
     /** Posterior-mean series for one event (the paper's MLE output). */
     std::vector<double> meanSeries(sim::EventId event) const;
@@ -170,6 +178,16 @@ class WindowedInference
     std::size_t windowsRun() const { return windowsRun_; }
     std::size_t epSweepsTotal() const { return epSweepsTotal_; }
 
+    /**
+     * Cumulative buffer-growth events of the reused EP workspace.
+     * Constant across steady-state windows (the zero-allocation
+     * invariant the service tests assert).
+     */
+    std::size_t epWorkspaceAllocations() const
+    {
+        return epWorkspace_.totalAllocations();
+    }
+
     /** Cumulative wall time spent inside window EP runs. */
     double inferSeconds() const { return inferSeconds_; }
 
@@ -203,6 +221,9 @@ class WindowedInference
     std::size_t nextStart_ = 0;  // next window's first slice
     std::size_t coveredEnd_ = 0; // posterior exists for [0, coveredEnd_)
     bool finished_ = false;
+
+    /** Reused across windows so steady-state EP runs allocate nothing. */
+    EpWorkspace epWorkspace_;
 
     std::vector<CarryPrior> carry_;
     /** Retained posterior rows: absolute slice seriesBase_ + t. */

@@ -10,6 +10,13 @@
  * scale hints so the solve stays well conditioned even though event
  * magnitudes span five orders of magnitude.
  *
+ * The Gaussian backbone (everything except the sites) never changes
+ * between solves of the same graph, so the solver caches it at
+ * construction; repeated solves only add the site diagonal and
+ * factorize.  For EP's inner loop the solver additionally supports
+ * Sherman-Morrison rank-1 updates of an already-solved joint, so a
+ * single-site change costs O(n^2) instead of an O(n^3) re-solve.
+ *
  * When every factor in the graph is Gaussian this *is* the exact
  * posterior, which the tests use to validate EP.
  */
@@ -37,12 +44,40 @@ struct GaussianJoint
 };
 
 /**
+ * Reusable buffers for GaussianSolver::solveInto and rank-1 updates.
+ * One scratch belongs to one solver loop (EP run / workspace); solves
+ * become allocation-free once its capacity covers the graph size.
+ */
+struct SolverScratch
+{
+    Matrix J;                  // scaled precision copy
+    std::vector<double> h;     // scaled information vector
+    std::vector<double> chol;  // Cholesky factorization scratch
+    std::vector<double> col;   // covariance column (rank-1 updates)
+    /** Buffer-growth events (allocation accounting for EpWorkspace). */
+    std::size_t grows = 0;
+};
+
+/**
  * Solver for the Gaussian sub-model of a factor graph.
  */
 class GaussianSolver
 {
   public:
-    explicit GaussianSolver(const FactorGraph &graph);
+    /** Empty solver; rebind() before use. */
+    GaussianSolver() = default;
+
+    explicit GaussianSolver(const FactorGraph &graph) { rebind(graph); }
+
+    /**
+     * (Re)build the cached Gaussian backbone for `graph`, reusing the
+     * solver's buffers — allocation-free when the previous graph was
+     * at least as large.  The graph must outlive the solver's use.
+     */
+    void rebind(const FactorGraph &graph);
+
+    /** Buffer-growth events since construction (allocation accounting). */
+    std::size_t bufferGrows() const { return grows_; }
 
     /**
      * Compute the joint implied by all Gaussian factors plus
@@ -53,13 +88,50 @@ class GaussianSolver
     GaussianJoint solve(const std::vector<Gaussian> &sites = {}) const;
 
     /**
+     * solve() into caller-owned storage: `joint` and `scratch` are
+     * reused across calls and only (re)allocate while their capacity
+     * is below the graph size — steady-state re-solves of equal-sized
+     * graphs perform no allocations.
+     */
+    void solveInto(const std::vector<Gaussian> &sites, GaussianJoint &joint,
+                   SolverScratch &scratch) const;
+
+    /**
+     * Apply a single-site natural-parameter change (d_lambda, d_eta)
+     * on variable v to an already-solved joint, via Sherman-Morrison
+     * on the precision matrix: O(n^2).  The joint must correspond to
+     * the site values *before* the change.
+     *
+     * Contract: only the LOWER triangle (including the diagonal) of
+     * joint.covariance is kept current — the update is memory-bound
+     * and the EP loop reads only marginal variances (diagonal) and
+     * columns (recoverable from the lower triangle), so mirroring the
+     * upper half would double the traffic for nothing.  The mean is
+     * exact.  A subsequent solveInto restores the full symmetric
+     * matrix; callers needing upper-triangle entries after rank-1
+     * updates must read (c, r) with r >= c instead.
+     *
+     * Returns false — leaving the joint untouched — when the downdate
+     * is too ill-conditioned to apply stably (1 + d_lambda * var(v)
+     * not safely positive); the caller must then fall back to a full
+     * solveInto with the new site values.
+     */
+    static bool rank1SiteUpdate(GaussianJoint &joint, VarId v,
+                                double d_lambda, double d_eta,
+                                SolverScratch &scratch);
+
+    /**
      * True iff the graph contains non-Gaussian factors (so solve()
      * alone is not the full posterior).
      */
     bool hasNonGaussianFactors() const;
 
   private:
-    const FactorGraph &graph_;
+    const FactorGraph *graph_ = nullptr;
+    std::vector<double> scale_; // per-variable scale hints
+    Matrix baseJ_;              // Gaussian backbone precision (scaled)
+    std::vector<double> baseH_; // backbone information vector (scaled)
+    std::size_t grows_ = 0;
 };
 
 } // namespace graph

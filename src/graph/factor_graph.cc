@@ -86,6 +86,8 @@ FactorGraph::attach(FactorId fid)
 {
     for (VarId v : factors_[fid].vars)
         varFactors_[v].push_back(fid);
+    kindFactors_[static_cast<std::size_t>(factors_[fid].kind)].push_back(
+        fid);
 }
 
 const Variable &
@@ -107,6 +109,12 @@ FactorGraph::factorsOf(VarId v) const
 {
     bp_assert(v < variables_.size(), "variable id out of range");
     return varFactors_[v];
+}
+
+const std::vector<FactorId> &
+FactorGraph::factorsOfKind(FactorKind kind) const
+{
+    return kindFactors_[static_cast<std::size_t>(kind)];
 }
 
 std::set<VarId>

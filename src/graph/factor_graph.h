@@ -12,6 +12,8 @@
 #ifndef BPERF_GRAPH_FACTOR_GRAPH_H
 #define BPERF_GRAPH_FACTOR_GRAPH_H
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <set>
 #include <string>
@@ -33,7 +35,14 @@ enum class FactorKind {
     StudentT,
     /** Gaussian prior on a single variable. */
     GaussianPrior,
+    // Adding a kind? Bump kFactorKindCount below.
 };
+
+/** Number of FactorKind values (sizes the per-kind factor index). */
+inline constexpr std::size_t kFactorKindCount = 3;
+static_assert(kFactorKindCount ==
+                  static_cast<std::size_t>(FactorKind::GaussianPrior) + 1,
+              "update kFactorKindCount when FactorKind grows");
 
 /** One variable (an event value at a time slice). */
 struct Variable
@@ -98,6 +107,14 @@ class FactorGraph
     const std::vector<FactorId> &factorsOf(VarId v) const;
 
     /**
+     * Ids of all factors of one kind, in insertion order.  Maintained
+     * incrementally so hot paths (EP's site scan, the Gaussian
+     * solver's backbone build) iterate only the factors they handle
+     * instead of filtering the full factor list.
+     */
+    const std::vector<FactorId> &factorsOfKind(FactorKind kind) const;
+
+    /**
      * Markov blanket of a variable: all variables co-occurring with it
      * in some factor (excluding the variable itself).
      */
@@ -119,6 +136,8 @@ class FactorGraph
     std::vector<Variable> variables_;
     std::vector<Factor> factors_;
     std::vector<std::vector<FactorId>> varFactors_;
+    /** Indexed by static_cast<std::size_t>(FactorKind). */
+    std::array<std::vector<FactorId>, kFactorKindCount> kindFactors_;
 };
 
 } // namespace graph

@@ -89,6 +89,16 @@ class StreamingInference
     }
     std::size_t slicesAssembled() const { return engine_.slicesSeen(); }
 
+    /**
+     * Buffer-growth events of the session's reused EP workspace;
+     * constant once the session reaches steady state (allocation-free
+     * window solves).
+     */
+    std::size_t epWorkspaceAllocations() const
+    {
+        return engine_.epWorkspaceAllocations();
+    }
+
     /** Assemble the session's full posterior result (destructive). */
     core::InferenceResult takeResult() { return engine_.takeResult(); }
 

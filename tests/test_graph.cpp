@@ -174,6 +174,132 @@ TEST(GaussianSolver, DetectsNonGaussianFactors)
     EXPECT_TRUE(s2.hasNonGaussianFactors());
 }
 
+TEST(FactorGraph, FactorsOfKindTracksInsertionOrder)
+{
+    FactorGraph g;
+    const VarId a = g.addVariable("a", 1.0);
+    const VarId b = g.addVariable("b", 1.0);
+    const FactorId p = g.addGaussianPrior("p", a, 0.0, 1.0);
+    const FactorId m = g.addStudentT("m", a, 0.0, 1.0, 3.0);
+    const FactorId l =
+        g.addLinearGaussian("l", {{a, 1.0}, {b, -1.0}}, 0.0, 1.0);
+    const FactorId m2 = g.addStudentT("m2", b, 1.0, 1.0, 3.0);
+
+    EXPECT_EQ(g.factorsOfKind(FactorKind::GaussianPrior),
+              std::vector<FactorId>{p});
+    EXPECT_EQ(g.factorsOfKind(FactorKind::LinearGaussian),
+              std::vector<FactorId>{l});
+    EXPECT_EQ(g.factorsOfKind(FactorKind::StudentT),
+              (std::vector<FactorId>{m, m2}));
+}
+
+TEST(GaussianSolver, SolveIntoReusesBuffersAcrossSolves)
+{
+    FactorGraph g;
+    const VarId a = g.addVariable("a", 10.0);
+    const VarId b = g.addVariable("b", 10.0);
+    g.addGaussianPrior("pa", a, 5.0, 2.0);
+    g.addGaussianPrior("pb", b, 7.0, 2.0);
+    g.addLinearGaussian("tie", {{a, 1.0}, {b, -1.0}}, 0.0, 1.0);
+
+    GaussianSolver solver(g);
+    GaussianJoint joint;
+    SolverScratch scratch;
+    solver.solveInto({}, joint, scratch);
+    const std::size_t grows = scratch.grows + solver.bufferGrows();
+    EXPECT_GT(grows, 0u);
+
+    const GaussianJoint fresh = solver.solve();
+    for (int i = 0; i < 3; ++i)
+        solver.solveInto({}, joint, scratch);
+    EXPECT_EQ(scratch.grows + solver.bufferGrows(), grows);
+    for (std::size_t v = 0; v < 2; ++v) {
+        EXPECT_DOUBLE_EQ(joint.mean[v], fresh.mean[v]);
+        EXPECT_DOUBLE_EQ(joint.covariance(v, v),
+                         fresh.covariance(v, v));
+    }
+}
+
+TEST(GaussianSolver, Rank1SiteUpdateMatchesFullResolve)
+{
+    FactorGraph g;
+    const VarId a = g.addVariable("a", 10.0);
+    const VarId b = g.addVariable("b", 1000.0);
+    const VarId c = g.addVariable("c", 0.1);
+    g.addGaussianPrior("pa", a, 12.0, 4.0);
+    g.addGaussianPrior("pb", b, 900.0, 300.0);
+    g.addGaussianPrior("pc", c, 0.09, 0.05);
+    g.addLinearGaussian("ab", {{a, 100.0}, {b, -1.0}}, 0.0, 50.0);
+    g.addLinearGaussian("bc", {{b, 1.0}, {c, -1e4}}, 0.0, 80.0);
+
+    GaussianSolver solver(g);
+    SolverScratch scratch;
+
+    std::vector<Gaussian> sites(3, Gaussian::flat());
+    sites[a] = Gaussian::fromMeanVar(11.0, 9.0);
+    sites[c] = Gaussian::fromMeanVar(0.1, 0.01);
+
+    GaussianJoint joint;
+    solver.solveInto(sites, joint, scratch);
+
+    // Apply a chain of site changes (updates and downdates) via
+    // rank-1; re-solving from the final site values must agree.
+    struct Change
+    {
+        VarId v;
+        double mean, var;
+    } changes[] = {
+        {a, 10.0, 4.0}, {b, 950.0, 1e4}, {c, 0.11, 0.004},
+        {a, 12.5, 16.0}, // downdate on a
+    };
+    for (const Change &ch : changes) {
+        const Gaussian next = Gaussian::fromMeanVar(ch.mean, ch.var);
+        const Gaussian delta = next / sites[ch.v];
+        ASSERT_TRUE(GaussianSolver::rank1SiteUpdate(
+            joint, ch.v, delta.lambda, delta.eta, scratch));
+        sites[ch.v] = next;
+    }
+
+    GaussianJoint resolved;
+    solver.solveInto(sites, resolved, scratch);
+    for (std::size_t v = 0; v < 3; ++v) {
+        EXPECT_NEAR(joint.mean[v], resolved.mean[v],
+                    1e-9 * std::abs(resolved.mean[v]))
+            << "var " << v;
+        // Rank-1 updates maintain the lower triangle (see header).
+        for (std::size_t u = 0; u <= v; ++u)
+            EXPECT_NEAR(joint.covariance(v, u),
+                        resolved.covariance(v, u),
+                        1e-9 * std::sqrt(resolved.covariance(v, v) *
+                                         resolved.covariance(u, u)))
+                << "cov(" << v << ", " << u << ")";
+    }
+}
+
+TEST(GaussianSolver, Rank1RefusesIllConditionedDowndate)
+{
+    FactorGraph g;
+    const VarId a = g.addVariable("a", 1.0);
+    g.addGaussianPrior("pa", a, 0.0, 1.0);
+
+    GaussianSolver solver(g);
+    SolverScratch scratch;
+    std::vector<Gaussian> sites(1, Gaussian::fromMeanVar(0.0, 1e-4));
+    GaussianJoint joint;
+    solver.solveInto(sites, joint, scratch);
+
+    // Removing (almost) the entire site precision would amplify the
+    // joint ~1e4x: the guard must refuse and leave the joint intact.
+    const double before = joint.covariance(a, a);
+    EXPECT_FALSE(GaussianSolver::rank1SiteUpdate(
+        joint, a, -sites[a].lambda * 0.9999, 0.0, scratch));
+    EXPECT_DOUBLE_EQ(joint.covariance(a, a), before);
+
+    // A huge precision *increase* is refused too (cancellation guard).
+    EXPECT_FALSE(GaussianSolver::rank1SiteUpdate(
+        joint, a, 1e9 / before, 0.0, scratch));
+}
+
 } // namespace
 } // namespace graph
 } // namespace bperf

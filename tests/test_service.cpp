@@ -151,6 +151,42 @@ TEST(WindowedInference, StreamingMatchesBatchSliceLevel)
     }
 }
 
+TEST(WindowedInference, SteadyStateWindowsReuseEpWorkspace)
+{
+    const auto monitored = monitoredSet();
+    const auto run = measuredRun(monitored, 48, 505);
+
+    core::WindowedInference streaming(uarch(), monitored, testInference(),
+                                      run.schedule.size());
+    core::SliceMeasurements slice(monitored.size());
+    std::size_t warm_allocs = 0;
+    bool warmed = false;
+    for (std::size_t t = 0; t < 48; ++t) {
+        for (std::size_t i = 0; i < monitored.size(); ++i)
+            slice[i] = run.traces[i].slices[t];
+        streaming.push(slice);
+        if (!warmed && streaming.windowsRun() >= 2) {
+            warmed = true;
+            warm_allocs = streaming.epWorkspaceAllocations();
+        }
+    }
+    ASSERT_TRUE(warmed);
+    EXPECT_GT(warm_allocs, 0u); // the warm-up window does allocate
+    streaming.finish();
+
+    // Zero steady-state allocations: after the warm-up, every window
+    // (including the truncated tail ones, which are no larger) reuses
+    // the EP workspace without growing any buffer.
+    EXPECT_EQ(streaming.epWorkspaceAllocations(), warm_allocs);
+    EXPECT_GT(streaming.windowsRun(), 2u);
+
+    // Batch replays the same stream through the same engine type, so
+    // its result reports the identical reuse counter.
+    core::InferenceEngine engine(uarch(), testInference());
+    const core::InferenceResult batch = engine.infer(run);
+    EXPECT_EQ(batch.epWorkspaceAllocations, warm_allocs);
+}
+
 TEST(WindowedInference, BoundedRetentionKeepsMatchingTail)
 {
     const auto monitored = monitoredSet();
