@@ -22,7 +22,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -192,20 +191,24 @@ main()
               << "  (sink " << sink << ")\n";
 
     // ------------------------------------------------------ JSON output
-    std::ofstream json("BENCH_ep_window.json");
-    json << "{\n"
-         << "  \"events\": " << monitored.size() << ",\n"
-         << "  \"window_slices\": 6,\n"
-         << "  \"joint_size\": " << n << ",\n"
-         << "  \"us_per_window_fast\": " << fast.usPerWindow << ",\n"
-         << "  \"us_per_window_dense\": " << dense.usPerWindow << ",\n"
-         << "  \"us_per_window_mcmc\": " << fast_mcmc.usPerWindow << ",\n"
-         << "  \"speedup_fast_vs_dense\": "
-         << dense.usPerWindow / fast.usPerWindow << ",\n"
-         << "  \"quadrature_us\": " << quad_us << ",\n"
-         << "  \"rank1_update_us\": " << rank1_us << ",\n"
-         << "  \"full_solve_us\": " << solve_us << "\n"
-         << "}\n";
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("events", monitored.size())
+        .field("window_slices", 6)
+        .field("joint_size", n)
+        .field("us_per_window_fast", fast.usPerWindow)
+        .field("us_per_window_dense", dense.usPerWindow)
+        .field("us_per_window_mcmc", fast_mcmc.usPerWindow)
+        .field("speedup_fast_vs_dense",
+               dense.usPerWindow / fast.usPerWindow)
+        .field("quadrature_us", quad_us)
+        .field("rank1_update_us", rank1_us)
+        .field("full_solve_us", solve_us)
+        .endObject();
+    if (!json.writeFile("BENCH_ep_window.json")) {
+        std::cerr << "failed to write BENCH_ep_window.json\n";
+        return 1;
+    }
     std::cout << "\nwrote BENCH_ep_window.json\n";
     return 0;
 }

@@ -9,16 +9,144 @@
 #define BPERF_BENCH_BENCH_UTIL_H
 
 #include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/error_metrics.h"
+#include "common/logging.h"
 #include "sim/ground_truth.h"
 #include "sim/microarch.h"
 #include "sim/workload_profile.h"
 
 namespace bperf {
 namespace bench {
+
+/**
+ * Minimal streaming writer for the BENCH_*.json artifacts, shared by
+ * every bench binary so the schema (nesting, comma placement, number
+ * formatting) is produced by exactly one piece of code instead of
+ * per-bench printf JSON.
+ *
+ * Usage: begin/end calls must nest properly; value() / field() emit
+ * scalars into the current array / object.  str() returns the
+ * document, writeFile() dumps it with a trailing newline.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() { out_ << std::boolalpha; }
+
+    JsonWriter &beginObject(const std::string &key = "")
+    {
+        open(key);
+        out_ << '{';
+        stack_.push_back(Scope::Object);
+        first_ = true;
+        return *this;
+    }
+
+    JsonWriter &endObject()
+    {
+        bp_assert(!stack_.empty() && stack_.back() == Scope::Object,
+                  "endObject() outside an object");
+        stack_.pop_back();
+        out_ << '}';
+        first_ = false;
+        return *this;
+    }
+
+    JsonWriter &beginArray(const std::string &key = "")
+    {
+        open(key);
+        out_ << '[';
+        stack_.push_back(Scope::Array);
+        first_ = true;
+        return *this;
+    }
+
+    JsonWriter &endArray()
+    {
+        bp_assert(!stack_.empty() && stack_.back() == Scope::Array,
+                  "endArray() outside an array");
+        stack_.pop_back();
+        out_ << ']';
+        first_ = false;
+        return *this;
+    }
+
+    template <typename T>
+    JsonWriter &field(const std::string &key, const T &value)
+    {
+        open(key);
+        scalar(value);
+        return *this;
+    }
+
+    template <typename T> JsonWriter &value(const T &value)
+    {
+        open("");
+        scalar(value);
+        return *this;
+    }
+
+    /** The finished document; all scopes must be closed. */
+    std::string str() const
+    {
+        bp_assert(stack_.empty(), "unclosed JSON scope");
+        return out_.str();
+    }
+
+    /** Write the document (plus trailing newline) to `path`. */
+    bool writeFile(const std::string &path) const
+    {
+        std::ofstream file(path);
+        if (!file)
+            return false;
+        file << str() << '\n';
+        return static_cast<bool>(file);
+    }
+
+  private:
+    enum class Scope { Object, Array };
+
+    void open(const std::string &key)
+    {
+        if (!first_ && !stack_.empty())
+            out_ << ", ";
+        first_ = false;
+        if (!stack_.empty() && stack_.back() == Scope::Object) {
+            bp_assert(!key.empty(), "object member needs a key");
+            scalar(key);
+            out_ << ": ";
+        } else {
+            bp_assert(key.empty(), "key given outside an object");
+        }
+    }
+
+    void scalar(const std::string &v)
+    {
+        out_ << '"';
+        for (char c : v) {
+            switch (c) {
+              case '"': out_ << "\\\""; break;
+              case '\\': out_ << "\\\\"; break;
+              case '\n': out_ << "\\n"; break;
+              case '\t': out_ << "\\t"; break;
+              default: out_ << c; break;
+            }
+        }
+        out_ << '"';
+    }
+    void scalar(const char *v) { scalar(std::string(v)); }
+    void scalar(bool v) { out_ << (v ? "true" : "false"); }
+    template <typename T> void scalar(const T &v) { out_ << v; }
+
+    std::ostringstream out_;
+    std::vector<Scope> stack_;
+    bool first_ = true;
+};
 
 /** One estimator's error on one run. */
 struct EstimatorErrors

@@ -11,9 +11,18 @@
  *      slice by slice, through the per-session SPSC ring,
  *   4. poll latest() while inference is still running,
  *   5. close the sessions and read full posterior series + stats.
+ *
+ * Usage: perf_daemon [host|capi|pcie] [engines]
+ *
+ * The first argument selects the execution backend: "host" (windows
+ * cost their measured EP wall time) or the simulated FPGA EP-engine
+ * pool over the CAPI / PCIe host interface; "engines" sizes that
+ * pool (default 4).  Posteriors are identical across backends — the
+ * table's modeled-latency columns are what changes.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -28,14 +37,37 @@
 using namespace bperf;
 
 int
-main()
+main(int argc, char **argv)
 {
     const sim::MicroarchDescriptor uarch = sim::makeX86Skylake();
 
-    // 1. The daemon: 4 inference workers shared by every tenant.
+    // 1. The daemon: 4 inference workers shared by every tenant, and
+    // the execution backend picked from the command line.
     service::MonitorServiceConfig cfg;
     cfg.numWorkers = 4;
     cfg.sessionDefaults.streaming.inference.windowSlices = 6;
+    const std::string backend_arg = argc > 1 ? argv[1] : "capi";
+    if (backend_arg == "capi" || backend_arg == "pcie") {
+        cfg.backend = service::BackendKind::Accel;
+        cfg.accel.engine.hostInterface =
+            backend_arg == "capi" ? accel::HostInterface::Capi
+                                  : accel::HostInterface::PcieDma;
+        if (argc > 2) {
+            char *end = nullptr;
+            const unsigned long engines = std::strtoul(argv[2], &end, 10);
+            if (end == argv[2] || *end != '\0' || engines == 0) {
+                std::fprintf(stderr, "perf_daemon: engines must be a "
+                                     "positive integer, got \"%s\"\n",
+                             argv[2]);
+                return 2;
+            }
+            cfg.accel.numEngines = static_cast<std::size_t>(engines);
+        }
+    } else if (backend_arg != "host") {
+        std::fprintf(stderr,
+                     "usage: perf_daemon [host|capi|pcie] [engines]\n");
+        return 2;
+    }
     service::MonitorService daemon(uarch, cfg);
 
     // 2. Four tenants, each monitoring 13 events (3 fixed + 10
@@ -89,9 +121,11 @@ main()
         p.join();
     daemon.quiesce();
 
-    // 5. Close everything; score posteriors against ground truth.
+    // 5. Close everything; score posteriors against ground truth and
+    // report the backend's modeled window latency next to the
+    // measured host EP time.
     TablePrinter table({"tenant", "slices", "windows", "ms/window",
-                        "post err %"});
+                        "modeled ms", "queue ms", "post err %"});
     for (std::size_t t = 0; t < tenants.size(); ++t) {
         const auto report = daemon.close(ids[t]);
         if (!report)
@@ -107,11 +141,20 @@ main()
                      {static_cast<double>(report->stats.slicesAssembled),
                       static_cast<double>(report->stats.windowsRun),
                       1e3 * report->stats.windowSeconds.mean(),
+                      1e3 * report->stats.modeledWindowSeconds.mean(),
+                      1e3 * report->stats.backendQueueSeconds.mean(),
                       100.0 * err / static_cast<double>(mean.size())});
     }
     table.print(std::cout);
 
     const service::ServiceStats stats = daemon.stats();
+    std::printf("backend %s: %llu windows, mean modeled %.2f ms "
+                "(queue %.2f ms)\n",
+                stats.backendName.c_str(),
+                static_cast<unsigned long long>(
+                    stats.backend.windowsExecuted),
+                1e3 * stats.backend.modeledSeconds.mean(),
+                1e3 * stats.backend.queueWaitSeconds.mean());
     std::printf("sessions: %llu opened, %llu closed; records: %llu "
                 "ingested, %llu dropped; windows: %llu (%.1f EP "
                 "sweeps/window)\n",

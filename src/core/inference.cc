@@ -256,6 +256,39 @@ WindowedInference::runWindow(std::size_t w_len)
         std::chrono::duration<double>(t_end - t_start).count();
     inferSeconds_ += window_seconds;
     pendingWindowSeconds_.push_back(window_seconds);
+
+    // Hand the completed window to the execution backend.  The
+    // posterior above is final either way; the backend only decides
+    // where the window would have executed and stamps that cost.
+    WindowJob job;
+    job.sessionKey = config_.backendSessionKey;
+    job.endSlice = w0 + w_len - 1;
+    job.windowSlices = w_len;
+    job.numVariables = model.graph().numVariables();
+    job.numSites = model.graph()
+                       .factorsOfKind(graph::FactorKind::StudentT)
+                       .size();
+    job.numSweeps = ep_result.sweeps;
+    // Streamed inputs: per-site window reads + per-variable g(theta).
+    job.inputBytes = 24 * job.numSites + 8 * job.numVariables;
+    job.hostSeconds = window_seconds;
+
+    WindowExecution exec;
+    if (config_.backend != nullptr) {
+        exec = config_.backend->execute(job);
+    } else {
+        exec.serviceSeconds = window_seconds;
+        exec.modeledSeconds = window_seconds;
+    }
+    executions_.push_back(exec);
+    pendingExecutions_.push_back(exec);
+    if (config_.retainSlices > 0 &&
+        executions_.size() > config_.retainSlices) {
+        executions_.erase(executions_.begin(),
+                          executions_.end() -
+                              static_cast<std::ptrdiff_t>(
+                                  config_.retainSlices));
+    }
 }
 
 std::vector<double>
@@ -263,6 +296,14 @@ WindowedInference::takeWindowSeconds()
 {
     std::vector<double> out = std::move(pendingWindowSeconds_);
     pendingWindowSeconds_.clear();
+    return out;
+}
+
+std::vector<WindowExecution>
+WindowedInference::takeWindowExecutions()
+{
+    std::vector<WindowExecution> out = std::move(pendingExecutions_);
+    pendingExecutions_.clear();
     return out;
 }
 
@@ -278,6 +319,10 @@ WindowedInference::takeResult()
     result.epSweepsTotal = epSweepsTotal_;
     result.wallSeconds = inferSeconds_;
     result.epWorkspaceAllocations = epWorkspace_.totalAllocations();
+    result.backendName =
+        config_.backend != nullptr ? config_.backend->name() : "host";
+    result.windowExecutions = std::move(executions_);
+    executions_.clear();
     // The engine is spent: reset the stream cursors so stray reads
     // fail fast instead of indexing the moved-out series.
     series_.assign(events_.size(), {});

@@ -22,8 +22,10 @@
 #define BPERF_CORE_INFERENCE_H
 
 #include <deque>
+#include <string>
 #include <vector>
 
+#include "core/backend.h"
 #include "core/ep.h"
 #include "core/model_builder.h"
 #include "sim/microarch.h"
@@ -61,6 +63,19 @@ struct InferenceConfig
      * the index of their first retained slice.
      */
     std::size_t retainSlices = 0;
+
+    /**
+     * Execution backend completed windows are accounted against
+     * (non-owning, shared across sessions; the service wires it).
+     * nullptr stamps host timing without any shared accounting —
+     * numerics are identical either way, backends only model where
+     * the window would have run and what that costs.
+     */
+    InferenceBackend *backend = nullptr;
+
+    /** Session key stamped on backend jobs (the service sets this to
+     * the session id; 0 outside the service). */
+    std::uint64_t backendSessionKey = 0;
 };
 
 /** Posterior of one event at one slice. */
@@ -93,6 +108,18 @@ struct InferenceResult
      * vectors are outside this counter.
      */
     std::size_t epWorkspaceAllocations = 0;
+
+    /** Backend that executed the run's windows ("host" when none was
+     * configured). */
+    std::string backendName = "host";
+    /**
+     * Modeled execution of each window, in run order (capped to the
+     * most recent retainSlices entries under bounded retention).  On
+     * the host path modeledSeconds is the measured EP wall time; on
+     * the accelerator path it is queue wait + transfer + compute of
+     * the simulated engine pool.
+     */
+    std::vector<WindowExecution> windowExecutions;
 
     /** Posterior-mean series for one event (the paper's MLE output). */
     std::vector<double> meanSeries(sim::EventId event) const;
@@ -195,6 +222,10 @@ class WindowedInference
      * sampling hook for the service's statistics). */
     std::vector<double> takeWindowSeconds();
 
+    /** Modeled backend execution of each window run since the last
+     * call (the service's modeled-latency statistics hook). */
+    std::vector<WindowExecution> takeWindowExecutions();
+
     /** Assemble the run's result (moves the retained posterior
      * series).  Requires finish(); the engine is spent afterwards. */
     InferenceResult takeResult();
@@ -234,6 +265,11 @@ class WindowedInference
     std::size_t epSweepsTotal_ = 0;
     double inferSeconds_ = 0.0;
     std::vector<double> pendingWindowSeconds_;
+
+    /** Per-window backend executions: the full run (for takeResult)
+     * and the tail not yet taken by takeWindowExecutions(). */
+    std::vector<WindowExecution> executions_;
+    std::vector<WindowExecution> pendingExecutions_;
 };
 
 /**

@@ -10,9 +10,22 @@
 namespace bperf {
 namespace service {
 
+namespace {
+
+std::unique_ptr<core::InferenceBackend>
+makeBackend(const MonitorServiceConfig &config)
+{
+    if (config.backend == BackendKind::Accel)
+        return std::make_unique<accel::AccelBackend>(config.accel);
+    return std::make_unique<core::HostBackend>();
+}
+
+} // namespace
+
 MonitorService::MonitorService(const sim::MicroarchDescriptor &uarch,
                                MonitorServiceConfig config)
-    : uarch_(uarch), config_(config), registry_(config.numShards),
+    : uarch_(uarch), config_(config), backend_(makeBackend(config)),
+      registry_(config.numShards),
       pool_(config.numWorkers, [this](SessionId id) { processSession(id); })
 {
 }
@@ -26,9 +39,14 @@ MonitorService::open(const std::vector<sim::EventId> &events,
     std::vector<sim::EventId> monitored =
         core::resolveMonitoredSet(uarch_, events);
 
-    const SessionConfig &cfg =
+    SessionConfig cfg =
         overrides != nullptr ? *overrides : config_.sessionDefaults;
     const SessionId id = registry_.allocateId();
+    // Wire the shared execution backend into the session unless the
+    // caller overrode it with its own.
+    if (cfg.streaming.inference.backend == nullptr)
+        cfg.streaming.inference.backend = backend_.get();
+    cfg.streaming.inference.backendSessionKey = id;
     registry_.insert(
         std::make_shared<Session>(id, uarch_, std::move(monitored), cfg));
     {
@@ -210,6 +228,8 @@ MonitorService::stats() const
     out.sessionsOpened = sessionsOpened_;
     out.sessionsClosed = sessionsClosed_;
     out.totals = closedTotals_;
+    out.backendName = backend_->name();
+    out.backend = backend_->stats();
     std::unordered_set<SessionId> closing_ids;
     for (const auto &session : closing_) {
         // Racing closers can list a session twice; count it once.

@@ -25,6 +25,8 @@
 #include <optional>
 #include <vector>
 
+#include "accel/accel_backend.h"
+#include "core/backend.h"
 #include "service/session.h"
 #include "service/session_registry.h"
 #include "service/worker_pool.h"
@@ -32,6 +34,16 @@
 
 namespace bperf {
 namespace service {
+
+/** Which execution backend completed windows are accounted against. */
+enum class BackendKind {
+    /** Windows execute where EP actually ran: the host CPU. */
+    Host,
+    /** Windows are scheduled onto the simulated FPGA EP-engine pool
+     * (accel::AccelBackend); posteriors are unchanged, latency is
+     * modeled. */
+    Accel,
+};
 
 /** Service-wide configuration. */
 struct MonitorServiceConfig
@@ -44,6 +56,12 @@ struct MonitorServiceConfig
 
     /** Defaults applied to sessions opened without overrides. */
     SessionConfig sessionDefaults;
+
+    /** Execution backend every session's windows run on. */
+    BackendKind backend = BackendKind::Host;
+
+    /** Engine-pool parameters when backend == BackendKind::Accel. */
+    accel::AccelBackendConfig accel;
 };
 
 /** Aggregate statistics across live and closed sessions. */
@@ -54,6 +72,9 @@ struct ServiceStats
     std::size_t sessionsLive = 0;
     /** Sums over every session ever opened. */
     SessionStats totals;
+    /** Active execution backend and its cross-session accounting. */
+    std::string backendName;
+    core::BackendStats backend;
 };
 
 /** Everything a closed session hands back. */
@@ -130,6 +151,19 @@ class MonitorService
     const sim::MicroarchDescriptor &uarch() const { return uarch_; }
     const MonitorServiceConfig &config() const { return config_; }
 
+    /** The shared execution backend sessions run their windows on. */
+    core::InferenceBackend &backend() { return *backend_; }
+    const core::InferenceBackend &backend() const { return *backend_; }
+
+    /** Engine-pool view of the backend; nullptr on the host path. */
+    const accel::AccelBackend *accelBackend() const
+    {
+        return config_.backend == BackendKind::Accel
+                   ? static_cast<const accel::AccelBackend *>(
+                         backend_.get())
+                   : nullptr;
+    }
+
   private:
     /** Worker callback: claim and drain one queued session. */
     void processSession(SessionId id);
@@ -139,6 +173,9 @@ class MonitorService
 
     const sim::MicroarchDescriptor &uarch_;
     MonitorServiceConfig config_;
+    /** Shared by every session; must outlive the workers (pool_ is
+     * the last member, so it is destroyed first). */
+    std::unique_ptr<core::InferenceBackend> backend_;
     SessionRegistry registry_;
 
     mutable std::mutex closedMutex_;

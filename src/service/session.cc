@@ -18,6 +18,8 @@ SessionStats::merge(const SessionStats &other)
     drainPasses += other.drainPasses;
     inferSeconds += other.inferSeconds;
     windowSeconds.merge(other.windowSeconds);
+    modeledWindowSeconds.merge(other.modeledWindowSeconds);
+    backendQueueSeconds.merge(other.backendQueueSeconds);
 }
 
 Session::Session(SessionId id, const sim::MicroarchDescriptor &uarch,
@@ -67,6 +69,8 @@ Session::publishStats(bool drain_pass)
 {
     const std::vector<double> window_seconds =
         inference_.takeWindowSeconds();
+    const std::vector<core::WindowExecution> executions =
+        inference_.takeWindowExecutions();
     const auto &engine = inference_.engine();
     std::lock_guard<std::mutex> lock(statsMutex_);
     if (drain_pass)
@@ -78,6 +82,10 @@ Session::publishStats(bool drain_pass)
     stats_.inferSeconds = engine.inferSeconds();
     for (double seconds : window_seconds)
         stats_.windowSeconds.push(seconds);
+    for (const auto &exec : executions) {
+        stats_.modeledWindowSeconds.push(exec.modeledSeconds);
+        stats_.backendQueueSeconds.push(exec.queueWaitSeconds);
+    }
 }
 
 void

@@ -82,6 +82,12 @@ struct SessionStats
     double inferSeconds = 0.0;
     /** Per-window EP latency distribution (seconds). */
     RunningStats windowSeconds;
+    /** Modeled per-window latency on the execution backend (equals
+     * windowSeconds on the host backend; queue wait + transfer +
+     * compute of the simulated engine pool on the accel backend). */
+    RunningStats modeledWindowSeconds;
+    /** Modeled wait for a free backend engine (0 on the host path). */
+    RunningStats backendQueueSeconds;
 
     /** Accumulate another session's (or snapshot's) numbers. */
     void merge(const SessionStats &other);

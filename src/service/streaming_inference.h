@@ -79,6 +79,12 @@ class StreamingInference
         return engine_.takeWindowSeconds();
     }
 
+    /** Per-window modeled backend executions since the last call. */
+    std::vector<core::WindowExecution> takeWindowExecutions()
+    {
+        return engine_.takeWindowExecutions();
+    }
+
     std::uint64_t recordsConsumed() const
     {
         return assembler_.recordsAccepted();

@@ -1,0 +1,288 @@
+/** @file Schema tests for the shared bench JSON writer: the one
+ * serializer behind every BENCH_*.json artifact must emit
+ * syntactically valid JSON with exactly the nesting the benches ask
+ * for. */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "bench_util.h"
+
+namespace bperf {
+namespace {
+
+/**
+ * Minimal recursive-descent JSON syntax checker (objects, arrays,
+ * strings, numbers, booleans): enough to prove writer output parses.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool string()
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        for (++pos_; pos_ < text_.size(); ++pos_) {
+            if (text_[pos_] == '\\') {
+                ++pos_; // escaped character
+                continue;
+            }
+            if (text_[pos_] == '"') {
+                ++pos_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool number()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-'))
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool literal(const char *word)
+    {
+        skipSpace();
+        const std::string w(word);
+        if (text_.compare(pos_, w.size(), w) == 0) {
+            pos_ += w.size();
+            return true;
+        }
+        return false;
+    }
+
+    bool value()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        return number();
+    }
+
+    bool object()
+    {
+        if (!consume('{'))
+            return false;
+        if (consume('}'))
+            return true;
+        do {
+            if (!string() || !consume(':') || !value())
+                return false;
+        } while (consume(','));
+        return consume('}');
+    }
+
+    bool array()
+    {
+        if (!consume('['))
+            return false;
+        if (consume(']'))
+            return true;
+        do {
+            if (!value())
+                return false;
+        } while (consume(','));
+        return consume(']');
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+TEST(JsonWriter, ScalarFieldsAndCommaPlacement)
+{
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("count", 3)
+        .field("ratio", 1.5)
+        .field("name", std::string("ep"))
+        .field("tag", "fast")
+        .field("ok", true)
+        .field("bad", false)
+        .endObject();
+    EXPECT_EQ(json.str(),
+              "{\"count\": 3, \"ratio\": 1.5, \"name\": \"ep\", "
+              "\"tag\": \"fast\", \"ok\": true, \"bad\": false}");
+    EXPECT_TRUE(JsonChecker(json.str()).valid());
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlCharacters)
+{
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("path", "C:\\data\\run")
+        .field("quote", "say \"hi\"")
+        .field("multi", "a\nb\tc")
+        .endObject();
+    EXPECT_EQ(json.str(),
+              "{\"path\": \"C:\\\\data\\\\run\", "
+              "\"quote\": \"say \\\"hi\\\"\", "
+              "\"multi\": \"a\\nb\\tc\"}");
+    EXPECT_TRUE(JsonChecker(json.str()).valid());
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays)
+{
+    bench::JsonWriter json;
+    json.beginObject()
+        .beginObject("host")
+        .field("p50_us", 12.5)
+        .endObject()
+        .beginArray("accel");
+    for (int engines : {1, 2}) {
+        json.beginObject()
+            .field("engines", engines)
+            .field("p99_us", 100.0 * engines)
+            .endObject();
+    }
+    json.endArray().beginArray("raw").value(1).value(2.5).endArray();
+    json.beginObject("empty").endObject().endObject();
+
+    EXPECT_EQ(json.str(),
+              "{\"host\": {\"p50_us\": 12.5}, "
+              "\"accel\": [{\"engines\": 1, \"p99_us\": 100}, "
+              "{\"engines\": 2, \"p99_us\": 200}], "
+              "\"raw\": [1, 2.5], \"empty\": {}}");
+    EXPECT_TRUE(JsonChecker(json.str()).valid());
+}
+
+/** The exact schema bench_ep_window.cpp writes. */
+TEST(JsonWriter, EpWindowBenchSchemaIsValid)
+{
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("events", 13)
+        .field("window_slices", 6)
+        .field("joint_size", 78)
+        .field("us_per_window_fast", 2700.5)
+        .field("us_per_window_dense", 45000.25)
+        .field("us_per_window_mcmc", 30000.0)
+        .field("speedup_fast_vs_dense", 16.66)
+        .field("quadrature_us", 1.25)
+        .field("rank1_update_us", 10.5)
+        .field("full_solve_us", 120.75)
+        .endObject();
+    const std::string doc = json.str();
+    EXPECT_TRUE(JsonChecker(doc).valid());
+    for (const char *key :
+         {"events", "window_slices", "joint_size", "us_per_window_fast",
+          "us_per_window_dense", "speedup_fast_vs_dense"})
+        EXPECT_NE(doc.find('"' + std::string(key) + "\": "),
+                  std::string::npos)
+            << key;
+}
+
+/** The exact schema bench_accel_service.cpp writes. */
+TEST(JsonWriter, AccelServiceBenchSchemaIsValid)
+{
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("sessions", 8)
+        .field("slices", 48)
+        .field("window_slices", 6)
+        .field("events", 13)
+        .field("slice_period_us", 100.0)
+        .beginObject("host")
+        .field("backend", "host")
+        .field("windows", 120)
+        .field("mean_us", 2700.0)
+        .field("p50_us", 2650.0)
+        .field("p95_us", 3100.0)
+        .field("p99_us", 3400.0)
+        .endObject()
+        .beginArray("accel");
+    for (int engines : {1, 2, 4, 8}) {
+        json.beginObject()
+            .field("engines", engines)
+            .field("backend", "accel-capi")
+            .field("windows", 120)
+            .field("mean_us", 500.0)
+            .field("p50_us", 400.0)
+            .field("p95_us", 900.0)
+            .field("p99_us", 1200.0)
+            .field("mean_queue_wait_us", 250.0)
+            .field("engine_utilization", 0.85)
+            .field("speedup_vs_host", 5.4)
+            .endObject();
+    }
+    json.endArray().endObject();
+    const std::string doc = json.str();
+    EXPECT_TRUE(JsonChecker(doc).valid());
+    for (const char *key : {"sessions", "host", "accel", "p50_us",
+                            "p95_us", "p99_us", "mean_queue_wait_us",
+                            "engine_utilization", "speedup_vs_host"})
+        EXPECT_NE(doc.find('"' + std::string(key) + '"'),
+                  std::string::npos)
+            << key;
+}
+
+TEST(JsonWriter, WriteFileRoundTrips)
+{
+    bench::JsonWriter json;
+    json.beginObject().field("a", 1).endObject();
+    const std::string path =
+        ::testing::TempDir() + "bperf_json_writer_test.json";
+    ASSERT_TRUE(json.writeFile(path));
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents, "{\"a\": 1}\n");
+}
+
+} // namespace
+} // namespace bperf

@@ -324,6 +324,87 @@ TEST(MonitorService, BackpressureDropAccounting)
     EXPECT_EQ(stats.recordsOffered, 20u);
 }
 
+/**
+ * One full daemon run of the deterministic end-to-end pipeline:
+ * seeded producer threads -> per-session SPSC rings -> worker pool ->
+ * SliceAssembler -> windowed EP -> posterior series.  Returns every
+ * session's posterior series in session order.
+ */
+std::vector<std::vector<std::vector<core::PosteriorPoint>>>
+deterministicServiceRun(std::size_t num_workers, std::size_t num_sessions,
+                        std::size_t num_slices)
+{
+    MonitorServiceConfig cfg;
+    cfg.numWorkers = num_workers;
+    cfg.sessionDefaults.streaming.inference = testInference();
+    MonitorService daemon(uarch(), cfg);
+
+    std::vector<SessionId> ids;
+    for (std::size_t s = 0; s < num_sessions; ++s)
+        ids.push_back(daemon.open(monitoredSet()));
+    const auto monitored = daemon.monitoredEvents(ids[0]);
+
+    std::vector<std::thread> producers;
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+        producers.emplace_back(
+            [&daemon, &monitored, id = ids[s], s, num_slices] {
+                const auto run =
+                    measuredRun(monitored, num_slices, 900 + s);
+                for (std::size_t t = 0; t < num_slices; ++t)
+                    daemon.ingestBatch(id, sliceRecords(run, t));
+            });
+    }
+    for (auto &p : producers)
+        p.join();
+
+    std::vector<std::vector<std::vector<core::PosteriorPoint>>> series;
+    for (SessionId id : ids) {
+        auto report = daemon.close(id);
+        EXPECT_TRUE(report.has_value());
+        EXPECT_EQ(report->stats.recordsDropped, 0u);
+        series.push_back(std::move(report->posterior.series));
+    }
+    return series;
+}
+
+TEST(MonitorService, EndToEndPosteriorsAreDeterministic)
+{
+    // The full concurrent pipeline must be a pure function of the
+    // seeded inputs: worker scheduling, drain batching and producer
+    // timing may vary freely between runs, but every session's
+    // posterior series has to come out bit-identical — across
+    // repeated runs and across worker counts.
+    constexpr std::size_t kSessions = 3;
+    constexpr std::size_t kSlices = 18;
+
+    const auto base = deterministicServiceRun(2, kSessions, kSlices);
+    const auto repeat = deterministicServiceRun(2, kSessions, kSlices);
+    const auto more_workers =
+        deterministicServiceRun(5, kSessions, kSlices);
+
+    ASSERT_EQ(base.size(), kSessions);
+    for (const auto *other : {&repeat, &more_workers}) {
+        ASSERT_EQ(other->size(), base.size());
+        for (std::size_t s = 0; s < base.size(); ++s) {
+            ASSERT_EQ((*other)[s].size(), base[s].size());
+            for (std::size_t i = 0; i < base[s].size(); ++i) {
+                ASSERT_EQ((*other)[s][i].size(), base[s][i].size());
+                for (std::size_t t = 0; t < base[s][i].size(); ++t) {
+                    // Bit-identical, not approximately equal.
+                    EXPECT_EQ((*other)[s][i][t].mean,
+                              base[s][i][t].mean)
+                        << "session " << s << " event " << i
+                        << " slice " << t;
+                    EXPECT_EQ((*other)[s][i][t].stddev,
+                              base[s][i][t].stddev)
+                        << "session " << s << " event " << i
+                        << " slice " << t;
+                }
+            }
+        }
+    }
+}
+
 TEST(MonitorService, ConcurrentSessionsStreamConcurrently)
 {
     MonitorServiceConfig cfg;
