@@ -70,8 +70,6 @@ LatencySummary
 summarize(const std::vector<core::WindowExecution> &execs)
 {
     LatencySummary s;
-    if (execs.empty())
-        return s;
     std::vector<double> modeled, waits;
     modeled.reserve(execs.size());
     waits.reserve(execs.size());
@@ -81,9 +79,11 @@ summarize(const std::vector<core::WindowExecution> &execs)
     }
     s.windows = execs.size();
     s.meanUs = mean(modeled);
-    s.p50Us = percentile(modeled, 50.0);
-    s.p95Us = percentile(modeled, 95.0);
-    s.p99Us = percentile(modeled, 99.0);
+    // NaN (serialized as null) on a 0-window run, never a bare nan
+    // token in the JSON artifact.
+    s.p50Us = bench::percentileOrNan(modeled, 50.0);
+    s.p95Us = bench::percentileOrNan(modeled, 95.0);
+    s.p99Us = bench::percentileOrNan(modeled, 99.0);
     s.meanWaitUs = mean(waits);
     return s;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 #include "baselines/bayesperf_estimator.h"
 #include "baselines/counterminer.h"

@@ -8,13 +8,16 @@
 #ifndef BPERF_BENCH_BENCH_UTIL_H
 #define BPERF_BENCH_BENCH_UTIL_H
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/error_metrics.h"
+#include "common/stats.h"
 #include "common/logging.h"
 #include "sim/ground_truth.h"
 #include "sim/microarch.h"
@@ -141,6 +144,17 @@ class JsonWriter
     }
     void scalar(const char *v) { scalar(std::string(v)); }
     void scalar(bool v) { out_ << (v ? "true" : "false"); }
+    void scalar(double v)
+    {
+        // JSON has no nan/inf literals; a percentile over an empty
+        // sample set (0-window run) must come out as null, not as a
+        // bare token that breaks every consumer of the artifact.
+        if (std::isfinite(v))
+            out_ << v;
+        else
+            out_ << "null";
+    }
+    void scalar(float v) { scalar(static_cast<double>(v)); }
     template <typename T> void scalar(const T &v) { out_ << v; }
 
     std::ostringstream out_;
@@ -193,6 +207,20 @@ compareEstimators(const sim::MicroarchDescriptor &uarch,
                   const sim::WorkloadProfile &workload,
                   const std::vector<sim::EventId> &monitored,
                   const ComparisonConfig &config);
+
+/**
+ * percentile() for bench reporting paths: an empty sample set (e.g. a
+ * 0-window run) yields NaN instead of dying, which the JsonWriter
+ * serializes as null.  Inline so test binaries that only include the
+ * header get it without linking the bench-util library.
+ */
+inline double
+percentileOrNan(const std::vector<double> &xs, double p)
+{
+    if (xs.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    return percentile(xs, p);
+}
 
 /** True when the BP_QUICK environment variable asks for short runs. */
 bool quickMode();

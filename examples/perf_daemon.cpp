@@ -6,23 +6,31 @@
  *
  * Walks through the service API:
  *   1. start a MonitorService (shared worker pool, sharded registry),
- *   2. open one session per tenant workload,
- *   3. stream each tenant's PerfRecords from a producer thread,
+ *   2. open one admission-controlled session per tenant workload,
+ *   3. subscribe to one tenant's window completions (push updates),
+ *   4. stream each tenant's PerfRecords from a producer thread,
  *      slice by slice, through the per-session SPSC ring,
- *   4. poll latest() while inference is still running,
- *   5. close the sessions and read full posterior series + stats.
+ *   5. poll latest() while inference is still running,
+ *   6. close the sessions and read full posterior series + stats.
  *
  * Usage: perf_daemon [host|capi|pcie] [engines]
+ *                    [--max-sessions=N] [--records-per-sec=R]
+ *                    [--max-inflight-windows=N] [--max-queue-us=X]
  *
  * The first argument selects the execution backend: "host" (windows
  * cost their measured EP wall time) or the simulated FPGA EP-engine
  * pool over the CAPI / PCIe host interface; "engines" sizes that
- * pool (default 4).  Posteriors are identical across backends — the
- * table's modeled-latency columns are what changes.
+ * pool (default 4).  Any quota flag enables admission control with
+ * that per-tenant limit; --max-queue-us sheds opens and pushes once
+ * the pool's modeled queue exceeds the threshold.  Posteriors are
+ * identical across backends — the table's modeled-latency columns
+ * are what changes.  Unknown arguments, a zero engine count or a
+ * malformed flag value print usage and exit non-zero.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -36,42 +44,140 @@
 
 using namespace bperf;
 
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [host|capi|pcie] [engines]\n"
+                 "          [--max-sessions=N] [--records-per-sec=R]\n"
+                 "          [--max-inflight-windows=N] "
+                 "[--max-queue-us=X]\n",
+                 argv0);
+}
+
+/** Parse the numeric tail of --flag=value; false on garbage. */
+bool
+parseDouble(const char *text, double *out)
+{
+    char *end = nullptr;
+    *out = std::strtod(text, &end);
+    return end != text && *end == '\0' && *out >= 0.0;
+}
+
+bool
+parseCount(const char *text, std::size_t *out)
+{
+    if (text[0] == '-')
+        return false; // strtoul would silently wrap negatives
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0')
+        return false;
+    *out = static_cast<std::size_t>(v);
+    return true;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     const sim::MicroarchDescriptor uarch = sim::makeX86Skylake();
 
-    // 1. The daemon: 4 inference workers shared by every tenant, and
-    // the execution backend picked from the command line.
+    // 1. The daemon: 4 inference workers shared by every tenant, the
+    // execution backend and admission quotas picked from argv.
     service::MonitorServiceConfig cfg;
     cfg.numWorkers = 4;
     cfg.sessionDefaults.streaming.inference.windowSlices = 6;
-    const std::string backend_arg = argc > 1 ? argv[1] : "capi";
+
+    std::string backend_arg = "capi";
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        double dval = 0.0;
+        std::size_t nval = 0;
+        if (arg.rfind("--max-sessions=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 15, &nval) || nval == 0) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            cfg.admission.enabled = true;
+            cfg.admission.defaultQuota.maxSessions = nval;
+        } else if (arg.rfind("--records-per-sec=", 0) == 0) {
+            if (!parseDouble(arg.c_str() + 18, &dval) || dval <= 0.0) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            cfg.admission.enabled = true;
+            cfg.admission.defaultQuota.recordsPerSecond = dval;
+        } else if (arg.rfind("--max-inflight-windows=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 23, &nval) || nval == 0) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            cfg.admission.enabled = true;
+            cfg.admission.defaultQuota.maxInFlightWindows = nval;
+        } else if (arg.rfind("--max-queue-us=", 0) == 0) {
+            if (!parseDouble(arg.c_str() + 15, &dval) || dval <= 0.0) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            cfg.admission.enabled = true;
+            cfg.admission.throttleQueueSeconds = dval * 1e-6;
+            cfg.admission.shedQueueSeconds = dval * 1e-6;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         argv[i]);
+            usage(argv[0]);
+            return 2;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    if (positional.size() > 2) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (!positional.empty())
+        backend_arg = positional[0];
     if (backend_arg == "capi" || backend_arg == "pcie") {
         cfg.backend = service::BackendKind::Accel;
         cfg.accel.engine.hostInterface =
             backend_arg == "capi" ? accel::HostInterface::Capi
                                   : accel::HostInterface::PcieDma;
-        if (argc > 2) {
-            char *end = nullptr;
-            const unsigned long engines = std::strtoul(argv[2], &end, 10);
-            if (end == argv[2] || *end != '\0' || engines == 0) {
-                std::fprintf(stderr, "perf_daemon: engines must be a "
-                                     "positive integer, got \"%s\"\n",
-                             argv[2]);
+        if (positional.size() > 1) {
+            std::size_t engines = 0;
+            if (!parseCount(positional[1].c_str(), &engines) ||
+                engines == 0) {
+                std::fprintf(stderr, "%s: engines must be a positive "
+                                     "integer, got \"%s\"\n",
+                             argv[0], positional[1].c_str());
                 return 2;
             }
-            cfg.accel.numEngines = static_cast<std::size_t>(engines);
+            cfg.accel.numEngines = engines;
         }
-    } else if (backend_arg != "host") {
-        std::fprintf(stderr,
-                     "usage: perf_daemon [host|capi|pcie] [engines]\n");
+    } else if (backend_arg == "host") {
+        if (positional.size() > 1) {
+            std::fprintf(stderr, "%s: the host backend takes no engine "
+                                 "count\n",
+                         argv[0]);
+            usage(argv[0]);
+            return 2;
+        }
+    } else {
+        std::fprintf(stderr, "%s: unknown backend \"%s\"\n", argv[0],
+                     backend_arg.c_str());
+        usage(argv[0]);
         return 2;
     }
     service::MonitorService daemon(uarch, cfg);
 
     // 2. Four tenants, each monitoring 13 events (3 fixed + 10
-    // multiplexed) on its own workload.
+    // multiplexed) on its own workload, opened through admission
+    // control under their tenant name.
     const std::vector<std::string> tenants = {"KMeans", "Sort", "Bayes",
                                               "PageRank"};
     std::vector<sim::EventId> events;
@@ -84,19 +190,58 @@ main(int argc, char **argv)
 
     const std::size_t num_slices = 48;
     std::vector<service::SessionId> ids;
+    std::vector<std::string> admitted_tenants;
     std::vector<sim::TruthTrace> truths;
     for (std::size_t t = 0; t < tenants.size(); ++t) {
-        ids.push_back(daemon.open(events));
+        const service::OpenResult result =
+            daemon.open(tenants[t], events);
+        if (!result.admitted()) {
+            std::printf("tenant %s: open rejected (%s)\n",
+                        tenants[t].c_str(),
+                        service::admissionErrorName(result.error));
+            continue;
+        }
+        ids.push_back(*result.id);
+        admitted_tenants.push_back(tenants[t]);
         const sim::GroundTruthGenerator generator(
             uarch, wl::makeHibench(tenants[t]));
         truths.push_back(generator.generate(num_slices, 1000 + t));
     }
+    if (ids.empty()) {
+        std::fprintf(stderr, "%s: no tenant admitted\n", argv[0]);
+        return 1;
+    }
     const auto monitored = daemon.monitoredEvents(ids[0]);
 
-    // 3. One producer thread per tenant, replaying the kernel-side
+    // 3. Subscribe to the first tenant's window completions: the push
+    // counterpart of the latest() polling below.
+    const sim::EventId llc = uarch.idForRole(sim::Role::LlcMiss);
+    std::size_t llc_index = 0;
+    for (std::size_t i = 0; i < monitored.size(); ++i) {
+        if (monitored[i] == llc)
+            llc_index = i;
+    }
+    const auto subscription = daemon.subscribe(
+        ids[0], [&, tenant = admitted_tenants[0]](
+                    const service::WindowUpdate &update) {
+            if (update.windowIndex >= 3 ||
+                update.posterior.size() <= llc_index)
+                return; // stay quiet after the first few windows
+            std::printf("[subscribed] %s window %llu (end slice %zu): "
+                        "LLC misses %.0f +/- %.0f, modeled %.2f ms\n",
+                        tenant.c_str(),
+                        static_cast<unsigned long long>(
+                            update.windowIndex),
+                        update.endSlice,
+                        update.posterior[llc_index].mean,
+                        update.posterior[llc_index].stddev,
+                        1e3 * update.execution.modeledSeconds);
+        });
+
+    // 4. One producer thread per tenant, replaying the kernel-side
     // record stream slice by slice.
     std::vector<std::thread> producers;
-    for (std::size_t t = 0; t < tenants.size(); ++t) {
+    for (std::size_t t = 0; t < ids.size(); ++t) {
         producers.emplace_back([&, t] {
             sim::PerfSessionConfig perf_cfg;
             perf_cfg.seed = 42 + t;
@@ -108,25 +253,25 @@ main(int argc, char **argv)
         });
     }
 
-    // 4. Poll one tenant's LLC-miss posterior while streaming.
-    const sim::EventId llc = uarch.idForRole(sim::Role::LlcMiss);
+    // 5. Poll one tenant's LLC-miss posterior while streaming.
     for (int poll = 0; poll < 3; ++poll) {
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
         if (const auto p = daemon.latest(ids[0], llc)) {
             std::printf("[poll %d] %s LLC misses: %.0f +/- %.0f\n", poll,
-                        tenants[0].c_str(), p->mean, p->stddev);
+                        admitted_tenants[0].c_str(), p->mean, p->stddev);
         }
     }
     for (auto &p : producers)
         p.join();
     daemon.quiesce();
+    daemon.flushSubscriptions();
 
-    // 5. Close everything; score posteriors against ground truth and
+    // 6. Close everything; score posteriors against ground truth and
     // report the backend's modeled window latency next to the
     // measured host EP time.
     TablePrinter table({"tenant", "slices", "windows", "ms/window",
                         "modeled ms", "queue ms", "post err %"});
-    for (std::size_t t = 0; t < tenants.size(); ++t) {
+    for (std::size_t t = 0; t < ids.size(); ++t) {
         const auto report = daemon.close(ids[t]);
         if (!report)
             continue;
@@ -137,7 +282,7 @@ main(int argc, char **argv)
             err += std::abs(mean[s] - truth_val) /
                    std::max(truth_val, 1.0);
         }
-        table.addRow(tenants[t],
+        table.addRow(admitted_tenants[t],
                      {static_cast<double>(report->stats.slicesAssembled),
                       static_cast<double>(report->stats.windowsRun),
                       1e3 * report->stats.windowSeconds.mean(),
@@ -147,7 +292,39 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
 
+    if (subscription) {
+        if (const auto sub_stats =
+                daemon.subscriptionStats(*subscription)) {
+            std::printf("subscription: %llu windows published, %llu "
+                        "delivered, %llu dropped\n",
+                        static_cast<unsigned long long>(
+                            sub_stats->published),
+                        static_cast<unsigned long long>(
+                            sub_stats->delivered),
+                        static_cast<unsigned long long>(
+                            sub_stats->dropped));
+        }
+    }
+
     const service::ServiceStats stats = daemon.stats();
+    if (!stats.admission.empty()) {
+        TablePrinter admission_table({"tenant", "sessions ok",
+                                      "sessions rej", "records ok",
+                                      "throttled", "shed"});
+        for (const auto &row : stats.admission) {
+            admission_table.addRow(
+                row.tenant.empty() ? "(default)" : row.tenant,
+                {static_cast<double>(row.stats.sessionsAdmitted),
+                 static_cast<double>(row.stats.sessionsRejected),
+                 static_cast<double>(row.stats.recordsAdmitted),
+                 static_cast<double>(row.stats.recordsThrottled),
+                 static_cast<double>(row.stats.recordsShed)});
+        }
+        std::printf("admission (modeled queue now %.2f ms):\n",
+                    1e3 * stats.backendQueue.queueSeconds);
+        admission_table.print(std::cout);
+    }
+
     std::printf("backend %s: %llu windows, mean modeled %.2f ms "
                 "(queue %.2f ms)\n",
                 stats.backendName.c_str(),

@@ -83,9 +83,11 @@ AccelBackend::execute(const core::WindowJob &job)
         }
     }
     exec.engineId = best;
+    exec.endSlice = job.endSlice;
     exec.queueWaitSeconds = best_start - release;
     exec.modeledSeconds = exec.queueWaitSeconds + exec.serviceSeconds;
     freeAt_[best] = best_start + exec.serviceSeconds;
+    lastReleaseSeconds_ = std::max(lastReleaseSeconds_, release);
     ++engineJobs_[best];
     engineBusy_[best] += exec.serviceSeconds;
 
@@ -101,6 +103,26 @@ AccelBackend::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+core::BackendQueueDepth
+AccelBackend::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    core::BackendQueueDepth depth;
+    depth.engines = freeAt_.size();
+    depth.nowSeconds = lastReleaseSeconds_;
+    depth.earliestFreeSeconds =
+        *std::min_element(freeAt_.begin(), freeAt_.end());
+    depth.latestFreeSeconds =
+        *std::max_element(freeAt_.begin(), freeAt_.end());
+    depth.queueSeconds = depth.queueSecondsAt(depth.nowSeconds);
+    for (double free_at : freeAt_) {
+        const double backlog = free_at - depth.nowSeconds;
+        if (backlog > 0.0)
+            depth.totalBacklogSeconds += backlog;
+    }
+    return depth;
 }
 
 AccelPoolStats
@@ -123,6 +145,7 @@ AccelBackend::reset()
     std::fill(freeAt_.begin(), freeAt_.end(), 0.0);
     std::fill(engineJobs_.begin(), engineJobs_.end(), 0);
     std::fill(engineBusy_.begin(), engineBusy_.end(), 0.0);
+    lastReleaseSeconds_ = 0.0;
 }
 
 } // namespace accel

@@ -107,6 +107,15 @@ class AccelBackend : public core::InferenceBackend
     core::WindowExecution execute(const core::WindowJob &job) override;
 
     core::BackendStats stats() const override;
+
+    /**
+     * Live pool backlog on the stream clock: how long a window
+     * released at the latest release time seen so far would wait for
+     * the earliest engine.  This is the saturation signal the
+     * service's admission controller throttles and sheds on.
+     */
+    core::BackendQueueDepth queueDepth() const override;
+
     void reset() override;
 
     AccelPoolStats poolStats() const;
@@ -129,6 +138,8 @@ class AccelBackend : public core::InferenceBackend
     std::vector<double> freeAt_;
     std::vector<std::uint64_t> engineJobs_;
     std::vector<double> engineBusy_;
+    /** Latest release time seen ("now" of the queue-depth snapshot). */
+    double lastReleaseSeconds_ = 0.0;
 };
 
 } // namespace accel

@@ -8,6 +8,7 @@ HostBackend::execute(const WindowJob &job)
 {
     WindowExecution exec;
     exec.engineId = 0;
+    exec.endSlice = job.endSlice;
     exec.queueWaitSeconds = 0.0;
     exec.serviceSeconds = job.hostSeconds;
     exec.transferSeconds = 0.0;

@@ -62,6 +62,10 @@ struct WindowExecution
 {
     /** Engine that served the window (always 0 on the host path). */
     std::size_t engineId = 0;
+    /** Slice whose arrival completed the window (copied from the
+     * WindowJob so window-completion consumers can place the window
+     * on the stream clock). */
+    std::size_t endSlice = 0;
     /** Modeled wait for a free engine (0 on the host path). */
     double queueWaitSeconds = 0.0;
     /** Modeled service time: transfer + compute. */
@@ -82,6 +86,37 @@ struct BackendStats
 };
 
 /**
+ * Live modeled queue-depth snapshot of a backend's engine pool, on
+ * the stream clock (seconds).  This is the latency signal the
+ * service's admission controller feeds back into open()/push()
+ * decisions: a window released "now" would wait `queueSeconds` for
+ * the earliest engine to free up.
+ */
+struct BackendQueueDepth
+{
+    /** Engines in the pool (1 on the host path). */
+    std::size_t engines = 1;
+    /** Latest window release time the backend has seen. */
+    double nowSeconds = 0.0;
+    /** Stream time the earliest engine becomes free. */
+    double earliestFreeSeconds = 0.0;
+    /** Stream time the busiest engine becomes free. */
+    double latestFreeSeconds = 0.0;
+    /** max(0, earliestFree - now): the wait a window released at
+     * nowSeconds would experience.  Always 0 on the host path. */
+    double queueSeconds = 0.0;
+    /** Sum over engines of their backlog beyond nowSeconds. */
+    double totalBacklogSeconds = 0.0;
+
+    /** Wait a window released at `atSeconds` would experience. */
+    double queueSecondsAt(double atSeconds) const
+    {
+        const double wait = earliestFreeSeconds - atSeconds;
+        return wait > 0.0 ? wait : 0.0;
+    }
+};
+
+/**
  * A place completed windows execute.  Implementations must be safe to
  * share across sessions and worker threads.
  */
@@ -98,6 +133,16 @@ class InferenceBackend
 
     /** Aggregate statistics snapshot. */
     virtual BackendStats stats() const = 0;
+
+    /**
+     * Live queue-depth snapshot.  The host path never queues, so the
+     * default is an all-zero snapshot; pooled backends report their
+     * modeled backlog for admission-control feedback.
+     */
+    virtual BackendQueueDepth queueDepth() const
+    {
+        return BackendQueueDepth{};
+    }
 
     /** Forget all queue state and statistics (bench reruns). */
     virtual void reset() = 0;

@@ -262,7 +262,8 @@ WindowedInference::runWindow(std::size_t w_len)
     // where the window would have executed and stamps that cost.
     WindowJob job;
     job.sessionKey = config_.backendSessionKey;
-    job.endSlice = w0 + w_len - 1;
+    job.endSlice =
+        std::max(sliceOrigin_ + w0 + w_len - 1, releaseFloor_);
     job.windowSlices = w_len;
     job.numVariables = model.graph().numVariables();
     job.numSites = model.graph()
@@ -277,6 +278,7 @@ WindowedInference::runWindow(std::size_t w_len)
     if (config_.backend != nullptr) {
         exec = config_.backend->execute(job);
     } else {
+        exec.endSlice = job.endSlice;
         exec.serviceSeconds = window_seconds;
         exec.modeledSeconds = window_seconds;
     }

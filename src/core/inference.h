@@ -182,6 +182,30 @@ class WindowedInference
     /** Window length k in slices (resolved from the config). */
     std::size_t windowSlices() const { return k_; }
 
+    /**
+     * Offset between engine-local slice indices and the producer's
+     * absolute slice clock; added to backend job release times so a
+     * stream that started mid-run keeps absolute release times.
+     * Posterior series indexing stays engine-local.
+     */
+    void setSliceOrigin(std::size_t origin) { sliceOrigin_ = origin; }
+    std::size_t sliceOrigin() const { return sliceOrigin_; }
+
+    /**
+     * Earliest absolute slice a window completed now may be released
+     * at (monotone; lower values are ignored).  A window is dispatched
+     * to the backend when the record completing it arrives, so a
+     * stream that stalled (backpressure, admission shedding) and then
+     * jumped forward releases its catch-up windows at the jump — not
+     * retroactively at slice indices whose wall-clock time already
+     * passed, which would charge them the whole interim backlog as
+     * queue wait.
+     */
+    void setReleaseFloor(std::size_t absolute_slice)
+    {
+        releaseFloor_ = std::max(releaseFloor_, absolute_slice);
+    }
+
     /** Total slices pushed so far. */
     std::size_t slicesSeen() const { return numSlices_; }
 
@@ -251,6 +275,8 @@ class WindowedInference
     std::size_t numSlices_ = 0;  // total pushed
     std::size_t nextStart_ = 0;  // next window's first slice
     std::size_t coveredEnd_ = 0; // posterior exists for [0, coveredEnd_)
+    std::size_t sliceOrigin_ = 0;
+    std::size_t releaseFloor_ = 0;
     bool finished_ = false;
 
     /** Reused across windows so steady-state EP runs allocate nothing. */

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Latency-aware admission control for the monitoring service.
+ *
+ * The paper's deployment is a shim serving corrected posteriors to
+ * many concurrent consumers while the accelerator bounds inference
+ * latency.  That bound only survives if the engine pool is not
+ * allowed to saturate, so the service front door enforces two kinds
+ * of policy before a tenant's work reaches the pipeline:
+ *
+ *   - static per-tenant quotas: max open sessions, max records/sec
+ *     (token bucket on the stream clock) and max in-flight windows;
+ *   - latency feedback: the modeled queue depth of the execution
+ *     backend (core::InferenceBackend::queueDepth()) is read on every
+ *     open()/push(), and new work is shed once the wait a window
+ *     would experience crosses the configured thresholds.
+ *
+ * All admission time arithmetic runs on the stream clock (record
+ * slice x slicePeriodSeconds) rather than the wall clock, so
+ * decisions are reproducible and tests can drive the bucket with an
+ * explicit fake clock.  Denials never perturb the numerics of what
+ * is admitted: an admitted record stream produces bit-identical
+ * posteriors with the controller on or off.
+ */
+
+#ifndef BPERF_SERVICE_ADMISSION_H
+#define BPERF_SERVICE_ADMISSION_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+
+namespace bperf {
+namespace service {
+
+/** Typed reason an admission request was denied. */
+enum class AdmissionError
+{
+    /** Admitted (no error). */
+    None = 0,
+    /** open(): the tenant is at its max-sessions quota. */
+    SessionQuota,
+    /** push(): the tenant's token bucket is empty (rate quota). */
+    RateLimited,
+    /** push(): the tenant is at its max in-flight windows quota. */
+    WindowQuota,
+    /** open()/push(): latency feedback — the modeled backend queue is
+     * past the shed threshold. */
+    BackendSaturated,
+};
+
+/** Stable identifier of an AdmissionError (logs, tables, tests). */
+const char *admissionErrorName(AdmissionError error);
+
+/** Static per-tenant quota limits; 0 means unlimited. */
+struct TenantQuota
+{
+    /** Concurrently open sessions. */
+    std::size_t maxSessions = 0;
+    /** Sustained record admission rate (records per stream second). */
+    double recordsPerSecond = 0.0;
+    /** Token-bucket depth; defaults to one second's worth of rate. */
+    double burstRecords = 0.0;
+    /** Windows submitted to the backend whose modeled completion is
+     * still in the future. */
+    std::size_t maxInFlightWindows = 0;
+};
+
+/** Controller-wide configuration. */
+struct AdmissionConfig
+{
+    /** Master switch: disabled controllers admit everything. */
+    bool enabled = false;
+
+    /** Quota applied to tenants without an explicit entry. */
+    TenantQuota defaultQuota;
+
+    /** Per-tenant quota overrides. */
+    std::map<std::string, TenantQuota> tenantQuotas;
+
+    /** Stream clock: seconds per slice (keep equal to the accel
+     * backend's slicePeriodSeconds so feedback and release times
+     * share one time base). */
+    double slicePeriodSeconds = 1e-3;
+
+    /**
+     * Latency feedback on push(): shed a record when the modeled wait
+     * for a free engine at the record's stream time exceeds this
+     * (seconds; 0 disables).
+     */
+    double throttleQueueSeconds = 0.0;
+
+    /**
+     * Latency feedback on open(): refuse a new session when the
+     * modeled wait at the pool's current stream time exceeds this
+     * (seconds; 0 disables).
+     */
+    double shedQueueSeconds = 0.0;
+};
+
+/** Per-tenant admission accounting. */
+struct AdmissionStats
+{
+    std::uint64_t sessionsAdmitted = 0;
+    std::uint64_t sessionsRejected = 0;
+    std::uint64_t recordsAdmitted = 0;
+    /** Denied by a static quota (rate bucket or in-flight windows). */
+    std::uint64_t recordsThrottled = 0;
+    /** Denied by latency feedback (backend saturated). */
+    std::uint64_t recordsShed = 0;
+
+    void merge(const AdmissionStats &other);
+};
+
+/** One tenant's stats row as surfaced through ServiceStats. */
+struct TenantAdmissionStats
+{
+    std::string tenant;
+    AdmissionStats stats;
+    std::size_t liveSessions = 0;
+};
+
+/**
+ * Admission decisions for every tenant of one service.
+ *
+ * Thread contract: every method may be called from any thread (open
+ * and close paths, producer ingest paths, worker window-completion
+ * callbacks); state is guarded by one internal mutex.  The backend
+ * pointer is non-owning and optional — without one, latency feedback
+ * reads an all-zero queue (never saturated).
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(AdmissionConfig config = {},
+                                 const core::InferenceBackend *backend =
+                                     nullptr);
+
+    /** Replace a tenant's quota (tests, dynamic reconfiguration). */
+    void setQuota(const std::string &tenant, const TenantQuota &quota);
+
+    /**
+     * Decide a session open.  Admissions are counted and the tenant's
+     * live-session count is incremented; call sessionClosed() when an
+     * admitted session closes.
+     */
+    AdmissionError admitSession(const std::string &tenant);
+
+    /** Release one of the tenant's admitted sessions. */
+    void sessionClosed(const std::string &tenant);
+
+    /**
+     * Decide one record at `streamSeconds` on the stream clock (the
+     * record's slice x slicePeriodSeconds; any monotone fake clock
+     * works in tests).  Refills the tenant's token bucket up to the
+     * given time, then checks bucket, in-flight window quota and the
+     * backend's modeled queue.
+     */
+    AdmissionError admitRecord(const std::string &tenant,
+                               double streamSeconds);
+
+    /**
+     * Account a completed window against its tenant's in-flight
+     * quota: the window occupies a slot from its release until its
+     * modeled completion (release + modeledSeconds), both on the
+     * stream clock.
+     */
+    void windowExecuted(const std::string &tenant,
+                        const core::WindowExecution &execution);
+
+    /** Per-tenant statistics, sorted by tenant name. */
+    std::vector<TenantAdmissionStats> stats() const;
+
+    /** One tenant's statistics (zeros for unknown tenants). */
+    TenantAdmissionStats tenantStats(const std::string &tenant) const;
+
+    /** Live modeled queue of the wired backend (zeros without one). */
+    core::BackendQueueDepth backendQueue() const;
+
+    bool enabled() const { return config_.enabled; }
+    const AdmissionConfig &config() const { return config_; }
+
+  private:
+    struct Tenant
+    {
+        TenantQuota quota;
+        std::size_t liveSessions = 0;
+        /** Token bucket (records); starts full. */
+        double tokens = 0.0;
+        double lastRefillSeconds = 0.0;
+        bool bucketPrimed = false;
+        /** Modeled completion times of in-flight windows (stream
+         * clock), unordered; purged against the newest time seen. */
+        std::vector<double> inFlightCompletions;
+        AdmissionStats stats;
+    };
+
+    Tenant &tenant(const std::string &name);
+    static double bucketDepth(const TenantQuota &quota);
+    void refill(Tenant &t, double streamSeconds) const;
+    static void purgeInFlight(Tenant &t, double streamSeconds);
+
+    AdmissionConfig config_;
+    const core::InferenceBackend *backend_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Tenant> tenants_;
+    /** Sessions live across every tenant. */
+    std::size_t totalLiveSessions_ = 0;
+    /** Newest record stream time seen (the open path's clock: the
+     * backend's own "now" freezes when no work executes). */
+    double lastStreamSeconds_ = 0.0;
+};
+
+} // namespace service
+} // namespace bperf
+
+#endif // BPERF_SERVICE_ADMISSION_H

@@ -20,12 +20,23 @@ makeBackend(const MonitorServiceConfig &config)
     return std::make_unique<core::HostBackend>();
 }
 
+/** Admission config with its stream clock aligned to the pool's. */
+AdmissionConfig
+alignedAdmission(const MonitorServiceConfig &config)
+{
+    AdmissionConfig admission = config.admission;
+    if (config.backend == BackendKind::Accel)
+        admission.slicePeriodSeconds = config.accel.slicePeriodSeconds;
+    return admission;
+}
+
 } // namespace
 
 MonitorService::MonitorService(const sim::MicroarchDescriptor &uarch,
                                MonitorServiceConfig config)
     : uarch_(uarch), config_(config), backend_(makeBackend(config)),
-      registry_(config.numShards),
+      admission_(alignedAdmission(config), backend_.get()),
+      registry_(config.numShards), hub_(config.subscriberQueueCapacity),
       pool_(config.numWorkers, [this](SessionId id) { processSession(id); })
 {
 }
@@ -36,6 +47,23 @@ SessionId
 MonitorService::open(const std::vector<sim::EventId> &events,
                      const SessionConfig *overrides)
 {
+    const OpenResult result = open(std::string{}, events, overrides);
+    bp_assert(result.admitted(),
+              "admission rejected an untargeted open ("
+                  << admissionErrorName(result.error)
+                  << "); use the tenant overload under admission control");
+    return *result.id;
+}
+
+OpenResult
+MonitorService::open(const std::string &tenant,
+                     const std::vector<sim::EventId> &events,
+                     const SessionConfig *overrides)
+{
+    const AdmissionError verdict = admission_.admitSession(tenant);
+    if (verdict != AdmissionError::None)
+        return OpenResult{std::nullopt, verdict};
+
     std::vector<sim::EventId> monitored =
         core::resolveMonitoredSet(uarch_, events);
 
@@ -47,13 +75,19 @@ MonitorService::open(const std::vector<sim::EventId> &events,
     if (cfg.streaming.inference.backend == nullptr)
         cfg.streaming.inference.backend = backend_.get();
     cfg.streaming.inference.backendSessionKey = id;
-    registry_.insert(
-        std::make_shared<Session>(id, uarch_, std::move(monitored), cfg));
+    // Every completed window flows to the subscription hub and into
+    // the tenant's in-flight window accounting.
+    Session::WindowSink sink = [this, tenant](const WindowUpdate &u) {
+        admission_.windowExecuted(tenant, u.execution);
+        hub_.publish(u);
+    };
+    registry_.insert(std::make_shared<Session>(
+        id, uarch_, std::move(monitored), cfg, tenant, std::move(sink)));
     {
         std::lock_guard<std::mutex> lock(closedMutex_);
         ++sessionsOpened_;
     }
-    return id;
+    return OpenResult{id, AdmissionError::None};
 }
 
 void
@@ -113,6 +147,10 @@ MonitorService::ingest(SessionId id, const sim::PerfRecord &rec)
     const std::shared_ptr<Session> session = registry_.find(id);
     if (!session)
         return false;
+    if (admission_.enabled() &&
+        admission_.admitRecord(session->tenant(), streamSeconds(rec)) !=
+            AdmissionError::None)
+        return false;
     const bool accepted = session->offer(rec);
     if (accepted)
         notifyWork(*session);
@@ -126,8 +164,13 @@ MonitorService::ingestBatch(SessionId id,
     const std::shared_ptr<Session> session = registry_.find(id);
     if (!session)
         return 0;
+    const bool gated = admission_.enabled();
     std::size_t accepted = 0;
     for (const auto &rec : records) {
+        if (gated && admission_.admitRecord(session->tenant(),
+                                            streamSeconds(rec)) !=
+                         AdmissionError::None)
+            continue;
         if (session->offer(rec) && ++accepted == 1) {
             // Wake a worker on the first accepted record so a batch
             // larger than the ring drains concurrently instead of
@@ -196,7 +239,28 @@ MonitorService::close(SessionId id)
         closedTotals_.merge(report.stats);
         closing_.erase(std::find(closing_.begin(), closing_.end(), session));
     }
+    admission_.sessionClosed(session->tenant());
     return report;
+}
+
+std::optional<SubscriptionId>
+MonitorService::subscribe(SessionId id, WindowCallback callback)
+{
+    if (!registry_.find(id))
+        return std::nullopt;
+    return hub_.subscribe(id, std::move(callback));
+}
+
+bool
+MonitorService::unsubscribe(SubscriptionId id)
+{
+    return hub_.unsubscribe(id);
+}
+
+std::optional<SubscriptionStats>
+MonitorService::subscriptionStats(SubscriptionId id) const
+{
+    return hub_.stats(id);
 }
 
 std::vector<sim::EventId>
@@ -230,6 +294,8 @@ MonitorService::stats() const
     out.totals = closedTotals_;
     out.backendName = backend_->name();
     out.backend = backend_->stats();
+    out.backendQueue = backend_->queueDepth();
+    out.admission = admission_.stats();
     std::unordered_set<SessionId> closing_ids;
     for (const auto &session : closing_) {
         // Racing closers can list a session twice; count it once.

@@ -23,12 +23,15 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "accel/accel_backend.h"
 #include "core/backend.h"
+#include "service/admission.h"
 #include "service/session.h"
 #include "service/session_registry.h"
+#include "service/subscription.h"
 #include "service/worker_pool.h"
 #include "sim/microarch.h"
 
@@ -62,6 +65,17 @@ struct MonitorServiceConfig
 
     /** Engine-pool parameters when backend == BackendKind::Accel. */
     accel::AccelBackendConfig accel;
+
+    /**
+     * Admission control (disabled by default).  When the backend is
+     * Accel, the controller's stream clock is aligned with the pool's
+     * slicePeriodSeconds automatically so latency feedback and window
+     * releases share one time base.
+     */
+    AdmissionConfig admission;
+
+    /** Bound of each window-subscription queue (drop-oldest beyond). */
+    std::size_t subscriberQueueCapacity = 256;
 };
 
 /** Aggregate statistics across live and closed sessions. */
@@ -75,6 +89,21 @@ struct ServiceStats
     /** Active execution backend and its cross-session accounting. */
     std::string backendName;
     core::BackendStats backend;
+    /** Live modeled queue depth of the backend's engine pool. */
+    core::BackendQueueDepth backendQueue;
+    /** Per-tenant admission accounting (empty when disabled). */
+    std::vector<TenantAdmissionStats> admission;
+};
+
+/** Typed outcome of an admission-controlled open. */
+struct OpenResult
+{
+    /** The session id, when admitted. */
+    std::optional<SessionId> id;
+    /** AdmissionError::None when admitted, else the denial reason. */
+    AdmissionError error = AdmissionError::None;
+
+    bool admitted() const { return id.has_value(); }
 };
 
 /** Everything a closed session hands back. */
@@ -108,13 +137,29 @@ class MonitorService
      * added, perf_event_open style).  Dies if an event cannot be
      * scheduled on this PMU at all.  `overrides` replaces the
      * service-wide session defaults when given.
+     *
+     * Admission-blind convenience form: attributes the session to the
+     * anonymous tenant and dies if admission control rejects it —
+     * callers running with admission enabled should use the tenant
+     * overload and handle the typed denial.
      */
     SessionId open(const std::vector<sim::EventId> &events,
                    const SessionConfig *overrides = nullptr);
 
     /**
+     * Admission-controlled open on behalf of `tenant`: the tenant's
+     * session quota and the backend's modeled queue depth are
+     * consulted first, and a denial comes back as a typed
+     * AdmissionError instead of a session id.
+     */
+    OpenResult open(const std::string &tenant,
+                    const std::vector<sim::EventId> &events,
+                    const SessionConfig *overrides = nullptr);
+
+    /**
      * Deliver one sample record.  Returns false when the session is
-     * unknown or the record was dropped by backpressure.
+     * unknown, admission control throttled/shed the record, or the
+     * record was dropped by ring backpressure.
      */
     bool ingest(SessionId id, const sim::PerfRecord &rec);
 
@@ -144,6 +189,33 @@ class MonitorService
     /** Block until every delivered record has been processed. */
     void quiesce() { pool_.quiesce(); }
 
+    /**
+     * Subscribe to a session's window completions: `callback` runs on
+     * the hub's dispatcher thread once per completed window, with the
+     * window's posterior summary and modeled execution.  A slow
+     * consumer's queue drops its oldest updates (drop-and-count);
+     * callbacks must not call close() or the service destructor.
+     * nullopt for unknown session ids.
+     */
+    std::optional<SubscriptionId> subscribe(SessionId id,
+                                            WindowCallback callback);
+
+    /** Remove a subscription; false for unknown ids. */
+    bool unsubscribe(SubscriptionId id);
+
+    /** Delivery accounting of one subscription (survives
+     * unsubscribe; nullopt for never-known ids). */
+    std::optional<SubscriptionStats>
+    subscriptionStats(SubscriptionId id) const;
+
+    /** Block until every published window update has been delivered
+     * (or dropped).  Pair with quiesce() in tests and shutdown. */
+    void flushSubscriptions() { hub_.flush(); }
+
+    /** Admission controller (quota edits, per-tenant stats). */
+    AdmissionController &admission() { return admission_; }
+    const AdmissionController &admission() const { return admission_; }
+
     /** Aggregate statistics (live sessions + closed accumulator). */
     ServiceStats stats() const;
 
@@ -171,11 +243,20 @@ class MonitorService
     /** Producer-side: make sure a worker will visit the session. */
     void notifyWork(Session &session);
 
+    /** Record's position on the admission stream clock. */
+    double streamSeconds(const sim::PerfRecord &rec) const
+    {
+        return static_cast<double>(rec.slice) *
+               admission_.config().slicePeriodSeconds;
+    }
+
     const sim::MicroarchDescriptor &uarch_;
     MonitorServiceConfig config_;
     /** Shared by every session; must outlive the workers (pool_ is
      * the last member, so it is destroyed first). */
     std::unique_ptr<core::InferenceBackend> backend_;
+    /** Reads backend_'s modeled queue; must outlive the workers. */
+    AdmissionController admission_;
     SessionRegistry registry_;
 
     mutable std::mutex closedMutex_;
@@ -184,6 +265,10 @@ class MonitorService
     std::vector<std::shared_ptr<Session>> closing_;
     std::uint64_t sessionsOpened_ = 0;
     std::uint64_t sessionsClosed_ = 0;
+
+    /** Workers publish window updates here, so the hub is destroyed
+     * after the pool: publishes stop, then the dispatcher joins. */
+    SubscriptionHub hub_;
 
     /** Last member: workers must stop before anything else dies. */
     WorkerPool pool_;

@@ -23,9 +23,11 @@ SessionStats::merge(const SessionStats &other)
 }
 
 Session::Session(SessionId id, const sim::MicroarchDescriptor &uarch,
-                 std::vector<sim::EventId> events, SessionConfig config)
-    : id_(id), queue_(config.queueCapacity),
-      inference_(uarch, std::move(events), config.streaming)
+                 std::vector<sim::EventId> events, SessionConfig config,
+                 std::string tenant, WindowSink window_sink)
+    : id_(id), tenant_(std::move(tenant)), queue_(config.queueCapacity),
+      inference_(uarch, std::move(events), config.streaming),
+      windowSink_(std::move(window_sink))
 {
 }
 
@@ -43,8 +45,10 @@ Session::drain()
         // Publish per completed window, not per drain pass: a long
         // backlog drains in one pass, and pollers should see
         // posteriors as soon as the first window lands.
-        if (inference_.consume(*rec) > 0)
+        if (inference_.consume(*rec) > 0) {
             publishPosteriors();
+            harvestWindows();
+        }
         ++drained;
     }
     publishStats(/*drain_pass=*/true);
@@ -54,9 +58,62 @@ Session::drain()
 void
 Session::finishStream()
 {
-    if (inference_.finish() > 0)
+    if (inference_.finish() > 0) {
         publishPosteriors();
+        harvestWindows();
+    }
     publishStats(/*drain_pass=*/false);
+}
+
+/**
+ * Consume the engine's per-window latency samples: fold them into the
+ * published statistics and emit one WindowUpdate per window to the
+ * sink (subscriptions, admission in-flight accounting).  Runs on the
+ * thread that ran the windows (worker or closer), so the engine reads
+ * need no lock.
+ */
+void
+Session::harvestWindows()
+{
+    const std::vector<double> window_seconds =
+        inference_.takeWindowSeconds();
+    const std::vector<core::WindowExecution> executions =
+        inference_.takeWindowExecutions();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        for (double seconds : window_seconds)
+            stats_.windowSeconds.push(seconds);
+        for (const auto &exec : executions) {
+            stats_.modeledWindowSeconds.push(exec.modeledSeconds);
+            stats_.backendQueueSeconds.push(exec.queueWaitSeconds);
+        }
+    }
+    if (executions.empty())
+        return;
+    if (windowSink_ == nullptr) {
+        windowsReported_ += executions.size();
+        return;
+    }
+
+    // The latest posterior is a fine per-window summary here: windows
+    // complete one at a time in slice order, so all but the last
+    // update of a multi-window harvest (rare: a drain crossing
+    // several window boundaries in one record is impossible, but a
+    // finish() tail can run two) share the final snapshot.
+    WindowUpdate update;
+    update.sessionId = id_;
+    update.events = inference_.events();
+    update.posterior.reserve(update.events.size());
+    {
+        std::lock_guard<std::mutex> lock(publishMutex_);
+        update.posterior = latest_;
+    }
+    for (const auto &exec : executions) {
+        update.windowIndex = windowsReported_++;
+        update.endSlice = exec.endSlice;
+        update.execution = exec;
+        windowSink_(update);
+    }
 }
 
 /**
@@ -67,10 +124,8 @@ Session::finishStream()
 void
 Session::publishStats(bool drain_pass)
 {
-    const std::vector<double> window_seconds =
-        inference_.takeWindowSeconds();
-    const std::vector<core::WindowExecution> executions =
-        inference_.takeWindowExecutions();
+    // Per-window latency samples are folded in by harvestWindows();
+    // this publishes the engine's cumulative counters.
     const auto &engine = inference_.engine();
     std::lock_guard<std::mutex> lock(statsMutex_);
     if (drain_pass)
@@ -80,12 +135,6 @@ Session::publishStats(bool drain_pass)
     stats_.windowsRun = engine.windowsRun();
     stats_.epSweeps = engine.epSweepsTotal();
     stats_.inferSeconds = engine.inferSeconds();
-    for (double seconds : window_seconds)
-        stats_.windowSeconds.push(seconds);
-    for (const auto &exec : executions) {
-        stats_.modeledWindowSeconds.push(exec.modeledSeconds);
-        stats_.backendQueueSeconds.push(exec.queueWaitSeconds);
-    }
 }
 
 void
@@ -123,8 +172,14 @@ Session::statsSnapshot() const
         std::lock_guard<std::mutex> lock(statsMutex_);
         snap = stats_;
     }
-    snap.recordsIngested = queue_.pushed();
-    snap.recordsDropped = queue_.dropped();
+    // One coherent (pushed, dropped) pair: reading the two ring
+    // counters at different instants could pair a stale push count
+    // with a fresh drop count, breaking the snapshot invariant
+    // recordsOffered == recordsIngested + recordsDropped against the
+    // offer() calls actually completed.
+    const sim::RingBuffer::Counters counters = queue_.counters();
+    snap.recordsIngested = counters.pushed;
+    snap.recordsDropped = counters.dropped;
     snap.recordsOffered = snap.recordsIngested + snap.recordsDropped;
     return snap;
 }

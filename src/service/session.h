@@ -21,12 +21,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
 #include "service/streaming_inference.h"
+#include "service/subscription.h"
 #include "sim/ring_buffer.h"
 
 namespace bperf {
@@ -100,10 +103,20 @@ struct SessionStats
 class Session
 {
   public:
+    /**
+     * Called once per completed window, from whichever worker (or
+     * closing thread) ran it.  The service points this at its
+     * subscription hub and admission controller.
+     */
+    using WindowSink = std::function<void(const WindowUpdate &)>;
+
     Session(SessionId id, const sim::MicroarchDescriptor &uarch,
-            std::vector<sim::EventId> events, SessionConfig config);
+            std::vector<sim::EventId> events, SessionConfig config,
+            std::string tenant = {}, WindowSink window_sink = nullptr);
 
     SessionId id() const { return id_; }
+    /** Admission-control tenant this session belongs to. */
+    const std::string &tenant() const { return tenant_; }
     const std::vector<sim::EventId> &events() const
     {
         return inference_.events();
@@ -147,10 +160,16 @@ class Session
   private:
     void publishPosteriors();
     void publishStats(bool drain_pass);
+    /** Per-window stats + subscription updates after windows ran. */
+    void harvestWindows();
 
     const SessionId id_;
+    const std::string tenant_;
     sim::RingBuffer queue_;
     StreamingInference inference_;
+    WindowSink windowSink_;
+    /** Windows already handed to the sink (completion counter). */
+    std::uint64_t windowsReported_ = 0;
 
     /** Guards latest_ / latestValid_ (cross-thread posterior reads). */
     mutable std::mutex publishMutex_;

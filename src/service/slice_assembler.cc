@@ -7,8 +7,10 @@
 namespace bperf {
 namespace service {
 
-SliceAssembler::SliceAssembler(std::vector<sim::EventId> events)
-    : events_(std::move(events)), current_(events_.size())
+SliceAssembler::SliceAssembler(std::vector<sim::EventId> events,
+                               bool align_to_first_record)
+    : events_(std::move(events)), current_(events_.size()),
+      alignToFirstRecord_(align_to_first_record)
 {
     bp_assert(!events_.empty(), "assembler needs a monitored event set");
     sim::EventId max_id = 0;
@@ -49,6 +51,16 @@ SliceAssembler::feed(const sim::PerfRecord &rec,
         (open_ && rec.slice < curSlice_)) {
         ++rejected_;
         return 0;
+    }
+
+    if (!started_) {
+        started_ = true;
+        if (alignToFirstRecord_) {
+            // The stream begins where the producer does: no
+            // retroactive gap slices before the attach point.
+            origin_ = rec.slice;
+            frontSlice_ = rec.slice;
+        }
     }
 
     const std::size_t before = out.size();

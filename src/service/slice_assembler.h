@@ -32,7 +32,17 @@ namespace service {
 class SliceAssembler
 {
   public:
-    explicit SliceAssembler(std::vector<sim::EventId> events);
+    /**
+     * @param align_to_first_record  When set, the assembly front is
+     *        pinned to the first accepted record's slice instead of
+     *        slice 0: a consumer attached mid-stream starts at its
+     *        attach time rather than manufacturing every earlier
+     *        slice as an unobserved gap (and flooding downstream
+     *        windowed inference with retroactive windows).  Gaps
+     *        after the first record are still emitted.
+     */
+    explicit SliceAssembler(std::vector<sim::EventId> events,
+                            bool align_to_first_record = false);
 
     /**
      * Consume one record.  Any slices that became complete (every
@@ -55,6 +65,14 @@ class SliceAssembler
     /** Next slice index the assembler would emit. */
     std::uint32_t frontSlice() const { return frontSlice_; }
 
+    /**
+     * Absolute slice the stream starts at: the first accepted
+     * record's slice under align_to_first_record, otherwise 0.  This
+     * is the offset between downstream stream-local slice indices and
+     * the producer's absolute slice clock.
+     */
+    std::uint32_t originSlice() const { return origin_; }
+
     std::uint64_t recordsAccepted() const { return accepted_; }
     std::uint64_t recordsRejected() const { return rejected_; }
 
@@ -67,8 +85,11 @@ class SliceAssembler
 
     core::SliceMeasurements current_;
     bool open_ = false;          // current_ holds records
+    bool alignToFirstRecord_ = false;
+    bool started_ = false;       // a record has been accepted
     std::uint32_t curSlice_ = 0; // slice under assembly (when open_)
     std::uint32_t frontSlice_ = 0;
+    std::uint32_t origin_ = 0;
 
     std::uint64_t accepted_ = 0;
     std::uint64_t rejected_ = 0;

@@ -8,7 +8,7 @@ namespace service {
 StreamingInference::StreamingInference(const sim::MicroarchDescriptor &uarch,
                                        std::vector<sim::EventId> events,
                                        StreamingConfig config)
-    : assembler_(events),
+    : assembler_(events, config.alignToFirstRecord),
       engine_(uarch, std::move(events), config.inference,
               config.schedulePeriod)
 {
@@ -19,6 +19,14 @@ StreamingInference::consume(const sim::PerfRecord &rec)
 {
     ready_.clear();
     assembler_.feed(rec, ready_);
+    // A session attached mid-stream starts at its first record's
+    // slice; hand that offset to the engine so backend release times
+    // stay on the producer's absolute slice clock.  The record also
+    // floors release times: windows it completes (including catch-up
+    // windows over shed/stalled stretches) dispatch now, not in the
+    // past.
+    engine_.setSliceOrigin(assembler_.originSlice());
+    engine_.setReleaseFloor(rec.slice);
     std::size_t windows = 0;
     for (const auto &slice : ready_)
         windows += engine_.push(slice);

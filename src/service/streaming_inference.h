@@ -35,6 +35,14 @@ struct StreamingConfig
      * InferenceConfig::windowSlices).
      */
     std::size_t schedulePeriod = 0;
+
+    /**
+     * Start the stream at the first record's slice instead of slice 0
+     * (see SliceAssembler).  A session opened mid-run then begins at
+     * its attach time — no retroactive unobserved slices, and backend
+     * window releases keep the producer's absolute slice clock.
+     */
+    bool alignToFirstRecord = true;
 };
 
 /**

@@ -58,9 +58,17 @@ class RingBuffer
 
     std::size_t size() const
     {
-        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        // Load head before tail: the consumer only ever advances
+        // head_ up to a tail it already observed, so a head read that
+        // precedes the tail read can never exceed it.  (The reverse
+        // order raced: a consumer advancing between the two loads
+        // made tail - head wrap to a huge value.)  The producer may
+        // still advance tail between the loads, so clamp to capacity.
         const std::uint64_t head = head_.load(std::memory_order_acquire);
-        return static_cast<std::size_t>(tail - head);
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        const std::uint64_t used = tail - head;
+        return static_cast<std::size_t>(
+            used < buffer_.size() ? used : buffer_.size());
     }
     std::size_t capacity() const { return buffer_.size(); }
     bool empty() const { return size() == 0; }
@@ -76,6 +84,36 @@ class RingBuffer
     std::uint64_t pushed() const
     {
         return tail_.load(std::memory_order_acquire);
+    }
+
+    /** Coherent (pushed, dropped) pair. */
+    struct Counters
+    {
+        std::uint64_t pushed = 0;
+        std::uint64_t dropped = 0;
+    };
+
+    /**
+     * Snapshot pushed and dropped at one coherent instant.  Reading
+     * the two counters independently can pair a stale pushed with a
+     * fresh dropped (or vice versa), so derived invariants such as
+     * offered == pushed + dropped need not hold for the pair.  Here
+     * the dropped count is re-read after the pushed load: when it did
+     * not change, the pair is exactly the ring's state at the instant
+     * tail_ was read.
+     */
+    Counters counters() const
+    {
+        for (;;) {
+            const std::uint64_t dropped_before =
+                dropped_.load(std::memory_order_acquire);
+            const std::uint64_t pushed =
+                tail_.load(std::memory_order_acquire);
+            const std::uint64_t dropped_after =
+                dropped_.load(std::memory_order_acquire);
+            if (dropped_before == dropped_after)
+                return Counters{pushed, dropped_after};
+        }
     }
 
   private:

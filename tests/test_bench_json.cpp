@@ -6,9 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <string>
+#include <vector>
+
+#include "common/stats.h"
 
 #include "bench_util.h"
 
@@ -111,6 +116,8 @@ class JsonChecker
             return literal("true");
         if (c == 'f')
             return literal("false");
+        if (c == 'n')
+            return literal("null");
         return number();
     }
 
@@ -269,6 +276,48 @@ TEST(JsonWriter, AccelServiceBenchSchemaIsValid)
         EXPECT_NE(doc.find('"' + std::string(key) + '"'),
                   std::string::npos)
             << key;
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull)
+{
+    // Regression: percentiles over an empty sample set (a 0-window
+    // run) used to stream bare nan/inf tokens, which no JSON parser
+    // accepts.  Every non-finite double must come out as null.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("p99_us", nan)
+        .field("speedup", inf)
+        .field("slowdown", -inf)
+        .field("ok", 1.5)
+        .beginArray("raw")
+        .value(nan)
+        .value(2.0)
+        .endArray()
+        .endObject();
+    EXPECT_EQ(json.str(),
+              "{\"p99_us\": null, \"speedup\": null, "
+              "\"slowdown\": null, \"ok\": 1.5, \"raw\": [null, 2]}");
+    EXPECT_TRUE(JsonChecker(json.str()).valid());
+}
+
+TEST(JsonWriter, EmptyPercentilePathEmitsNull)
+{
+    // The exact empty-sample path the benches hit on a 0-window run:
+    // percentileOrNan -> NaN -> null in the artifact.
+    const std::vector<double> empty;
+    const double p99 = bench::percentileOrNan(empty, 99.0);
+    EXPECT_TRUE(std::isnan(p99));
+    // Non-empty input must agree with the strict percentile().
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(bench::percentileOrNan(xs, 50.0),
+                     percentile(xs, 50.0));
+
+    bench::JsonWriter json;
+    json.beginObject().field("windows", 0).field("p99_us", p99).endObject();
+    EXPECT_EQ(json.str(), "{\"windows\": 0, \"p99_us\": null}");
+    EXPECT_TRUE(JsonChecker(json.str()).valid());
 }
 
 TEST(JsonWriter, WriteFileRoundTrips)

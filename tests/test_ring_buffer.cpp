@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "sim/ring_buffer.h"
@@ -114,6 +115,76 @@ TEST(RingBuffer, SpscConcurrentOrderPreserved)
     EXPECT_EQ(popped, rb.pushed());
     EXPECT_EQ(rb.pushed() + rb.dropped(), kAttempts);
     EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, SizeStaysSaneUnderConcurrentProducerConsumer)
+{
+    // Regression: size() used to load tail then head as independent
+    // acquires, so a consumer advancing head between the two loads
+    // made (tail - head) wrap to a huge value.  Hammer size() from a
+    // third thread while a producer/consumer pair runs: every
+    // observation must stay within [0, capacity].
+    RingBuffer rb(8);
+    constexpr std::uint32_t kAttempts = 200000;
+    std::atomic<bool> done{false};
+
+    std::thread producer([&] {
+        for (std::uint32_t i = 0; i < kAttempts; ++i)
+            rb.push(rec(i, i));
+        done.store(true);
+    });
+    std::thread consumer([&] {
+        while (!done.load() || !rb.empty())
+            rb.pop();
+    });
+
+    // On a loaded single-core host the producer may finish before
+    // this loop is scheduled at all, so the observation count itself
+    // is not asserted — every observation that does happen must be
+    // sane, and the post-join state is checked unconditionally.
+    while (!done.load())
+        ASSERT_LE(rb.size(), rb.capacity());
+    producer.join();
+    consumer.join();
+    ASSERT_LE(rb.size(), rb.capacity());
+    EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(RingBuffer, CounterSnapshotIsCoherentUnderConcurrency)
+{
+    // counters() must return a (pushed, dropped) pair that coexisted:
+    // pushed + dropped never exceeds the offers issued so far and the
+    // sum is monotone across snapshots; after the producer finishes
+    // it equals the exact attempt count.
+    RingBuffer rb(8);
+    constexpr std::uint32_t kAttempts = 200000;
+    std::atomic<bool> done{false};
+
+    std::thread producer([&] {
+        for (std::uint32_t i = 0; i < kAttempts; ++i)
+            rb.push(rec(i, i));
+        done.store(true);
+    });
+    std::thread consumer([&] {
+        while (!done.load() || !rb.empty())
+            rb.pop();
+    });
+
+    std::uint64_t last_offered = 0;
+    while (!done.load()) {
+        const RingBuffer::Counters counters = rb.counters();
+        const std::uint64_t offered = counters.pushed + counters.dropped;
+        ASSERT_LE(offered, kAttempts);
+        ASSERT_GE(offered, last_offered);
+        last_offered = offered;
+    }
+    producer.join();
+    consumer.join();
+
+    const RingBuffer::Counters final_counters = rb.counters();
+    EXPECT_EQ(final_counters.pushed + final_counters.dropped, kAttempts);
+    EXPECT_EQ(final_counters.pushed, rb.pushed());
+    EXPECT_EQ(final_counters.dropped, rb.dropped());
 }
 
 TEST(RingBufferDeathTest, ZeroCapacityPanics)

@@ -303,6 +303,61 @@ TEST(MonitorService, RegistryOpenCloseUnderThreads)
     EXPECT_FALSE(daemon.close(999999).has_value());
 }
 
+TEST(MonitorService, StatsSnapshotInvariantHoldsUnderConcurrentOffers)
+{
+    // Regression: the snapshot used to read the ring's push and drop
+    // counters at different instants, so recordsOffered (their sum)
+    // could disagree with the offer() calls actually completed.  With
+    // the coherent counter snapshot the invariant holds in every
+    // observation while a producer hammers a tiny ring.
+    SessionConfig cfg;
+    cfg.queueCapacity = 4;
+    Session session(1, uarch(), monitoredSet(), cfg);
+    // An unmonitored event id: the assembler rejects each record, so
+    // the drain loop exercises the ring and counters at full speed
+    // without running EP windows.
+    const sim::EventId e = 65001;
+
+    constexpr std::uint32_t kAttempts = 100000;
+    std::atomic<bool> done{false};
+    std::thread producer([&] {
+        for (std::uint32_t i = 0; i < kAttempts; ++i) {
+            session.offer(rec(i, e, 1.0));
+            if (i % 64 == 0) {
+                // Keep the ring bouncing between full and empty so
+                // both counters move.
+                while (session.queueSize() > 1)
+                    std::this_thread::yield();
+            }
+        }
+        done.store(true);
+    });
+    std::thread consumer([&] {
+        while (!done.load())
+            session.drain();
+        session.drain();
+    });
+
+    // The observation count is deliberately unasserted: on a loaded
+    // single-core host the producer may finish before this loop runs.
+    std::uint64_t last_offered = 0;
+    while (!done.load()) {
+        const SessionStats snap = session.statsSnapshot();
+        ASSERT_EQ(snap.recordsOffered,
+                  snap.recordsIngested + snap.recordsDropped);
+        ASSERT_LE(snap.recordsOffered, kAttempts);
+        ASSERT_GE(snap.recordsOffered, last_offered);
+        last_offered = snap.recordsOffered;
+    }
+    producer.join();
+    consumer.join();
+
+    const SessionStats final_snap = session.statsSnapshot();
+    EXPECT_EQ(final_snap.recordsOffered, kAttempts);
+    EXPECT_EQ(final_snap.recordsOffered,
+              final_snap.recordsIngested + final_snap.recordsDropped);
+}
+
 TEST(MonitorService, BackpressureDropAccounting)
 {
     // A session with a tiny ring and no worker visiting it: overflow

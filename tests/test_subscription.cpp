@@ -1,0 +1,311 @@
+/** @file Tests for the window-subscription surface: per-window
+ * delivery with posterior summaries, bounded queues with
+ * drop-and-count on slow consumers, unsubscribe, and clean teardown
+ * while publishers are racing (run under TSan in CI). */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/monitor_service.h"
+#include "service/record_stream.h"
+#include "service/subscription.h"
+#include "sim/ground_truth.h"
+#include "workloads/hibench.h"
+
+namespace bperf {
+namespace service {
+namespace {
+
+const sim::MicroarchDescriptor &
+uarch()
+{
+    static const sim::MicroarchDescriptor u = sim::makeX86Skylake();
+    return u;
+}
+
+std::vector<sim::EventId>
+monitoredSet()
+{
+    std::vector<sim::EventId> events;
+    for (sim::EventId e : uarch().fixedEvents())
+        events.push_back(e);
+    for (sim::Role r :
+         {sim::Role::LlcMiss, sim::Role::L2Miss, sim::Role::L1DMiss,
+          sim::Role::Loads, sim::Role::Stores, sim::Role::Branches,
+          sim::Role::BranchMisses, sim::Role::StallMem})
+        events.push_back(uarch().idForRole(r));
+    return events;
+}
+
+sim::PerfResult
+measuredRun(const std::vector<sim::EventId> &monitored,
+            std::size_t num_slices, std::uint64_t seed)
+{
+    const sim::GroundTruthGenerator generator(
+        uarch(), wl::makeHibench("KMeans"));
+    const sim::TruthTrace truth = generator.generate(num_slices, seed);
+    sim::PerfSessionConfig cfg;
+    cfg.seed = seed * 3 + 1;
+    sim::PerfSession session(uarch(), cfg);
+    return session.runRoundRobin(truth, monitored);
+}
+
+MonitorServiceConfig
+serviceConfig()
+{
+    MonitorServiceConfig cfg;
+    cfg.numWorkers = 2;
+    cfg.sessionDefaults.streaming.inference.windowSlices = 6;
+    return cfg;
+}
+
+WindowUpdate
+makeUpdate(std::uint64_t session, std::uint64_t index)
+{
+    WindowUpdate u;
+    u.sessionId = session;
+    u.windowIndex = index;
+    return u;
+}
+
+TEST(SubscriptionHub, DeliversPublishedUpdatesInOrder)
+{
+    SubscriptionHub hub(16);
+    std::mutex mutex;
+    std::vector<std::uint64_t> seen;
+    const SubscriptionId id =
+        hub.subscribe(7, [&](const WindowUpdate &u) {
+            std::lock_guard<std::mutex> lock(mutex);
+            seen.push_back(u.windowIndex);
+        });
+
+    for (std::uint64_t i = 0; i < 5; ++i)
+        hub.publish(makeUpdate(7, i));
+    // Another session's updates must not reach this subscriber.
+    hub.publish(makeUpdate(8, 99));
+    hub.flush();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ASSERT_EQ(seen.size(), 5u);
+        for (std::uint64_t i = 0; i < 5; ++i)
+            EXPECT_EQ(seen[i], i);
+    }
+    const auto stats = hub.stats(id);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->published, 5u);
+    EXPECT_EQ(stats->delivered, 5u);
+    EXPECT_EQ(stats->dropped, 0u);
+}
+
+TEST(SubscriptionHub, SlowConsumerDropsOldestAndCounts)
+{
+    SubscriptionHub hub(/*queue_capacity=*/4);
+
+    // Gate the callback so the queue backs up deterministically.
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    std::vector<std::uint64_t> seen;
+    const SubscriptionId id =
+        hub.subscribe(1, [&](const WindowUpdate &u) {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return release; });
+            seen.push_back(u.windowIndex);
+        });
+
+    // First publish may enter the callback immediately and block
+    // there; the rest fill the bounded queue and start evicting.
+    constexpr std::uint64_t kPublished = 12;
+    for (std::uint64_t i = 0; i < kPublished; ++i)
+        hub.publish(makeUpdate(1, i));
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+    hub.flush();
+
+    const auto stats = hub.stats(id);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->published, kPublished);
+    EXPECT_GT(stats->dropped, 0u);
+    EXPECT_EQ(stats->delivered + stats->dropped, kPublished);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        EXPECT_EQ(seen.size(), stats->delivered);
+        // Drop-oldest: the freshest window always survives.
+        ASSERT_FALSE(seen.empty());
+        EXPECT_EQ(seen.back(), kPublished - 1);
+    }
+}
+
+TEST(SubscriptionHub, UnsubscribeStopsDeliveryKeepsStats)
+{
+    SubscriptionHub hub(16);
+    std::atomic<std::uint64_t> count{0};
+    const SubscriptionId id = hub.subscribe(
+        3, [&](const WindowUpdate &) { count.fetch_add(1); });
+
+    hub.publish(makeUpdate(3, 0));
+    hub.flush();
+    EXPECT_TRUE(hub.unsubscribe(id));
+    EXPECT_FALSE(hub.unsubscribe(id)); // idempotent
+    hub.publish(makeUpdate(3, 1));
+    hub.flush();
+
+    EXPECT_EQ(count.load(), 1u);
+    const auto stats = hub.stats(id);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->delivered, 1u);
+    EXPECT_EQ(hub.subscriberCount(3), 0u);
+}
+
+TEST(SubscriptionHub, PublishRacesSubscribeUnsubscribeAndTeardown)
+{
+    // Publishers racing subscribe/unsubscribe/flush, then a teardown
+    // with updates still queued: accounting must balance and the
+    // dispatcher must join cleanly (TSan-checked in CI).  Publishers
+    // always stop before the hub dies — the service guarantees the
+    // same order by destroying its worker pool first.
+    for (int round = 0; round < 10; ++round) {
+        std::atomic<bool> stop{false};
+        SubscriptionHub hub(8);
+        std::thread publisher([&] {
+            std::uint64_t i = 0;
+            while (!stop.load())
+                hub.publish(makeUpdate(1, i++));
+        });
+        std::atomic<std::uint64_t> seen{0};
+        for (int churn = 0; churn < 20; ++churn) {
+            const SubscriptionId id = hub.subscribe(
+                1, [&](const WindowUpdate &) { seen.fetch_add(1); });
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            EXPECT_TRUE(hub.unsubscribe(id));
+            // After unsubscribe only an in-flight callback can still
+            // complete; flush() waits it out, then the accounting
+            // must balance exactly.
+            hub.flush();
+            const auto stats = hub.stats(id);
+            ASSERT_TRUE(stats.has_value());
+            EXPECT_EQ(stats->delivered + stats->dropped,
+                      stats->published);
+        }
+        stop.store(true);
+        publisher.join();
+        // Destruction with a live subscriber and possibly queued
+        // updates: the dispatcher joins, leftovers count as dropped.
+        hub.subscribe(1, [](const WindowUpdate &) {});
+    }
+}
+
+TEST(MonitorService, SubscriberSeesEveryWindowWithPosteriors)
+{
+    MonitorService daemon(uarch(), serviceConfig());
+    const SessionId id = daemon.open(monitoredSet());
+    const auto monitored = daemon.monitoredEvents(id);
+    const auto run = measuredRun(monitored, 24, 321);
+
+    std::mutex mutex;
+    std::vector<WindowUpdate> updates;
+    const auto sub = daemon.subscribe(id, [&](const WindowUpdate &u) {
+        std::lock_guard<std::mutex> lock(mutex);
+        updates.push_back(u);
+    });
+    ASSERT_TRUE(sub.has_value());
+    // Subscribing to an unknown session is a typed miss.
+    EXPECT_FALSE(daemon.subscribe(999999, [](const WindowUpdate &) {})
+                     .has_value());
+
+    daemon.ingestBatch(id, recordStream(run));
+    daemon.quiesce();
+    daemon.flushSubscriptions();
+
+    const auto report = daemon.close(id);
+    ASSERT_TRUE(report.has_value());
+    daemon.flushSubscriptions(); // the close() tail windows
+
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(updates.size(), report->stats.windowsRun);
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+        const WindowUpdate &u = updates[i];
+        EXPECT_EQ(u.sessionId, id);
+        EXPECT_EQ(u.windowIndex, i);
+        ASSERT_EQ(u.events.size(), monitored.size());
+        ASSERT_EQ(u.posterior.size(), monitored.size());
+        for (const auto &p : u.posterior) {
+            EXPECT_GT(p.mean, 0.0);
+            EXPECT_GT(p.stddev, 0.0);
+        }
+        EXPECT_GT(u.execution.modeledSeconds, 0.0);
+        if (i > 0)
+            EXPECT_GE(u.endSlice, updates[i - 1].endSlice);
+    }
+    const auto sub_stats = daemon.subscriptionStats(*sub);
+    ASSERT_TRUE(sub_stats.has_value());
+    EXPECT_EQ(sub_stats->published, report->stats.windowsRun);
+    EXPECT_EQ(sub_stats->delivered, report->stats.windowsRun);
+    EXPECT_EQ(sub_stats->dropped, 0u);
+}
+
+TEST(MonitorService, SubscriptionsWhileProducersStream)
+{
+    // Several sessions streaming from producer threads with a
+    // subscriber each: delivery accounting must balance and teardown
+    // must be clean while the dispatcher races the workers.
+    MonitorServiceConfig cfg = serviceConfig();
+    cfg.numWorkers = 4;
+    MonitorService daemon(uarch(), cfg);
+
+    constexpr std::size_t kSessions = 4;
+    constexpr std::size_t kSlices = 18;
+
+    std::vector<SessionId> ids;
+    std::vector<std::atomic<std::uint64_t>> counts(kSessions);
+    std::vector<SubscriptionId> subs;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+        ids.push_back(daemon.open(monitoredSet()));
+        const auto sub = daemon.subscribe(
+            ids[s], [&counts, s](const WindowUpdate &) {
+                counts[s].fetch_add(1);
+            });
+        ASSERT_TRUE(sub.has_value());
+        subs.push_back(*sub);
+    }
+    const auto monitored = daemon.monitoredEvents(ids[0]);
+
+    std::vector<std::thread> producers;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+        producers.emplace_back([&daemon, &monitored, id = ids[s], s] {
+            const auto run = measuredRun(monitored, kSlices, 800 + s);
+            for (std::size_t t = 0; t < kSlices; ++t)
+                daemon.ingestBatch(id, sliceRecords(run, t));
+        });
+    }
+    for (auto &p : producers)
+        p.join();
+    daemon.quiesce();
+    daemon.flushSubscriptions();
+
+    for (std::size_t s = 0; s < kSessions; ++s) {
+        const auto report = daemon.close(ids[s]);
+        ASSERT_TRUE(report.has_value());
+        daemon.flushSubscriptions();
+        const auto stats = daemon.subscriptionStats(subs[s]);
+        ASSERT_TRUE(stats.has_value());
+        EXPECT_EQ(stats->published, report->stats.windowsRun);
+        EXPECT_EQ(stats->delivered + stats->dropped,
+                  stats->published);
+        EXPECT_EQ(counts[s].load(), stats->delivered);
+    }
+}
+
+} // namespace
+} // namespace service
+} // namespace bperf
