@@ -16,18 +16,25 @@
  * Usage: perf_daemon [host|capi|pcie] [engines]
  *                    [--max-sessions=N] [--records-per-sec=R]
  *                    [--max-inflight-windows=N] [--max-queue-us=X]
+ *                    [--shm=/name] [--linger-ms=N]
  *
  * The first argument selects the execution backend: "host" (windows
  * cost their measured EP wall time) or the simulated FPGA EP-engine
  * pool over the CAPI / PCIe host interface; "engines" sizes that
  * pool (default 4).  Any quota flag enables admission control with
  * that per-tenant limit; --max-queue-us sheds opens and pushes once
- * the pool's modeled queue exceeds the threshold.  Posteriors are
- * identical across backends — the table's modeled-latency columns
- * are what changes.  Unknown arguments, a zero engine count or a
- * malformed flag value print usage and exit non-zero.
+ * the pool's modeled queue exceeds the threshold.  --shm exports the
+ * posterior snapshot table over POSIX shared memory so a separate
+ * process (see examples/shim_reader.cpp) can poll live posteriors;
+ * --linger-ms keeps the sessions (and so the table) alive that long
+ * after streaming finishes, giving external readers time to attach.
+ * Posteriors are identical across backends — the table's
+ * modeled-latency columns are what changes.  Unknown arguments, a
+ * zero engine count or a malformed flag value print usage and exit
+ * non-zero.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,12 +44,15 @@
 #include <vector>
 
 #include "common/table.h"
+#include "example_args.h"
 #include "service/monitor_service.h"
 #include "service/record_stream.h"
 #include "sim/ground_truth.h"
 #include "workloads/hibench.h"
 
 using namespace bperf;
+using examples::parseCount;
+using examples::parseDouble;
 
 namespace {
 
@@ -53,30 +63,9 @@ usage(const char *argv0)
                  "usage: %s [host|capi|pcie] [engines]\n"
                  "          [--max-sessions=N] [--records-per-sec=R]\n"
                  "          [--max-inflight-windows=N] "
-                 "[--max-queue-us=X]\n",
+                 "[--max-queue-us=X]\n"
+                 "          [--shm=/name] [--linger-ms=N]\n",
                  argv0);
-}
-
-/** Parse the numeric tail of --flag=value; false on garbage. */
-bool
-parseDouble(const char *text, double *out)
-{
-    char *end = nullptr;
-    *out = std::strtod(text, &end);
-    return end != text && *end == '\0' && *out >= 0.0;
-}
-
-bool
-parseCount(const char *text, std::size_t *out)
-{
-    if (text[0] == '-')
-        return false; // strtoul would silently wrap negatives
-    char *end = nullptr;
-    const unsigned long v = std::strtoul(text, &end, 10);
-    if (end == text || *end != '\0')
-        return false;
-    *out = static_cast<std::size_t>(v);
-    return true;
 }
 
 } // namespace
@@ -93,11 +82,35 @@ main(int argc, char **argv)
     cfg.sessionDefaults.streaming.inference.windowSlices = 6;
 
     std::string backend_arg = "capi";
+    std::size_t linger_ms = 0;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         double dval = 0.0;
         std::size_t nval = 0;
+        if (arg.rfind("--shm=", 0) == 0) {
+            const std::string name = arg.substr(6);
+            // Validate here so a malformed name is a usage error, not
+            // an shm_open abort deep in the snapshot region.
+            if (!examples::validShmName(name)) {
+                std::fprintf(stderr,
+                             "%s: bad %s (want \"/name\", no further "
+                             "'/', <= 250 chars)\n",
+                             argv[0], argv[i]);
+                return 2;
+            }
+            cfg.snapshot.enabled = true;
+            cfg.snapshot.shmName = name;
+            continue;
+        }
+        if (arg.rfind("--linger-ms=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 12, &nval)) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            linger_ms = nval;
+            continue;
+        }
         if (arg.rfind("--max-sessions=", 0) == 0) {
             if (!parseCount(arg.c_str() + 15, &nval) || nval == 0) {
                 std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
@@ -266,6 +279,24 @@ main(int argc, char **argv)
     daemon.quiesce();
     daemon.flushSubscriptions();
 
+    // Keep the snapshot table populated long enough for an external
+    // shim_reader to attach and poll before the sessions close and
+    // their slots are invalidated.
+    if (linger_ms > 0) {
+        if (cfg.snapshot.enabled)
+            std::printf("lingering %zu ms with snapshot table \"%s\" "
+                        "live...\n",
+                        linger_ms, cfg.snapshot.shmName.c_str());
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(linger_ms));
+    }
+
+    // Snapshot-shim accounting, taken while the sessions still own
+    // their slots (closing invalidates them, which would always show
+    // "0 slots live").
+    const service::SnapshotPublisherStats snapshot_stats =
+        daemon.stats().snapshot;
+
     // 6. Close everything; score posteriors against ground truth and
     // report the backend's modeled window latency next to the
     // measured host EP time.
@@ -307,6 +338,23 @@ main(int argc, char **argv)
     }
 
     const service::ServiceStats stats = daemon.stats();
+    if (snapshot_stats.enabled) {
+        std::printf("snapshot shim \"%s\": %llu windows published, "
+                    "%llu dropped, %zu/%zu slots live pre-close "
+                    "(+%llu tail publishes from close)\n",
+                    cfg.snapshot.shmName.empty()
+                        ? "(in-process)"
+                        : cfg.snapshot.shmName.c_str(),
+                    static_cast<unsigned long long>(
+                        snapshot_stats.publishes),
+                    static_cast<unsigned long long>(
+                        snapshot_stats.publishDrops),
+                    snapshot_stats.slotsLive,
+                    snapshot_stats.slotCapacity,
+                    static_cast<unsigned long long>(
+                        stats.snapshot.publishes -
+                        snapshot_stats.publishes));
+    }
     if (!stats.admission.empty()) {
         TablePrinter admission_table({"tenant", "sessions ok",
                                       "sessions rej", "records ok",

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The paper's consumer: a separate process that attaches to the
+ * monitoring daemon's shared-memory posterior snapshot table and
+ * polls the latest corrected-counter posteriors — no subscription,
+ * no RPC, just wait-free seqlock reads.
+ *
+ * Pair it with the daemon exporting a segment:
+ *
+ *   ./perf_daemon capi 4 --shm=/bperf-demo --linger-ms=3000 &
+ *   ./shim_reader /bperf-demo
+ *
+ * Usage: shim_reader <shm-name> [--attach-timeout-ms=N]
+ *                    [--duration-ms=N] [--interval-ms=N]
+ *                    [--min-reads=N]
+ *
+ * The reader retries attachment until the segment appears (up to
+ * --attach-timeout-ms, default 5000), then polls every
+ * --interval-ms (default 100) for --duration-ms (default 2000),
+ * printing one line per live session with its latest window, a few
+ * posteriors, and the measured staleness of the read.  Exits 0 once
+ * it has observed at least --min-reads (default 1) consistent
+ * snapshots, non-zero otherwise — which is what the CI smoke checks.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "example_args.h"
+#include "shim/snapshot_reader.h"
+
+using namespace bperf;
+using examples::parseCount;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <shm-name> [--attach-timeout-ms=N]\n"
+                 "          [--duration-ms=N] [--interval-ms=N]\n"
+                 "          [--min-reads=N]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string shm_name;
+    std::size_t attach_timeout_ms = 5000;
+    std::size_t duration_ms = 2000;
+    std::size_t interval_ms = 100;
+    std::size_t min_reads = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::size_t nval = 0;
+        if (arg.rfind("--attach-timeout-ms=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 20, &nval)) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            attach_timeout_ms = nval;
+        } else if (arg.rfind("--duration-ms=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 14, &nval)) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            duration_ms = nval;
+        } else if (arg.rfind("--interval-ms=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 14, &nval) || nval == 0) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            interval_ms = nval;
+        } else if (arg.rfind("--min-reads=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 12, &nval)) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            min_reads = nval;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         argv[i]);
+            usage(argv[0]);
+            return 2;
+        } else if (shm_name.empty()) {
+            shm_name = arg;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (shm_name.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    // 1. Attach: the daemon may not have created the segment yet.
+    std::optional<shim::SnapshotReader> reader;
+    const auto attach_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(attach_timeout_ms);
+    while (!(reader = shim::SnapshotReader::attach(shm_name))) {
+        if (std::chrono::steady_clock::now() >= attach_deadline) {
+            std::fprintf(stderr,
+                         "%s: no snapshot segment \"%s\" after %zu ms\n",
+                         argv[0], shm_name.c_str(), attach_timeout_ms);
+            return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::printf("attached to %s: %zu slots x %zu events, %llu publishes "
+                "so far\n",
+                shm_name.c_str(), reader->slots(), reader->maxEvents(),
+                static_cast<unsigned long long>(reader->publishes()));
+
+    // 2. Poll: every interval, list live sessions and read each one.
+    std::size_t ok_reads = 0;
+    std::uint64_t torn = 0;
+    std::uint64_t max_age_ns = 0;
+    const auto poll_deadline = std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(duration_ms);
+    do {
+        for (std::uint64_t session : reader->sessions()) {
+            shim::PosteriorSnapshot snap;
+            const shim::ReadStatus status = reader->read(session, snap);
+            if (status == shim::ReadStatus::Torn) {
+                ++torn;
+                continue;
+            }
+            if (status != shim::ReadStatus::Ok)
+                continue; // closed between listing and read
+            ++ok_reads;
+            if (snap.ageNanos > max_age_ns)
+                max_age_ns = snap.ageNanos;
+            std::printf("session %llu window %llu (end slice %zu, "
+                        "modeled %.2f ms, age %.1f us):",
+                        static_cast<unsigned long long>(snap.sessionId),
+                        static_cast<unsigned long long>(snap.windowIndex),
+                        snap.endSlice,
+                        1e3 * snap.execution.modeledSeconds,
+                        1e-3 * static_cast<double>(snap.ageNanos));
+            const std::size_t shown =
+                snap.counters.size() < 3 ? snap.counters.size() : 3;
+            for (std::size_t i = 0; i < shown; ++i) {
+                std::printf(" ev%u=%.0f+/-%.0f",
+                            snap.counters[i].event,
+                            snap.counters[i].posterior.mean,
+                            snap.counters[i].posterior.stddev);
+            }
+            std::printf("%s\n",
+                        snap.counters.size() > shown ? " ..." : "");
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    } while (std::chrono::steady_clock::now() < poll_deadline);
+
+    std::printf("%zu consistent reads (%llu torn retry exhaustions), "
+                "max staleness %.1f us, %llu publishes total\n",
+                ok_reads, static_cast<unsigned long long>(torn),
+                1e-3 * static_cast<double>(max_age_ns),
+                static_cast<unsigned long long>(reader->publishes()));
+    if (ok_reads < min_reads) {
+        std::fprintf(stderr, "%s: only %zu of the required %zu reads\n",
+                     argv[0], ok_reads, min_reads);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Verify that every relative markdown link in README.md and docs/*.md
+# points at a file or directory that actually exists.  Handles
+# titled links [t](target "title"), angle-bracket targets
+# [t](<target>), skips fenced code blocks, external URLs and pure
+# anchors, and strips anchor fragments from relative links before
+# the check.  Exits non-zero listing every broken link.  Run from
+# the repository root; CI runs it on every push.
+set -u
+
+fail=0
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Extract ](...) targets outside fenced code blocks; drop any
+    # ' "title"' suffix and surrounding <...>.
+    while IFS= read -r link; do
+        case "$link" in
+            http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        target=${link%%#*} # drop any anchor fragment
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "$doc: broken link -> $link" >&2
+            fail=1
+        fi
+    done < <(awk '
+        /^(```|~~~)/ { fenced = !fenced; next }
+        !fenced {
+            line = $0
+            while (match(line, /\]\(([^()]|\([^()]*\))*\)/)) {
+                t = substr(line, RSTART + 2, RLENGTH - 3)
+                line = substr(line, RSTART + RLENGTH)
+                sub(/[ \t]+("[^"]*"|\047[^\047]*\047)[ \t]*$/, "", t)
+                gsub(/^<|>$/, "", t)
+                print t
+            }
+        }' "$doc")
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "docs link check: all relative links resolve"
+fi
+exit "$fail"

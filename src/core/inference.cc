@@ -108,6 +108,18 @@ WindowedInference::latest(std::size_t event_index) const
     return series_[event_index][coveredEnd_ - 1 - seriesBase_];
 }
 
+bool
+WindowedInference::latestPosteriors(std::vector<PosteriorPoint> &out) const
+{
+    if (coveredEnd_ <= seriesBase_)
+        return false;
+    out.resize(events_.size());
+    const std::size_t t = coveredEnd_ - 1 - seriesBase_;
+    for (std::size_t i = 0; i < events_.size(); ++i)
+        out[i] = series_[i][t];
+    return true;
+}
+
 void
 WindowedInference::runWindow(std::size_t w_len)
 {

@@ -226,6 +226,16 @@ class WindowedInference
     /** Most recent posterior of events()[event_index]. */
     PosteriorPoint latest(std::size_t event_index) const;
 
+    /**
+     * Posterior summary at the most recent inferred slice: resizes
+     * `out` to events().size() and fills it with each event's latest
+     * posterior, reusing out's storage (the allocation-free summary
+     * the service's WindowUpdate publishing and the snapshot shim
+     * both consume).  Returns false (out untouched) before the first
+     * inferred slice.
+     */
+    bool latestPosteriors(std::vector<PosteriorPoint> &out) const;
+
     std::size_t windowsRun() const { return windowsRun_; }
     std::size_t epSweepsTotal() const { return epSweepsTotal_; }
 

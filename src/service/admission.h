@@ -102,7 +102,8 @@ struct AdmissionConfig
     double shedQueueSeconds = 0.0;
 };
 
-/** Per-tenant admission accounting. */
+/** Per-tenant admission accounting (a point-in-time copy; read it
+ * through AdmissionController::stats()/tenantStats()). */
 struct AdmissionStats
 {
     std::uint64_t sessionsAdmitted = 0;
@@ -181,7 +182,10 @@ class AdmissionController
     /** Live modeled queue of the wired backend (zeros without one). */
     core::BackendQueueDepth backendQueue() const;
 
+    /** Master-switch state (constant after construction). */
     bool enabled() const { return config_.enabled; }
+    /** The configuration the controller was built with (immutable
+     * besides setQuota()'s per-tenant overrides). */
     const AdmissionConfig &config() const { return config_; }
 
   private:

@@ -36,7 +36,11 @@ MonitorService::MonitorService(const sim::MicroarchDescriptor &uarch,
                                MonitorServiceConfig config)
     : uarch_(uarch), config_(config), backend_(makeBackend(config)),
       admission_(alignedAdmission(config), backend_.get()),
-      registry_(config.numShards), hub_(config.subscriberQueueCapacity),
+      registry_(config.numShards),
+      snapshot_(config.snapshot.enabled
+                    ? std::make_unique<SnapshotPublisher>(config.snapshot)
+                    : nullptr),
+      hub_(config.subscriberQueueCapacity),
       pool_(config.numWorkers, [this](SessionId id) { processSession(id); })
 {
 }
@@ -75,10 +79,24 @@ MonitorService::open(const std::string &tenant,
     if (cfg.streaming.inference.backend == nullptr)
         cfg.streaming.inference.backend = backend_.get();
     cfg.streaming.inference.backendSessionKey = id;
-    // Every completed window flows to the subscription hub and into
-    // the tenant's in-flight window accounting.
-    Session::WindowSink sink = [this, tenant](const WindowUpdate &u) {
+    // A session is exported through the snapshot shim only if a slot
+    // is free and its event set fits one; otherwise it still runs,
+    // un-exported, and its windows count as snapshot drops.
+    std::optional<std::size_t> snapshot_slot;
+    if (snapshot_)
+        snapshot_slot = snapshot_->allocate(id, monitored.size());
+    // Every completed window flows to the snapshot table (freshest
+    // posterior first, so a shim poll never lags the push path), the
+    // subscription hub, and the tenant's in-flight window accounting.
+    Session::WindowSink sink = [this, tenant,
+                                snapshot_slot](const WindowUpdate &u) {
         admission_.windowExecuted(tenant, u.execution);
+        if (snapshot_) {
+            if (snapshot_slot)
+                snapshot_->publish(*snapshot_slot, u);
+            else
+                snapshot_->countDrop();
+        }
         hub_.publish(u);
     };
     registry_.insert(std::make_shared<Session>(
@@ -240,6 +258,8 @@ MonitorService::close(SessionId id)
         closing_.erase(std::find(closing_.begin(), closing_.end(), session));
     }
     admission_.sessionClosed(session->tenant());
+    if (snapshot_)
+        snapshot_->release(id); // after the tail windows published
     return report;
 }
 
@@ -296,6 +316,8 @@ MonitorService::stats() const
     out.backend = backend_->stats();
     out.backendQueue = backend_->queueDepth();
     out.admission = admission_.stats();
+    if (snapshot_)
+        out.snapshot = snapshot_->stats();
     std::unordered_set<SessionId> closing_ids;
     for (const auto &session : closing_) {
         // Racing closers can list a session twice; count it once.

@@ -31,6 +31,7 @@
 #include "service/admission.h"
 #include "service/session.h"
 #include "service/session_registry.h"
+#include "service/snapshot_publisher.h"
 #include "service/subscription.h"
 #include "service/worker_pool.h"
 #include "sim/microarch.h"
@@ -76,6 +77,15 @@ struct MonitorServiceConfig
 
     /** Bound of each window-subscription queue (drop-oldest beyond). */
     std::size_t subscriberQueueCapacity = 256;
+
+    /**
+     * Posterior snapshot shim (disabled by default): mirror every
+     * session's latest window posterior into a seqlock snapshot
+     * table that consumers poll wait-free — in-process, or from
+     * another process when `snapshot.shmName` names a POSIX shm
+     * segment (the paper's consumer interface).
+     */
+    SnapshotConfig snapshot;
 };
 
 /** Aggregate statistics across live and closed sessions. */
@@ -93,6 +103,9 @@ struct ServiceStats
     core::BackendQueueDepth backendQueue;
     /** Per-tenant admission accounting (empty when disabled). */
     std::vector<TenantAdmissionStats> admission;
+    /** Snapshot-shim publish accounting (enabled == false when the
+     * shim is off). */
+    SnapshotPublisherStats snapshot;
 };
 
 /** Typed outcome of an admission-controlled open. */
@@ -186,7 +199,9 @@ class MonitorService
     std::optional<core::PosteriorPoint> latest(SessionId id,
                                                sim::EventId event) const;
 
-    /** Block until every delivered record has been processed. */
+    /** Block until every delivered record has been processed.  Safe
+     * from any thread except a subscription callback (the dispatcher
+     * must not wait on the pool it is downstream of). */
     void quiesce() { pool_.quiesce(); }
 
     /**
@@ -216,14 +231,30 @@ class MonitorService
     AdmissionController &admission() { return admission_; }
     const AdmissionController &admission() const { return admission_; }
 
-    /** Aggregate statistics (live sessions + closed accumulator). */
+    /**
+     * The exported posterior snapshot table; nullptr when the shim is
+     * disabled.  In-process consumers construct a
+     * shim::SnapshotReader over it; cross-process consumers attach by
+     * the configured shm name instead.  Safe from any thread.
+     */
+    const shim::SnapshotRegion *snapshotRegion() const
+    {
+        return snapshot_ ? &snapshot_->region() : nullptr;
+    }
+
+    /** Aggregate statistics (live sessions + closed accumulator);
+     * one coherent snapshot, safe from any thread. */
     ServiceStats stats() const;
 
+    /** Live session count (registry size).  Safe from any thread. */
     std::size_t openSessions() const { return registry_.size(); }
+    /** The microarchitecture every session monitors against. */
     const sim::MicroarchDescriptor &uarch() const { return uarch_; }
+    /** The configuration the service was built with (immutable). */
     const MonitorServiceConfig &config() const { return config_; }
 
-    /** The shared execution backend sessions run their windows on. */
+    /** The shared execution backend sessions run their windows on.
+     * Implementations are internally synchronized. */
     core::InferenceBackend &backend() { return *backend_; }
     const core::InferenceBackend &backend() const { return *backend_; }
 
@@ -265,6 +296,11 @@ class MonitorService
     std::vector<std::shared_ptr<Session>> closing_;
     std::uint64_t sessionsOpened_ = 0;
     std::uint64_t sessionsClosed_ = 0;
+
+    /** Workers mirror window posteriors here (snapshot shim); like
+     * the hub it must be destroyed after the pool stops publishing.
+     * nullptr when the shim is disabled. */
+    std::unique_ptr<SnapshotPublisher> snapshot_;
 
     /** Workers publish window updates here, so the hub is destroyed
      * after the pool: publishes stop, then the dispatcher joins. */

@@ -141,13 +141,9 @@ void
 Session::publishPosteriors()
 {
     const auto &engine = inference_.engine();
-    if (engine.slicesCovered() == 0)
-        return;
     std::lock_guard<std::mutex> lock(publishMutex_);
-    latest_.resize(engine.events().size());
-    for (std::size_t i = 0; i < latest_.size(); ++i)
-        latest_[i] = engine.latest(i);
-    latestValid_ = true;
+    if (engine.latestPosteriors(latest_))
+        latestValid_ = true;
 }
 
 std::optional<core::PosteriorPoint>

@@ -1,0 +1,82 @@
+#include "service/snapshot_publisher.h"
+
+namespace bperf {
+namespace service {
+
+namespace {
+
+shim::SnapshotRegionConfig
+regionConfig(const SnapshotConfig &config)
+{
+    shim::SnapshotRegionConfig region;
+    region.slots = config.slots;
+    region.maxEvents = config.maxEvents;
+    return region;
+}
+
+} // namespace
+
+SnapshotPublisher::SnapshotPublisher(const SnapshotConfig &config)
+    : region_(regionConfig(config), config.shmName),
+      slotUsed_(config.slots, false)
+{
+}
+
+std::optional<std::size_t>
+SnapshotPublisher::allocate(std::uint64_t session_id,
+                            std::size_t event_count)
+{
+    if (event_count > region_.maxEvents())
+        return std::nullopt; // does not fit a slot
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t slot = 0; slot < slotUsed_.size(); ++slot) {
+        if (slotUsed_[slot])
+            continue;
+        slotUsed_[slot] = true;
+        slotOf_[session_id] = slot;
+        return slot;
+    }
+    return std::nullopt; // table full
+}
+
+void
+SnapshotPublisher::release(std::uint64_t session_id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = slotOf_.find(session_id);
+    if (it == slotOf_.end())
+        return; // never exported
+    const std::size_t slot = it->second;
+    // Invalidate before the slot becomes allocatable: a slot must
+    // never have two writers, and the next owner's first publish is
+    // ordered after this critical section through mutex_.
+    region_.invalidate(slot);
+    slotOf_.erase(it);
+    slotUsed_[slot] = false;
+}
+
+void
+SnapshotPublisher::publish(std::size_t slot, const WindowUpdate &update)
+{
+    region_.write(slot, update.sessionId, update.windowIndex,
+                  update.endSlice, update.execution, update.events,
+                  update.posterior, shim::steadyNowNanos());
+}
+
+SnapshotPublisherStats
+SnapshotPublisher::stats() const
+{
+    SnapshotPublisherStats out;
+    out.enabled = true;
+    // The region header's publish counter is the single source of
+    // truth (the same word readers watch for freshness).
+    out.publishes = region_.publishes();
+    out.publishDrops = drops_.load(std::memory_order_relaxed);
+    out.slotCapacity = region_.slots();
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.slotsLive = slotOf_.size();
+    return out;
+}
+
+} // namespace service
+} // namespace bperf

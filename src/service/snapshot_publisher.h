@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The service end of the posterior snapshot shim: a WindowSink that
+ * mirrors every completed window's posterior summary into a
+ * shim::SnapshotRegion, beside (not instead of) the SubscriptionHub.
+ * Subscriptions are the push surface; the snapshot table is the
+ * pull/poll surface — consumers in other processes attach with
+ * shim::SnapshotReader and poll wait-free, no RPC in their hot path.
+ *
+ * Policy lives here: slot ownership (one slot per exported session,
+ * allocated at open and invalidated at close), refusal of sessions
+ * that do not fit the table (too many sessions, or more events than
+ * a slot holds), and drop accounting for windows that had no slot.
+ */
+
+#ifndef BPERF_SERVICE_SNAPSHOT_PUBLISHER_H
+#define BPERF_SERVICE_SNAPSHOT_PUBLISHER_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/subscription.h"
+#include "shim/snapshot_region.h"
+
+namespace bperf {
+namespace service {
+
+/** Snapshot-shim configuration (MonitorServiceConfig::snapshot). */
+struct SnapshotConfig
+{
+    /** Master switch: no region is created when disabled. */
+    bool enabled = false;
+
+    /**
+     * POSIX shm name of the exported segment (e.g. "/bperf-daemon").
+     * Empty keeps the table in-process only — same code and layout,
+     * readable through MonitorService::snapshotRegion(), which is
+     * what tests and single-process consumers use.
+     */
+    std::string shmName;
+
+    /** Slot table geometry (see shim::SnapshotRegionConfig). */
+    std::size_t slots = 64;
+    std::size_t maxEvents = 32;
+};
+
+/** Publish-side accounting, surfaced through ServiceStats. */
+struct SnapshotPublisherStats
+{
+    bool enabled = false;
+    /** Windows mirrored into the table. */
+    std::uint64_t publishes = 0;
+    /** Windows with no slot (table full at open, or the session
+     * monitors more events than a slot holds). */
+    std::uint64_t publishDrops = 0;
+    /** Sessions currently owning a slot. */
+    std::size_t slotsLive = 0;
+    /** Slot capacity of the table. */
+    std::size_t slotCapacity = 0;
+};
+
+/**
+ * Slot allocator + seqlock writer over one SnapshotRegion.
+ *
+ * Thread contract: allocate()/release() from the service's open/close
+ * paths (any thread, internally locked); publish() for one slot from
+ * one thread at a time (the per-session WindowSink guarantee);
+ * stats() from any thread.
+ */
+class SnapshotPublisher
+{
+  public:
+    explicit SnapshotPublisher(const SnapshotConfig &config);
+
+    /**
+     * Claim a slot for a session about to be exported; nullopt when
+     * the table is full or the session's events exceed a slot's
+     * capacity (the session still runs — it is just not exported,
+     * and its windows count as publishDrops).
+     */
+    std::optional<std::size_t> allocate(std::uint64_t session_id,
+                                        std::size_t event_count);
+
+    /** Invalidate and reclaim the session's slot (close path).  A
+     * session that never got a slot is a no-op. */
+    void release(std::uint64_t session_id);
+
+    /** Mirror one completed window into `slot` (seqlock write,
+     * wait-free; stamps the publish with the steady clock). */
+    void publish(std::size_t slot, const WindowUpdate &update);
+
+    /** Count one window that had nowhere to go (slotless session). */
+    void countDrop() { drops_.fetch_add(1, std::memory_order_relaxed); }
+
+    SnapshotPublisherStats stats() const;
+
+    /** The exported table (in-process readers attach to this). */
+    const shim::SnapshotRegion &region() const { return region_; }
+
+  private:
+    shim::SnapshotRegion region_;
+
+    /** Windows with no slot; successful publishes are counted by the
+     * region header itself (readers watch the same word). */
+    std::atomic<std::uint64_t> drops_{0};
+
+    /** Guards the slot table (open/close paths only). */
+    mutable std::mutex mutex_;
+    std::vector<bool> slotUsed_;
+    std::map<std::uint64_t, std::size_t> slotOf_;
+};
+
+} // namespace service
+} // namespace bperf
+
+#endif // BPERF_SERVICE_SNAPSHOT_PUBLISHER_H

@@ -40,6 +40,7 @@
 namespace bperf {
 namespace service {
 
+/** Hub-wide identifier of one subscription (never reused). */
 using SubscriptionId = std::uint64_t;
 
 /** One completed window, as delivered to subscribers. */
@@ -58,6 +59,9 @@ struct WindowUpdate
     core::WindowExecution execution;
 };
 
+/** Subscriber callback: runs serially on the hub's dispatcher
+ * thread, one call per delivered WindowUpdate.  Must not re-enter
+ * blocking service teardown paths (close(), the service dtor). */
 using WindowCallback = std::function<void(const WindowUpdate &)>;
 
 /** Delivery accounting of one subscriber. */

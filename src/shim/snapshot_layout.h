@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Wire layout of the posterior snapshot table — the paper's consumer
+ * shim.  One writer (the monitoring daemon) keeps a fixed table of
+ * per-session slots fresh inside a shared-memory segment; any number
+ * of consumer processes map the segment read-only and poll the latest
+ * corrected-counter posteriors without ever taking a lock or making
+ * an RPC.
+ *
+ * Concurrency design: every slot is a seqlock.  The writer bumps the
+ * slot's sequence word to odd, stores the payload, and bumps it back
+ * to even; a reader snapshots the sequence, copies the payload, and
+ * retries if the sequence moved or was odd (a torn read).  All
+ * payload cells are lock-free relaxed atomics, so the protocol is
+ * simultaneously
+ *   - wait-free for the writer (a publish is a bounded store burst),
+ *   - obstruction-free for readers (bounded retries, no writer
+ *     blocking), and
+ *   - data-race-free in the C++ memory model (TSan-clean for the
+ *     in-process variant; the cross-process variant is the same code
+ *     over an mmap'd segment).
+ *
+ * Everything in the segment is a 64-bit word: integers directly,
+ * doubles as their IEEE-754 bit pattern (bit-preserving, so a reader
+ * observes posteriors bit-identical to the in-process subscription
+ * stream).  The layout is versioned; readers refuse segments whose
+ * magic/version/geometry do not match what they were compiled with.
+ */
+
+#ifndef BPERF_SHIM_SNAPSHOT_LAYOUT_H
+#define BPERF_SHIM_SNAPSHOT_LAYOUT_H
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace bperf {
+namespace shim {
+
+/** Every cell of the segment: a lock-free 64-bit atomic word. */
+using Word = std::atomic<std::uint64_t>;
+
+static_assert(sizeof(Word) == sizeof(std::uint64_t),
+              "snapshot layout requires plain 8-byte atomic words");
+static_assert(Word::is_always_lock_free,
+              "snapshot layout requires lock-free 64-bit atomics");
+
+/** "BPSNPSHM" — identifies an initialised snapshot segment. */
+inline constexpr std::uint64_t kSnapshotMagic = 0x4250534e5053484dull;
+
+/** Bumped on any incompatible layout change. */
+inline constexpr std::uint64_t kSnapshotLayoutVersion = 1;
+
+/** Store a double's bit pattern in a word (bit-preserving). */
+inline std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+/** Recover a double from its stored bit pattern. */
+inline double
+bitsDouble(std::uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/**
+ * The shim's time base: steady_clock (CLOCK_MONOTONIC) nanoseconds.
+ * Writers stamp publishes with it and readers subtract their own
+ * reading to bound staleness, so BOTH sides must use this one helper
+ * — a clock mismatch would silently skew every age computation
+ * across the process boundary.
+ */
+inline std::uint64_t
+steadyNowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Segment header (offset 0).  geometry fields are written once at
+ * creation and read-only afterwards; `magic` is stored *last* with
+ * release ordering, so an attaching reader that observes the magic
+ * also observes a fully initialised geometry.
+ */
+struct RegionHeader
+{
+    Word magic;         ///< kSnapshotMagic once the segment is ready.
+    Word layoutVersion; ///< kSnapshotLayoutVersion of the writer.
+    Word slotCount;     ///< Session slots in the table.
+    Word maxEvents;     ///< Posterior entries per slot.
+    Word slotStride;    ///< Bytes between consecutive slots.
+    Word publishes;     ///< Total publishes across all slots (live).
+};
+
+/** One posterior entry of one slot: event id + mean/stddev bits. */
+struct SlotEvent
+{
+    Word event;      ///< sim::EventId, widened to 64 bits.
+    Word meanBits;   ///< Posterior mean (double bits).
+    Word stddevBits; ///< Posterior stddev (double bits).
+};
+
+/**
+ * Fixed head of one session slot; `maxEvents` SlotEvent entries
+ * follow immediately after.  Everything below `seq` is seqlock
+ * payload: only valid when read under a stable even sequence.
+ */
+struct SlotHeader
+{
+    /** Seqlock sequence: odd while a write is in flight; 0 means the
+     * slot has never been published. */
+    Word seq;
+
+    Word active;       ///< 1 while a live session owns the slot.
+    Word sessionId;    ///< Owning session.
+    Word windowIndex;  ///< Per-session window counter (completion order).
+    Word endSlice;     ///< Slice whose arrival completed the window.
+    Word eventCount;   ///< Valid SlotEvent entries (<= maxEvents).
+    Word publishNanos; ///< steady_clock stamp of the publish (staleness).
+    Word engineId;     ///< Backend engine that served the window.
+    Word queueWaitBits; ///< WindowExecution.queueWaitSeconds (double bits).
+    Word serviceBits;   ///< WindowExecution.serviceSeconds (double bits).
+    Word transferBits;  ///< WindowExecution.transferSeconds (double bits).
+    Word modeledBits;   ///< WindowExecution.modeledSeconds (double bits).
+
+    /** Trailing posterior entries (writer-side view). */
+    SlotEvent *events() noexcept
+    {
+        return reinterpret_cast<SlotEvent *>(this + 1);
+    }
+    const SlotEvent *events() const noexcept
+    {
+        return reinterpret_cast<const SlotEvent *>(this + 1);
+    }
+};
+
+static_assert(sizeof(RegionHeader) % sizeof(Word) == 0, "word layout");
+static_assert(sizeof(SlotHeader) % sizeof(Word) == 0, "word layout");
+static_assert(sizeof(SlotEvent) % sizeof(Word) == 0, "word layout");
+
+/** Byte geometry of a segment; identical for writer and readers. */
+struct RegionLayout
+{
+    std::size_t headerBytes = 0; ///< Header, rounded to a cache line.
+    std::size_t slotStride = 0;  ///< Per-slot bytes, cache-line rounded.
+    std::size_t totalBytes = 0;  ///< Whole segment.
+
+    static RegionLayout compute(std::size_t slots, std::size_t max_events)
+    {
+        constexpr std::size_t kLine = 64;
+        auto round = [](std::size_t n) {
+            return (n + kLine - 1) / kLine * kLine;
+        };
+        RegionLayout layout;
+        layout.headerBytes = round(sizeof(RegionHeader));
+        layout.slotStride =
+            round(sizeof(SlotHeader) + max_events * sizeof(SlotEvent));
+        layout.totalBytes =
+            layout.headerBytes + slots * layout.slotStride;
+        return layout;
+    }
+};
+
+/** Slot `index` of a mapped segment (writer-side, mutable view). */
+inline SlotHeader *
+slotAt(std::byte *base, const RegionLayout &layout, std::size_t index)
+{
+    return reinterpret_cast<SlotHeader *>(
+        base + layout.headerBytes + index * layout.slotStride);
+}
+
+/** Slot `index` of a mapped segment (reader-side view). */
+inline const SlotHeader *
+slotAt(const std::byte *base, const RegionLayout &layout,
+       std::size_t index)
+{
+    return reinterpret_cast<const SlotHeader *>(
+        base + layout.headerBytes + index * layout.slotStride);
+}
+
+} // namespace shim
+} // namespace bperf
+
+#endif // BPERF_SHIM_SNAPSHOT_LAYOUT_H

@@ -1,0 +1,273 @@
+#include "shim/snapshot_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace shim {
+
+const char *
+readStatusName(ReadStatus status)
+{
+    switch (status) {
+      case ReadStatus::Ok: return "ok";
+      case ReadStatus::NotFound: return "not-found";
+      case ReadStatus::Torn: return "torn";
+    }
+    return "unknown";
+}
+
+SnapshotReader::SnapshotReader(const SnapshotRegion &region)
+    : base_(region.base()), layout_(region.layout()),
+      slots_(region.slots()), maxEvents_(region.maxEvents()),
+      mappedBytes_(0)
+{
+}
+
+std::optional<SnapshotReader>
+SnapshotReader::attach(const std::string &shm_name)
+{
+    const int fd = ::shm_open(shm_name.c_str(), O_RDONLY, 0);
+    if (fd < 0)
+        return std::nullopt; // not created yet
+    struct stat st;
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<std::size_t>(st.st_size) < sizeof(RegionHeader)) {
+        ::close(fd);
+        return std::nullopt; // creator mid-ftruncate
+    }
+    const std::size_t mapped = static_cast<std::size_t>(st.st_size);
+    void *mem = ::mmap(nullptr, mapped, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (mem == MAP_FAILED)
+        return std::nullopt;
+
+    const auto *base = static_cast<const std::byte *>(mem);
+    const auto *header = reinterpret_cast<const RegionHeader *>(base);
+    if (header->magic.load(std::memory_order_acquire) != kSnapshotMagic) {
+        // Exists but not initialised yet; caller retries.
+        ::munmap(mem, mapped);
+        return std::nullopt;
+    }
+    const std::uint64_t version =
+        header->layoutVersion.load(std::memory_order_relaxed);
+    const std::size_t slots =
+        header->slotCount.load(std::memory_order_relaxed);
+    const std::size_t max_events =
+        header->maxEvents.load(std::memory_order_relaxed);
+    const std::size_t stride =
+        header->slotStride.load(std::memory_order_relaxed);
+    const RegionLayout layout = RegionLayout::compute(slots, max_events);
+    bp_assert(version == kSnapshotLayoutVersion,
+              "snapshot segment \"" << shm_name << "\" has layout v"
+                                    << version << ", reader expects v"
+                                    << kSnapshotLayoutVersion);
+    bp_assert(stride == layout.slotStride && layout.totalBytes <= mapped,
+              "snapshot segment \"" << shm_name
+                                    << "\" geometry mismatch");
+
+    SnapshotReader reader;
+    reader.base_ = base;
+    reader.layout_ = layout;
+    reader.slots_ = slots;
+    reader.maxEvents_ = max_events;
+    reader.mappedBytes_ = mapped;
+    return reader;
+}
+
+SnapshotReader::~SnapshotReader()
+{
+    if (mappedBytes_ != 0)
+        ::munmap(const_cast<std::byte *>(base_), mappedBytes_);
+}
+
+SnapshotReader::SnapshotReader(SnapshotReader &&other) noexcept
+    : base_(other.base_), layout_(other.layout_), slots_(other.slots_),
+      maxEvents_(other.maxEvents_), mappedBytes_(other.mappedBytes_)
+{
+    other.base_ = nullptr;
+    other.mappedBytes_ = 0;
+}
+
+SnapshotReader &
+SnapshotReader::operator=(SnapshotReader &&other) noexcept
+{
+    if (this != &other) {
+        if (mappedBytes_ != 0)
+            ::munmap(const_cast<std::byte *>(base_), mappedBytes_);
+        base_ = other.base_;
+        layout_ = other.layout_;
+        slots_ = other.slots_;
+        maxEvents_ = other.maxEvents_;
+        mappedBytes_ = other.mappedBytes_;
+        other.base_ = nullptr;
+        other.mappedBytes_ = 0;
+    }
+    return *this;
+}
+
+std::uint64_t
+SnapshotReader::publishes() const
+{
+    return reinterpret_cast<const RegionHeader *>(base_)->publishes.load(
+        std::memory_order_relaxed);
+}
+
+ReadStatus
+SnapshotReader::peekSlot(std::size_t slot, std::uint64_t &session_id,
+                         std::size_t max_retries) const
+{
+    const SlotHeader *s = slotAt(base_, layout_, slot);
+    for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
+        const std::uint64_t s1 = s->seq.load(std::memory_order_acquire);
+        if (s1 & 1)
+            continue;
+        if (s1 == 0)
+            return ReadStatus::NotFound;
+        const std::uint64_t active =
+            s->active.load(std::memory_order_relaxed);
+        const std::uint64_t id =
+            s->sessionId.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s->seq.load(std::memory_order_relaxed) != s1)
+            continue;
+        if (active == 0)
+            return ReadStatus::NotFound;
+        session_id = id;
+        return ReadStatus::Ok;
+    }
+    return ReadStatus::Torn;
+}
+
+ReadStatus
+SnapshotReader::readSlot(std::size_t slot, PosteriorSnapshot &out,
+                         std::size_t max_retries) const
+{
+    bp_assert(slot < slots_,
+              "snapshot read of slot " << slot << " of " << slots_);
+    const SlotHeader *s = slotAt(base_, layout_, slot);
+
+    // Reused across retry attempts, so a contended read does not
+    // reallocate its counters vector per attempt.
+    PosteriorSnapshot snap;
+    for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
+        const std::uint64_t s1 = s->seq.load(std::memory_order_acquire);
+        if (s1 & 1)
+            continue; // write in flight
+        if (s1 == 0)
+            return ReadStatus::NotFound; // never published
+
+        // Copy the payload under the sequence; relaxed atomic loads
+        // cannot tear, and the acquire fence below orders them before
+        // the validating re-read of the sequence.
+        const std::uint64_t active =
+            s->active.load(std::memory_order_relaxed);
+        snap.sessionId = s->sessionId.load(std::memory_order_relaxed);
+        snap.windowIndex =
+            s->windowIndex.load(std::memory_order_relaxed);
+        snap.endSlice = static_cast<std::size_t>(
+            s->endSlice.load(std::memory_order_relaxed));
+        snap.publishNanos =
+            s->publishNanos.load(std::memory_order_relaxed);
+        snap.execution.engineId = static_cast<std::size_t>(
+            s->engineId.load(std::memory_order_relaxed));
+        snap.execution.endSlice = snap.endSlice;
+        snap.execution.queueWaitSeconds =
+            bitsDouble(s->queueWaitBits.load(std::memory_order_relaxed));
+        snap.execution.serviceSeconds =
+            bitsDouble(s->serviceBits.load(std::memory_order_relaxed));
+        snap.execution.transferSeconds =
+            bitsDouble(s->transferBits.load(std::memory_order_relaxed));
+        snap.execution.modeledSeconds =
+            bitsDouble(s->modeledBits.load(std::memory_order_relaxed));
+        std::uint64_t count =
+            s->eventCount.load(std::memory_order_relaxed);
+        if (count > maxEvents_)
+            count = maxEvents_; // torn header word; the re-read below
+                                // rejects the attempt anyway
+        const SlotEvent *entries = s->events();
+        snap.counters.resize(static_cast<std::size_t>(count));
+        for (std::size_t i = 0; i < count; ++i) {
+            snap.counters[i].event = static_cast<sim::EventId>(
+                entries[i].event.load(std::memory_order_relaxed));
+            snap.counters[i].posterior.mean = bitsDouble(
+                entries[i].meanBits.load(std::memory_order_relaxed));
+            snap.counters[i].posterior.stddev = bitsDouble(
+                entries[i].stddevBits.load(std::memory_order_relaxed));
+        }
+
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s->seq.load(std::memory_order_relaxed) != s1)
+            continue; // torn: the writer moved under us
+
+        if (active == 0)
+            return ReadStatus::NotFound; // slot invalidated
+        snap.retries = attempt;
+        const std::uint64_t now = steadyNowNanos();
+        snap.ageNanos =
+            now > snap.publishNanos ? now - snap.publishNanos : 0;
+        out = std::move(snap);
+        return ReadStatus::Ok;
+    }
+    return ReadStatus::Torn;
+}
+
+ReadStatus
+SnapshotReader::read(std::uint64_t session_id, PosteriorSnapshot &out,
+                     std::size_t max_retries) const
+{
+    bool torn = false;
+    for (std::size_t slot = 0; slot < slots_; ++slot) {
+        // Cheap probe first: only the target slot's full payload
+        // (and its counters vector) is copied, so the scan stays a
+        // few word reads per non-matching slot.
+        std::uint64_t id = 0;
+        const ReadStatus peek = peekSlot(slot, id, max_retries);
+        if (peek == ReadStatus::Torn) {
+            torn = true;
+            continue;
+        }
+        if (peek != ReadStatus::Ok || id != session_id)
+            continue;
+        // Copy into a local first: `out` must not be clobbered with
+        // another session's snapshot if the slot was reallocated
+        // between probe and copy (a consumer may keep its last-known
+        // snapshot across a NotFound poll).
+        PosteriorSnapshot snap;
+        const ReadStatus status = readSlot(slot, snap, max_retries);
+        if (status == ReadStatus::Torn) {
+            torn = true;
+            continue;
+        }
+        // The slot may have been invalidated or handed to another
+        // session between probe and copy; keep scanning if so.
+        if (status == ReadStatus::Ok && snap.sessionId == session_id) {
+            out = std::move(snap);
+            return ReadStatus::Ok;
+        }
+    }
+    // A torn slot could have been the session's; report it so the
+    // consumer retries instead of concluding the session is gone.
+    return torn ? ReadStatus::Torn : ReadStatus::NotFound;
+}
+
+std::vector<std::uint64_t>
+SnapshotReader::sessions() const
+{
+    std::vector<std::uint64_t> ids;
+    for (std::size_t slot = 0; slot < slots_; ++slot) {
+        std::uint64_t id = 0;
+        if (peekSlot(slot, id, kDefaultMaxRetries) == ReadStatus::Ok)
+            ids.push_back(id);
+    }
+    return ids;
+}
+
+} // namespace shim
+} // namespace bperf

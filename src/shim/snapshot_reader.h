@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Consumer side of the posterior snapshot shim: a lock-free,
+ * poll-style reader over a snapshot segment, usable in-process (over
+ * a live SnapshotRegion) or from another process entirely (attach to
+ * the daemon's named segment read-only).
+ *
+ * Reads are versioned seqlock copies: a reader snapshots the slot's
+ * sequence, copies the payload, and retries when the sequence moved —
+ * torn reads are detected, never returned.  Every successful read
+ * reports its retry count and a staleness bound (reader clock minus
+ * the writer's publish stamp, both CLOCK_MONOTONIC, so the bound is
+ * valid across processes on one machine).
+ *
+ * Thread contract: a SnapshotReader is a read-only view with no
+ * mutable state besides the mapping itself; all methods are safe from
+ * any thread, concurrently with the writer.
+ */
+
+#ifndef BPERF_SHIM_SNAPSHOT_READER_H
+#define BPERF_SHIM_SNAPSHOT_READER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/inference.h"
+#include "shim/snapshot_layout.h"
+#include "shim/snapshot_region.h"
+#include "sim/microarch.h"
+
+namespace bperf {
+namespace shim {
+
+/** Outcome of one snapshot read. */
+enum class ReadStatus
+{
+    /** A consistent snapshot was copied out. */
+    Ok,
+    /** No active slot holds the session (never published, or the
+     * session closed and its slot was invalidated). */
+    NotFound,
+    /** Retries exhausted without a stable sequence; try again.
+     * Transient against a live (or descheduled mid-publish) writer —
+     * but *persistent* if the writer died mid-publish, which leaves
+     * that one slot's sequence odd forever.  Consumers should treat
+     * a slot that stays Torn across polls spanning seconds as lost,
+     * not as contended; the two cases are indistinguishable within
+     * one read's bounded retries. */
+    Torn,
+};
+
+/** Stable identifier of a ReadStatus (logs, tables, tests). */
+const char *readStatusName(ReadStatus status);
+
+/** One event's posterior as stored in a slot (bit-identical to the
+ * writer's WindowUpdate entry). */
+struct SnapshotCounter
+{
+    sim::EventId event = 0;
+    core::PosteriorPoint posterior;
+};
+
+/** One consistent per-session snapshot, plus read-side metadata. */
+struct PosteriorSnapshot
+{
+    std::uint64_t sessionId = 0;
+    /** Per-session window counter (completion order). */
+    std::uint64_t windowIndex = 0;
+    /** Slice whose arrival completed the window. */
+    std::size_t endSlice = 0;
+    /** Modeled backend execution of the window. */
+    core::WindowExecution execution;
+    /** Latest posterior of each monitored event. */
+    std::vector<SnapshotCounter> counters;
+
+    /** Writer's steady-clock publish stamp (nanoseconds). */
+    std::uint64_t publishNanos = 0;
+    /** Staleness bound of this read: reader clock minus publish
+     * stamp, clamped at 0 (nanoseconds). */
+    std::uint64_t ageNanos = 0;
+    /** Torn-read retries this read needed (0 = first try). */
+    std::uint64_t retries = 0;
+};
+
+/**
+ * Read-only view over a snapshot segment.  Move-only; unmaps an
+ * attached segment on destruction (an in-process view borrows the
+ * region's mapping and must not outlive it).
+ */
+class SnapshotReader
+{
+  public:
+    /** Default torn-read retry bound per read. */
+    static constexpr std::size_t kDefaultMaxRetries = 64;
+
+    /** In-process view over a live region (no copy, no syscalls). */
+    explicit SnapshotReader(const SnapshotRegion &region);
+
+    /**
+     * Attach to a named segment read-only.  nullopt while the segment
+     * does not exist yet or is not fully initialised (attach loops in
+     * consumers simply retry); dies on a geometry/version mismatch —
+     * that is a deployment error, not a race.
+     */
+    static std::optional<SnapshotReader>
+    attach(const std::string &shm_name);
+
+    ~SnapshotReader();
+    SnapshotReader(SnapshotReader &&other) noexcept;
+    SnapshotReader &operator=(SnapshotReader &&other) noexcept;
+    SnapshotReader(const SnapshotReader &) = delete;
+    SnapshotReader &operator=(const SnapshotReader &) = delete;
+
+    std::size_t slots() const { return slots_; }
+    std::size_t maxEvents() const { return maxEvents_; }
+
+    /** Writer's total publish count (monotone; freshness signal). */
+    std::uint64_t publishes() const;
+
+    /** Session ids of every active slot (one consistent read each). */
+    std::vector<std::uint64_t> sessions() const;
+
+    /**
+     * Copy the latest snapshot of `session_id` into `out`.  Scans the
+     * slot table (slot count is small by design).  Wait-free except
+     * for seqlock retries, which are bounded by `max_retries`.
+     */
+    ReadStatus read(std::uint64_t session_id, PosteriorSnapshot &out,
+                    std::size_t max_retries = kDefaultMaxRetries) const;
+
+    /** Copy slot `slot` directly (consumers that cached a slot). */
+    ReadStatus readSlot(std::size_t slot, PosteriorSnapshot &out,
+                        std::size_t max_retries = kDefaultMaxRetries) const;
+
+  private:
+    SnapshotReader() = default;
+
+    /** Seq-validated read of just a slot's {active, session id} —
+     * the cheap probe read()/sessions() scan with, so the full
+     * payload (and its vector) is only copied for the target slot. */
+    ReadStatus peekSlot(std::size_t slot, std::uint64_t &session_id,
+                        std::size_t max_retries) const;
+
+    const std::byte *base_ = nullptr;
+    RegionLayout layout_;
+    std::size_t slots_ = 0;
+    std::size_t maxEvents_ = 0;
+    /** Bytes to munmap at destruction; 0 for borrowed mappings. */
+    std::size_t mappedBytes_ = 0;
+};
+
+} // namespace shim
+} // namespace bperf
+
+#endif // BPERF_SHIM_SNAPSHOT_READER_H

@@ -1,0 +1,222 @@
+#include "shim/snapshot_region.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <new>
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace shim {
+
+namespace {
+
+/** Identity of a created shm inode (guards the destructor's unlink
+ * against removing a successor daemon's segment of the same name). */
+struct SegmentIdentity
+{
+    dev_t dev = 0;
+    ino_t ino = 0;
+    bool valid = false;
+};
+
+/** mmap a zero-filled segment: anonymous, or named POSIX shm. */
+std::byte *
+mapSegment(const std::string &shm_name, std::size_t bytes,
+           SegmentIdentity *identity)
+{
+    if (shm_name.empty()) {
+        void *mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                           MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        bp_assert(mem != MAP_FAILED,
+                  "snapshot region: anonymous mmap of " << bytes
+                                                        << " bytes failed");
+        return static_cast<std::byte *>(mem);
+    }
+    // O_EXCL: never adopt an existing segment — a leftover from a
+    // crashed daemon (aborts skip the destructor's shm_unlink) or a
+    // live daemon using the same name.  Adopting one would make two
+    // processes concurrent writers of the same slots, which the
+    // single-writer seqlock protocol cannot survive, and the init
+    // below would non-atomically stomp words an attached reader is
+    // loading.  Instead, unlink the stale name and create a fresh
+    // segment: the name now resolves to this daemon (last writer
+    // wins), while readers still mapped to the old inode keep their
+    // old, frozen table.  (If the old writer died *mid-publish*, the
+    // interrupted slot's sequence stays odd forever and reads of it
+    // report Torn — detected, never served as data; the other slots
+    // stay readable.)
+    // Bounded unlink-and-retry: a concurrent creator can slip its
+    // own segment in between our unlink and create, so one retry is
+    // not enough for the advertised last-writer-wins semantics.
+    int fd = -1;
+    for (int attempt = 0; attempt < 16 && fd < 0; ++attempt) {
+        fd = ::shm_open(shm_name.c_str(), O_CREAT | O_EXCL | O_RDWR,
+                        0600);
+        if (fd < 0 && errno == EEXIST)
+            ::shm_unlink(shm_name.c_str());
+        else if (fd < 0)
+            break; // not a name collision; report it
+    }
+    bp_assert(fd >= 0, "snapshot region: shm_open(\"" << shm_name
+                                                      << "\") failed");
+    const int trunc = ::ftruncate(fd, static_cast<off_t>(bytes));
+    bp_assert(trunc == 0, "snapshot region: ftruncate(\""
+                              << shm_name << "\", " << bytes
+                              << ") failed");
+    struct stat st;
+    if (::fstat(fd, &st) == 0) {
+        identity->dev = st.st_dev;
+        identity->ino = st.st_ino;
+        identity->valid = true;
+    }
+    void *mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                       fd, 0);
+    ::close(fd);
+    bp_assert(mem != MAP_FAILED, "snapshot region: mmap of \""
+                                     << shm_name << "\" failed");
+    return static_cast<std::byte *>(mem);
+}
+
+} // namespace
+
+SnapshotRegion::SnapshotRegion(SnapshotRegionConfig config,
+                               const std::string &shm_name)
+    : config_(config), shmName_(shm_name),
+      layout_(RegionLayout::compute(config.slots, config.maxEvents))
+{
+    bp_assert(config_.slots > 0, "snapshot region needs >= 1 slot");
+    bp_assert(config_.maxEvents > 0,
+              "snapshot region needs >= 1 event per slot");
+    SegmentIdentity identity;
+    base_ = mapSegment(shmName_, layout_.totalBytes, &identity);
+    shmDev_ = static_cast<std::uint64_t>(identity.dev);
+    shmIno_ = static_cast<std::uint64_t>(identity.ino);
+    shmIdentityValid_ = identity.valid;
+
+    // The segment is all 64-bit words; formally begin each one's
+    // lifetime as an atomic (zero-initialised — mmap pages are
+    // zero-filled, and Word{0} stores nothing readers could tear on).
+    const std::size_t words = layout_.totalBytes / sizeof(Word);
+    for (std::size_t i = 0; i < words; ++i)
+        new (base_ + i * sizeof(Word)) Word{0};
+
+    auto *header = reinterpret_cast<RegionHeader *>(base_);
+    header->layoutVersion.store(kSnapshotLayoutVersion,
+                                std::memory_order_relaxed);
+    header->slotCount.store(config_.slots, std::memory_order_relaxed);
+    header->maxEvents.store(config_.maxEvents, std::memory_order_relaxed);
+    header->slotStride.store(layout_.slotStride,
+                             std::memory_order_relaxed);
+    header->publishes.store(0, std::memory_order_relaxed);
+    // Magic last, with release: an attacher that sees it sees the
+    // whole geometry.
+    header->magic.store(kSnapshotMagic, std::memory_order_release);
+}
+
+SnapshotRegion::~SnapshotRegion()
+{
+    if (base_ != nullptr)
+        ::munmap(base_, layout_.totalBytes);
+    if (shmName_.empty())
+        return;
+    // Only unlink the name if it still resolves to the inode we
+    // created: a successor daemon may have replaced the segment
+    // (last writer wins), and its live table must survive our exit.
+    bool ours = true;
+    if (shmIdentityValid_) {
+        const int fd = ::shm_open(shmName_.c_str(), O_RDONLY, 0);
+        if (fd < 0)
+            return; // already gone
+        struct stat st;
+        ours = ::fstat(fd, &st) == 0 &&
+               static_cast<std::uint64_t>(st.st_dev) == shmDev_ &&
+               static_cast<std::uint64_t>(st.st_ino) == shmIno_;
+        ::close(fd);
+    }
+    if (ours)
+        ::shm_unlink(shmName_.c_str());
+}
+
+std::uint64_t
+SnapshotRegion::publishes() const
+{
+    return reinterpret_cast<const RegionHeader *>(base_)->publishes.load(
+        std::memory_order_relaxed);
+}
+
+void
+SnapshotRegion::write(std::size_t slot, std::uint64_t session_id,
+                      std::uint64_t window_index, std::size_t end_slice,
+                      const core::WindowExecution &execution,
+                      const std::vector<sim::EventId> &events,
+                      const std::vector<core::PosteriorPoint> &posterior,
+                      std::uint64_t publish_nanos)
+{
+    bp_assert(slot < config_.slots, "snapshot write to slot "
+                                        << slot << " of "
+                                        << config_.slots);
+    bp_assert(events.size() == posterior.size(),
+              "snapshot write: " << events.size() << " events vs "
+                                 << posterior.size() << " posteriors");
+    SlotHeader *s = slotAt(base_, layout_, slot);
+    const std::size_t n = std::min(events.size(), config_.maxEvents);
+
+    // Seqlock write: odd sequence -> payload -> even sequence.  The
+    // release fence keeps the payload stores after the odd store; the
+    // final release store keeps them before the even store.
+    const std::uint64_t s0 = s->seq.load(std::memory_order_relaxed);
+    s->seq.store(s0 + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+
+    s->active.store(1, std::memory_order_relaxed);
+    s->sessionId.store(session_id, std::memory_order_relaxed);
+    s->windowIndex.store(window_index, std::memory_order_relaxed);
+    s->endSlice.store(end_slice, std::memory_order_relaxed);
+    s->eventCount.store(n, std::memory_order_relaxed);
+    s->publishNanos.store(publish_nanos, std::memory_order_relaxed);
+    s->engineId.store(execution.engineId, std::memory_order_relaxed);
+    s->queueWaitBits.store(doubleBits(execution.queueWaitSeconds),
+                           std::memory_order_relaxed);
+    s->serviceBits.store(doubleBits(execution.serviceSeconds),
+                         std::memory_order_relaxed);
+    s->transferBits.store(doubleBits(execution.transferSeconds),
+                          std::memory_order_relaxed);
+    s->modeledBits.store(doubleBits(execution.modeledSeconds),
+                         std::memory_order_relaxed);
+    SlotEvent *entries = s->events();
+    for (std::size_t i = 0; i < n; ++i) {
+        entries[i].event.store(events[i], std::memory_order_relaxed);
+        entries[i].meanBits.store(doubleBits(posterior[i].mean),
+                                  std::memory_order_relaxed);
+        entries[i].stddevBits.store(doubleBits(posterior[i].stddev),
+                                    std::memory_order_relaxed);
+    }
+
+    s->seq.store(s0 + 2, std::memory_order_release);
+    reinterpret_cast<RegionHeader *>(base_)->publishes.fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+void
+SnapshotRegion::invalidate(std::size_t slot)
+{
+    bp_assert(slot < config_.slots, "snapshot invalidate of slot "
+                                        << slot << " of "
+                                        << config_.slots);
+    SlotHeader *s = slotAt(base_, layout_, slot);
+    const std::uint64_t s0 = s->seq.load(std::memory_order_relaxed);
+    s->seq.store(s0 + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s->active.store(0, std::memory_order_relaxed);
+    s->sessionId.store(0, std::memory_order_relaxed);
+    s->seq.store(s0 + 2, std::memory_order_release);
+}
+
+} // namespace shim
+} // namespace bperf
