@@ -24,6 +24,7 @@
  * window artifact).  BP_QUICK=1 shrinks the run.
  */
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "service/monitor_service.h"
 #include "service/record_stream.h"
 #include "sim/ground_truth.h"
+#include "telemetry/telemetry.h"
 #include "workloads/hibench.h"
 
 using namespace bperf;
@@ -63,6 +65,10 @@ struct LatencySummary
     double p95Us = 0.0;
     double p99Us = 0.0;
     double meanWaitUs = 0.0;
+    /** Per-stage split of the modeled latency: queue (meanWaitUs),
+     * host-interface transfer, and engine compute. */
+    double meanTransferUs = 0.0;
+    double meanComputeUs = 0.0;
     std::size_t windows = 0;
 };
 
@@ -70,12 +76,15 @@ LatencySummary
 summarize(const std::vector<core::WindowExecution> &execs)
 {
     LatencySummary s;
-    std::vector<double> modeled, waits;
+    std::vector<double> modeled, waits, transfers, computes;
     modeled.reserve(execs.size());
     waits.reserve(execs.size());
     for (const auto &e : execs) {
         modeled.push_back(1e6 * e.modeledSeconds);
         waits.push_back(1e6 * e.queueWaitSeconds);
+        transfers.push_back(1e6 * e.transferSeconds);
+        computes.push_back(
+            1e6 * std::max(0.0, e.serviceSeconds - e.transferSeconds));
     }
     s.windows = execs.size();
     s.meanUs = mean(modeled);
@@ -85,6 +94,8 @@ summarize(const std::vector<core::WindowExecution> &execs)
     s.p95Us = bench::percentileOrNan(modeled, 95.0);
     s.p99Us = bench::percentileOrNan(modeled, 99.0);
     s.meanWaitUs = mean(waits);
+    s.meanTransferUs = mean(transfers);
+    s.meanComputeUs = mean(computes);
     return s;
 }
 
@@ -97,6 +108,10 @@ struct ServiceRun
     LatencySummary latency;
     double engineUtilization = 0.0; // accel only
     std::string backendName;
+    /** Publish-stage (window fan-out) latency, from the telemetry
+     * registry's publish.fanout_ns histogram over this run. */
+    double publishP50Us = 0.0;
+    double publishP99Us = 0.0;
 };
 
 ServiceRun
@@ -104,6 +119,9 @@ runService(const sim::MicroarchDescriptor &uarch,
            const std::vector<sim::PerfResult> &runs,
            std::size_t num_slices, const service::MonitorServiceConfig &cfg)
 {
+    // Per-run stage accounting: the registry is process-global, so
+    // clear it at each run's start and scrape it at the end.
+    telemetry::MetricsRegistry::global().reset();
     service::MonitorService daemon(uarch, cfg);
     std::vector<service::SessionId> ids;
     const auto monitored = monitoredSet(uarch);
@@ -140,6 +158,13 @@ runService(const sim::MicroarchDescriptor &uarch,
             out.engineUtilization =
                 busy / (pool.makespanSeconds *
                         static_cast<double>(pool.engineJobs.size()));
+    }
+    const telemetry::Histogram::Snapshot fanout =
+        telemetry::MetricsRegistry::global().histogramSnapshot(
+            "publish.fanout_ns");
+    if (fanout.count > 0) {
+        out.publishP50Us = fanout.percentile(50.0) / 1e3;
+        out.publishP99Us = fanout.percentile(99.0) / 1e3;
     }
     return out;
 }
@@ -224,6 +249,11 @@ main()
         .field("p50_us", host.latency.p50Us)
         .field("p95_us", host.latency.p95Us)
         .field("p99_us", host.latency.p99Us)
+        .field("mean_queue_wait_us", host.latency.meanWaitUs)
+        .field("mean_transfer_us", host.latency.meanTransferUs)
+        .field("mean_compute_us", host.latency.meanComputeUs)
+        .field("publish_p50_us", host.publishP50Us)
+        .field("publish_p99_us", host.publishP99Us)
         .endObject()
         .beginArray("accel");
     for (const AccelRow &row : rows) {
@@ -236,6 +266,10 @@ main()
             .field("p95_us", row.run.latency.p95Us)
             .field("p99_us", row.run.latency.p99Us)
             .field("mean_queue_wait_us", row.run.latency.meanWaitUs)
+            .field("mean_transfer_us", row.run.latency.meanTransferUs)
+            .field("mean_compute_us", row.run.latency.meanComputeUs)
+            .field("publish_p50_us", row.run.publishP50Us)
+            .field("publish_p99_us", row.run.publishP99Us)
             .field("engine_utilization", row.run.engineUtilization)
             .field("speedup_vs_host",
                    host.latency.meanUs / row.run.latency.meanUs)

@@ -43,6 +43,7 @@
 #include "service/monitor_service.h"
 #include "service/record_stream.h"
 #include "sim/ground_truth.h"
+#include "telemetry/telemetry.h"
 #include "workloads/hibench.h"
 
 using namespace bperf;
@@ -93,6 +94,12 @@ struct RunResult
     double p99Us = 0.0;
     double maxUs = 0.0;
     double meanWaitUs = 0.0;
+    /** Per-stage split: queue (meanWaitUs), transfer, compute, and
+     * the publish fan-out measured by the telemetry registry. */
+    double meanTransferUs = 0.0;
+    double meanComputeUs = 0.0;
+    double publishP50Us = 0.0;
+    double publishP99Us = 0.0;
 
     double sessionShedRate() const
     {
@@ -146,6 +153,9 @@ runPolicy(const sim::MicroarchDescriptor &uarch,
     std::vector<core::WindowExecution> collected;
 
     cfg.subscriberQueueCapacity = 4096;
+    // Per-run stage accounting: the registry is process-global, so
+    // clear it at each run's start and scrape it at the end.
+    telemetry::MetricsRegistry::global().reset();
     service::MonitorService daemon(uarch, cfg);
 
     const auto monitored = monitoredSet(uarch);
@@ -210,12 +220,16 @@ runPolicy(const sim::MicroarchDescriptor &uarch,
 
     daemon.quiesce();
     daemon.flushSubscriptions();
-    std::vector<double> modeled, waits;
+    std::vector<double> modeled, waits, transfers, computes;
     {
         std::lock_guard<std::mutex> lock(collected_mutex);
         for (const auto &exec : collected) {
             modeled.push_back(1e6 * exec.modeledSeconds);
             waits.push_back(1e6 * exec.queueWaitSeconds);
+            transfers.push_back(1e6 * exec.transferSeconds);
+            computes.push_back(
+                1e6 * std::max(0.0, exec.serviceSeconds -
+                                        exec.transferSeconds));
         }
     }
     for (const Live &session : live) {
@@ -238,6 +252,15 @@ runPolicy(const sim::MicroarchDescriptor &uarch,
                     ? std::numeric_limits<double>::quiet_NaN()
                     : *std::max_element(modeled.begin(), modeled.end());
     out.meanWaitUs = mean(waits);
+    out.meanTransferUs = mean(transfers);
+    out.meanComputeUs = mean(computes);
+    const telemetry::Histogram::Snapshot fanout =
+        telemetry::MetricsRegistry::global().histogramSnapshot(
+            "publish.fanout_ns");
+    if (fanout.count > 0) {
+        out.publishP50Us = fanout.percentile(50.0) / 1e3;
+        out.publishP99Us = fanout.percentile(99.0) / 1e3;
+    }
     return out;
 }
 
@@ -424,6 +447,10 @@ main()
                 .field("p99_us", row.p99Us)
                 .field("max_us", row.maxUs)
                 .field("mean_queue_wait_us", row.meanWaitUs)
+                .field("mean_transfer_us", row.meanTransferUs)
+                .field("mean_compute_us", row.meanComputeUs)
+                .field("publish_p50_us", row.publishP50Us)
+                .field("publish_p99_us", row.publishP99Us)
                 .field("p99_vs_uncontended", row.p99Us / uncontended_us)
                 .endObject();
         }

@@ -16,7 +16,8 @@
  * Usage: perf_daemon [host|capi|pcie] [engines]
  *                    [--max-sessions=N] [--records-per-sec=R]
  *                    [--max-inflight-windows=N] [--max-queue-us=X]
- *                    [--shm=/name] [--linger-ms=N]
+ *                    [--shm=/name] [--linger-ms=N] [--tenants=N]
+ *                    [--trace-out=FILE] [--metrics-every-ms=N]
  *
  * The first argument selects the execution backend: "host" (windows
  * cost their measured EP wall time) or the simulated FPGA EP-engine
@@ -29,16 +30,27 @@
  * --linger-ms keeps the sessions (and so the table) alive that long
  * after streaming finishes, giving external readers time to attach.
  * Posteriors are identical across backends — the table's
- * modeled-latency columns are what changes.  Unknown arguments, a
- * zero engine count or a malformed flag value print usage and exit
- * non-zero.
+ * modeled-latency columns are what changes.
+ *
+ * Observability flags: --tenants=N scales the workload (tenant names
+ * cycle KMeans/Sort/Bayes/PageRank with -1, -2, ... suffixes);
+ * --trace-out=FILE writes every window's phase spans as Chrome
+ * trace-event JSON (load in Perfetto or chrome://tracing);
+ * --metrics-every-ms=N starts a scraper thread that prints a
+ * one-line telemetry digest every N ms and republishes the daemon's
+ * self-metrics through the snapshot shim (pseudo-session 0), so a
+ * shim_reader in another process watches the monitor itself.
+ * Unknown arguments, a zero engine/tenant/period count or a
+ * malformed flag value print usage and exit non-zero.
  */
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +60,8 @@
 #include "service/monitor_service.h"
 #include "service/record_stream.h"
 #include "sim/ground_truth.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "workloads/hibench.h"
 
 using namespace bperf;
@@ -64,8 +78,40 @@ usage(const char *argv0)
                  "          [--max-sessions=N] [--records-per-sec=R]\n"
                  "          [--max-inflight-windows=N] "
                  "[--max-queue-us=X]\n"
-                 "          [--shm=/name] [--linger-ms=N]\n",
+                 "          [--shm=/name] [--linger-ms=N] "
+                 "[--tenants=N]\n"
+                 "          [--trace-out=FILE] "
+                 "[--metrics-every-ms=N]\n",
                  argv0);
+}
+
+/** One-line digest of the registry, printed by the scraper thread. */
+void
+printMetricsDigest(const char *tag)
+{
+    auto &registry = telemetry::MetricsRegistry::global();
+    const telemetry::MetricsSnapshot snap = registry.scrape();
+    const telemetry::Histogram::Snapshot ep_window =
+        registry.histogramSnapshot("ep.window_ns");
+    std::printf("[metrics %s] %zu counters, %zu histograms; "
+                "ep.windows=%llu ring.drops=%llu sub.drops=%llu "
+                "shim.publishes=%llu log.warn=%llu log.err=%llu "
+                "ep.window p99=%.0f us\n",
+                tag, snap.counters.size(), snap.histograms.size(),
+                static_cast<unsigned long long>(
+                    registry.counterValue("ep.windows")),
+                static_cast<unsigned long long>(
+                    registry.counterValue("ring.drops")),
+                static_cast<unsigned long long>(
+                    registry.counterValue("subscription.drops")),
+                static_cast<unsigned long long>(
+                    registry.counterValue("shim.publishes")),
+                static_cast<unsigned long long>(
+                    registry.counterValue("log.warnings")),
+                static_cast<unsigned long long>(
+                    registry.counterValue("log.errors")),
+                ep_window.count > 0 ? ep_window.percentile(99.0) / 1e3
+                                    : 0.0);
 }
 
 } // namespace
@@ -83,6 +129,9 @@ main(int argc, char **argv)
 
     std::string backend_arg = "capi";
     std::size_t linger_ms = 0;
+    std::size_t num_tenants = 4;
+    std::size_t metrics_every_ms = 0;
+    std::string trace_out;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -109,6 +158,30 @@ main(int argc, char **argv)
                 return 2;
             }
             linger_ms = nval;
+            continue;
+        }
+        if (arg.rfind("--tenants=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 10, &nval) || nval == 0) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            num_tenants = nval;
+            continue;
+        }
+        if (arg.rfind("--metrics-every-ms=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 19, &nval) || nval == 0) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            metrics_every_ms = nval;
+            continue;
+        }
+        if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(12);
+            if (trace_out.empty()) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
             continue;
         }
         if (arg.rfind("--max-sessions=", 0) == 0) {
@@ -186,13 +259,25 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+    // Window spans flow to the collector from every worker; the file
+    // is written once the sessions have closed (tail windows traced).
+    telemetry::TraceCollector trace;
+    if (!trace_out.empty())
+        cfg.trace = &trace;
     service::MonitorService daemon(uarch, cfg);
 
-    // 2. Four tenants, each monitoring 13 events (3 fixed + 10
-    // multiplexed) on its own workload, opened through admission
+    // 2. N tenants (default 4), each monitoring 13 events (3 fixed +
+    // 10 multiplexed) on its own workload, opened through admission
     // control under their tenant name.
-    const std::vector<std::string> tenants = {"KMeans", "Sort", "Bayes",
-                                              "PageRank"};
+    const std::vector<std::string> tenant_bases = {"KMeans", "Sort",
+                                                   "Bayes", "PageRank"};
+    std::vector<std::string> tenants;
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+        std::string name = tenant_bases[t % tenant_bases.size()];
+        if (t >= tenant_bases.size())
+            name += "-" + std::to_string(t / tenant_bases.size());
+        tenants.push_back(name);
+    }
     std::vector<sim::EventId> events;
     for (sim::Role r :
          {sim::Role::LlcMiss, sim::Role::L2Miss, sim::Role::L1DMiss,
@@ -216,8 +301,11 @@ main(int argc, char **argv)
         }
         ids.push_back(*result.id);
         admitted_tenants.push_back(tenants[t]);
+        // Suffixed tenants ("KMeans-1") run the base workload; the
+        // suffix only distinguishes the admission/subscription name.
         const sim::GroundTruthGenerator generator(
-            uarch, wl::makeHibench(tenants[t]));
+            uarch,
+            wl::makeHibench(tenant_bases[t % tenant_bases.size()]));
         truths.push_back(generator.generate(num_slices, 1000 + t));
     }
     if (ids.empty()) {
@@ -225,6 +313,28 @@ main(int argc, char **argv)
         return 1;
     }
     const auto monitored = daemon.monitoredEvents(ids[0]);
+
+    // Periodic self-observation: print a registry digest and mirror
+    // the daemon's own health metrics into the snapshot shim, where a
+    // cross-process shim_reader sees them as pseudo-session 0.  No
+    // early return below until the thread is joined.
+    std::mutex metrics_mutex;
+    std::condition_variable metrics_cv;
+    bool metrics_stop = false;
+    std::thread metrics_thread;
+    if (metrics_every_ms > 0) {
+        metrics_thread = std::thread([&] {
+            std::unique_lock<std::mutex> lock(metrics_mutex);
+            while (!metrics_cv.wait_for(
+                       lock, std::chrono::milliseconds(metrics_every_ms),
+                       [&] { return metrics_stop; })) {
+                lock.unlock();
+                printMetricsDigest("scrape");
+                daemon.publishSelfMetrics();
+                lock.lock();
+            }
+        });
+    }
 
     // 3. Subscribe to the first tenant's window completions: the push
     // counterpart of the latest() polling below.
@@ -279,6 +389,12 @@ main(int argc, char **argv)
     daemon.quiesce();
     daemon.flushSubscriptions();
 
+    // Make the monitor's own metrics visible at least once, even
+    // without a scraper thread: a lingering shim_reader sees the
+    // final numbers under pseudo-session 0.
+    if (cfg.snapshot.enabled)
+        daemon.publishSelfMetrics();
+
     // Keep the snapshot table populated long enough for an external
     // shim_reader to attach and poll before the sessions close and
     // their slots are invalidated.
@@ -289,6 +405,15 @@ main(int argc, char **argv)
                         linger_ms, cfg.snapshot.shmName.c_str());
         std::this_thread::sleep_for(
             std::chrono::milliseconds(linger_ms));
+    }
+
+    if (metrics_thread.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(metrics_mutex);
+            metrics_stop = true;
+        }
+        metrics_cv.notify_all();
+        metrics_thread.join();
     }
 
     // Snapshot-shim accounting, taken while the sessions still own
@@ -394,5 +519,22 @@ main(int argc, char **argv)
                     ? static_cast<double>(stats.totals.epSweeps) /
                           static_cast<double>(stats.totals.windowsRun)
                     : 0.0);
+
+    if (metrics_every_ms > 0)
+        printMetricsDigest("final");
+
+    // Write the trace last: the close() loop above ran the tail
+    // windows, so their spans are in the collector by now.
+    if (!trace_out.empty()) {
+        if (!trace.writeChromeTrace(trace_out)) {
+            std::fprintf(stderr, "%s: cannot write trace to %s\n",
+                         argv[0], trace_out.c_str());
+            return 1;
+        }
+        std::printf("trace: %zu phase slices (%llu dropped) -> %s\n",
+                    trace.eventCount(),
+                    static_cast<unsigned long long>(trace.dropped()),
+                    trace_out.c_str());
+    }
     return 0;
 }

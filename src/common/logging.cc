@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "telemetry/telemetry.h"
+
 namespace bperf {
 namespace detail {
 
@@ -20,10 +22,30 @@ levelName(LogLevel level)
     switch (level) {
       case LogLevel::Inform: return "info";
       case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
       case LogLevel::Fatal: return "fatal";
       case LogLevel::Panic: return "panic";
     }
     return "?";
+}
+
+/**
+ * Mirror Warn/Error (and fatal terminations) into the telemetry
+ * registry, before any verbosity gate and regardless of the enable
+ * flag: "how many times did something go wrong" must never depend on
+ * what was printed or whether collection was on.
+ */
+void
+countLevel(LogLevel level)
+{
+    static telemetry::Counter &warnings =
+        telemetry::MetricsRegistry::global().counter("log.warnings");
+    static telemetry::Counter &errors =
+        telemetry::MetricsRegistry::global().counter("log.errors");
+    if (level == LogLevel::Warn)
+        warnings.addAlways();
+    else if (level != LogLevel::Inform)
+        errors.addAlways();
 }
 } // namespace
 
@@ -42,6 +64,7 @@ verbose()
 void
 emit(LogLevel level, const std::string &msg)
 {
+    countLevel(level);
     if (!g_verbose && (level == LogLevel::Inform || level == LogLevel::Warn))
         return;
     std::lock_guard<std::mutex> lock(g_emit_mutex);
@@ -51,6 +74,7 @@ emit(LogLevel level, const std::string &msg)
 void
 terminate(LogLevel level, const std::string &msg, const char *file, int line)
 {
+    countLevel(level);
     std::fprintf(stderr, "[%s] %s:%d: %s\n", levelName(level), file, line,
                  msg.c_str());
     if (level == LogLevel::Panic)

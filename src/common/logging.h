@@ -17,7 +17,7 @@
 namespace bperf {
 
 /** Severity of a log message. */
-enum class LogLevel { Inform, Warn, Fatal, Panic };
+enum class LogLevel { Inform, Warn, Error, Fatal, Panic };
 
 namespace detail {
 
@@ -56,6 +56,20 @@ bool verbose();
         bp_oss_ << msg;                                                      \
         ::bperf::detail::terminate(::bperf::LogLevel::Fatal, bp_oss_.str(),  \
                                    __FILE__, __LINE__);                      \
+    } while (0)
+
+/**
+ * Report a non-fatal error: something went wrong and was handled
+ * (dropped, degraded, retried), but the process continues.  Always
+ * printed, regardless of verbosity; counted in the telemetry
+ * registry's "log.errors" (like bp_warn in "log.warnings"), so tests
+ * and benches can assert "no errors logged" without scraping stderr.
+ */
+#define bp_error(msg)                                                        \
+    do {                                                                     \
+        std::ostringstream bp_oss_;                                          \
+        bp_oss_ << msg;                                                      \
+        ::bperf::detail::emit(::bperf::LogLevel::Error, bp_oss_.str());      \
     } while (0)
 
 /** Report a suspicious-but-survivable condition. */

@@ -57,6 +57,30 @@ struct WindowJob
     double hostSeconds = 0.0;
 };
 
+/**
+ * Wall-clock phase stamps of one window's trip through the pipeline
+ * (telemetry::nowNanos() time base, which is also the shim's).  A
+ * zero stamp means "phase not observed" — telemetry was disabled, or
+ * the window was flushed at stream end with no triggering record
+ * (the finish() tail leaves ingest/assemble unstamped).  Consumers
+ * must treat 0 as absent, never as t=0.
+ */
+struct WindowSpan
+{
+    /** Process-unique id tying this window's phases together. */
+    std::uint64_t traceId = 0;
+    /** The triggering record entered the ring (producer side). */
+    std::uint64_t ingestNanos = 0;
+    /** The triggering record was drained into the slice assembler. */
+    std::uint64_t assembleNanos = 0;
+    /** Host EP solve started. */
+    std::uint64_t epStartNanos = 0;
+    /** Host EP solve finished (backend modeling follows). */
+    std::uint64_t epEndNanos = 0;
+    /** The window update entered fan-out (sinks, shim, hub). */
+    std::uint64_t publishNanos = 0;
+};
+
 /** Where and at what modeled cost one window executed. */
 struct WindowExecution
 {
@@ -74,6 +98,13 @@ struct WindowExecution
     double transferSeconds = 0.0;
     /** End-to-end modeled window latency: queue wait + service. */
     double modeledSeconds = 0.0;
+    /** 1-based position of this window in its engine's run order —
+     * the stable per-session window id (WindowUpdate.windowId).
+     * 0 only for executions that never went through runWindow. */
+    std::uint64_t windowOrdinal = 0;
+    /** Observed phase stamps (engine-side fields; backends leave
+     * this default — the engine stamps it after execute()). */
+    WindowSpan span;
 };
 
 /** Aggregate accounting of one backend across every window it ran. */

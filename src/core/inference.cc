@@ -5,9 +5,23 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace bperf {
 namespace core {
+
+namespace {
+
+std::uint64_t
+spanNanos(std::chrono::steady_clock::time_point tp)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count());
+}
+
+} // namespace
 
 std::vector<double>
 InferenceResult::meanSeries(sim::EventId event) const
@@ -209,6 +223,7 @@ WindowedInference::runWindow(std::size_t w_len)
         }
     }
 
+    const std::size_t ws_allocs_before = epWorkspace_.totalAllocations();
     ExpectationPropagation ep(config_.ep);
     const EpResult ep_result = ep.run(model.graph(), epWorkspace_);
     ++windowsRun_;
@@ -293,6 +308,30 @@ WindowedInference::runWindow(std::size_t w_len)
         exec.endSlice = job.endSlice;
         exec.serviceSeconds = window_seconds;
         exec.modeledSeconds = window_seconds;
+    }
+    exec.windowOrdinal = windowsRun_;
+    if (telemetry::enabled()) {
+        exec.span.traceId = telemetry::nextTraceId();
+        exec.span.ingestNanos = recIngestNanos_;
+        exec.span.assembleNanos = recAssembleNanos_;
+        exec.span.epStartNanos = spanNanos(t_start);
+        exec.span.epEndNanos = spanNanos(t_end);
+
+        auto &registry = telemetry::MetricsRegistry::global();
+        static telemetry::Counter &ep_windows =
+            registry.counter("ep.windows");
+        static telemetry::Counter &ep_sweeps =
+            registry.counter("ep.sweeps");
+        static telemetry::Counter &ep_workspace_allocs =
+            registry.counter("ep.workspace_allocations");
+        static telemetry::Histogram &ep_window_ns =
+            registry.histogram("ep.window_ns");
+        ep_windows.add();
+        ep_sweeps.add(ep_result.sweeps);
+        ep_workspace_allocs.add(epWorkspace_.totalAllocations() -
+                                ws_allocs_before);
+        ep_window_ns.record(
+            static_cast<std::uint64_t>(window_seconds * 1e9));
     }
     executions_.push_back(exec);
     pendingExecutions_.push_back(exec);

@@ -206,6 +206,20 @@ class WindowedInference
         releaseFloor_ = std::max(releaseFloor_, absolute_slice);
     }
 
+    /**
+     * Phase stamps of the record whose arrival is driving the
+     * current push() (telemetry::nowNanos() base; 0 = unobserved).
+     * The service's streaming layer sets them before each push so
+     * windows completed by that record carry ring-to-EP latency in
+     * their WindowSpan; finish()-tail windows keep zero stamps.
+     */
+    void setRecordStamps(std::uint64_t ingest_nanos,
+                         std::uint64_t assemble_nanos)
+    {
+        recIngestNanos_ = ingest_nanos;
+        recAssembleNanos_ = assemble_nanos;
+    }
+
     /** Total slices pushed so far. */
     std::size_t slicesSeen() const { return numSlices_; }
 
@@ -287,6 +301,8 @@ class WindowedInference
     std::size_t coveredEnd_ = 0; // posterior exists for [0, coveredEnd_)
     std::size_t sliceOrigin_ = 0;
     std::size_t releaseFloor_ = 0;
+    std::uint64_t recIngestNanos_ = 0;
+    std::uint64_t recAssembleNanos_ = 0;
     bool finished_ = false;
 
     /** Reused across windows so steady-state EP runs allocate nothing. */

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "core/bayesperf.h"
+#include "telemetry/telemetry.h"
 
 namespace bperf {
 namespace service {
@@ -98,6 +99,8 @@ MonitorService::open(const std::string &tenant,
                 snapshot_->countDrop();
         }
         hub_.publish(u);
+        if (config_.trace != nullptr)
+            config_.trace->addWindow(u.sessionId, u.windowId, u.execution);
     };
     registry_.insert(std::make_shared<Session>(
         id, uarch_, std::move(monitored), cfg, tenant, std::move(sink)));
@@ -318,6 +321,11 @@ MonitorService::stats() const
     out.admission = admission_.stats();
     if (snapshot_)
         out.snapshot = snapshot_->stats();
+    {
+        auto &registry = telemetry::MetricsRegistry::global();
+        out.logWarnings = registry.counterValue("log.warnings");
+        out.logErrors = registry.counterValue("log.errors");
+    }
     std::unordered_set<SessionId> closing_ids;
     for (const auto &session : closing_) {
         // Racing closers can list a session twice; count it once.
@@ -334,6 +342,32 @@ MonitorService::stats() const
         out.totals.merge(session.statsSnapshot());
     });
     return out;
+}
+
+bool
+MonitorService::publishSelfMetrics()
+{
+    if (!snapshot_)
+        return false;
+    const ServiceStats s = stats();
+    auto &registry = telemetry::MetricsRegistry::global();
+    const telemetry::Histogram::Snapshot ep_window =
+        registry.histogramSnapshot("ep.window_ns");
+    const double ep_p99 =
+        ep_window.count > 0 ? ep_window.percentile(99.0) : 0.0;
+    const std::vector<SnapshotPublisher::SelfMetric> metrics = {
+        {SelfSessionsLive, static_cast<double>(s.sessionsLive)},
+        {SelfWindowsRun, static_cast<double>(s.totals.windowsRun)},
+        {SelfRecordsIngested,
+         static_cast<double>(s.totals.recordsIngested)},
+        {SelfRecordsDropped, static_cast<double>(s.totals.recordsDropped)},
+        {SelfEpSweeps, static_cast<double>(s.totals.epSweeps)},
+        {SelfLogWarnings, static_cast<double>(s.logWarnings)},
+        {SelfLogErrors, static_cast<double>(s.logErrors)},
+        {SelfShimPublishes, static_cast<double>(s.snapshot.publishes)},
+        {SelfEpWindowP99Nanos, ep_p99},
+    };
+    return snapshot_->publishSelfMetrics(metrics);
 }
 
 } // namespace service

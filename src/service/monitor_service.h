@@ -35,6 +35,7 @@
 #include "service/subscription.h"
 #include "service/worker_pool.h"
 #include "sim/microarch.h"
+#include "telemetry/trace.h"
 
 namespace bperf {
 namespace service {
@@ -86,6 +87,13 @@ struct MonitorServiceConfig
      * segment (the paper's consumer interface).
      */
     SnapshotConfig snapshot;
+
+    /**
+     * Optional trace sink: every completed window's span is recorded
+     * here (from the worker that ran it) for Chrome-trace export.
+     * Not owned; must outlive the service.  nullptr disables tracing.
+     */
+    telemetry::TraceCollector *trace = nullptr;
 };
 
 /** Aggregate statistics across live and closed sessions. */
@@ -106,6 +114,10 @@ struct ServiceStats
     /** Snapshot-shim publish accounting (enabled == false when the
      * shim is off). */
     SnapshotPublisherStats snapshot;
+    /** Process-wide bp_warn / bp_error(+fatal) counts, mirrored from
+     * the telemetry registry (counted even when telemetry is off). */
+    std::uint64_t logWarnings = 0;
+    std::uint64_t logErrors = 0;
 };
 
 /** Typed outcome of an admission-controlled open. */
@@ -245,6 +257,32 @@ class MonitorService
     /** Aggregate statistics (live sessions + closed accumulator);
      * one coherent snapshot, safe from any thread. */
     ServiceStats stats() const;
+
+    /**
+     * Publish the monitor's own health metrics through the snapshot
+     * shim under SnapshotPublisher::kSelfMetricsSessionId, so a
+     * shim_reader in another process watches the monitor exactly like
+     * a tenant.  Metric ids are the SelfMetricId enum below.  False
+     * when the shim is disabled or its table is full.
+     */
+    bool publishSelfMetrics();
+
+    /**
+     * Shim "event ids" of the self-metrics slot.  A reader sees
+     * (id, mean) pairs; the mean carries the metric value and the
+     * variance is always 0.
+     */
+    enum SelfMetricId : sim::EventId {
+        SelfSessionsLive = 1,
+        SelfWindowsRun = 2,
+        SelfRecordsIngested = 3,
+        SelfRecordsDropped = 4,
+        SelfEpSweeps = 5,
+        SelfLogWarnings = 6,
+        SelfLogErrors = 7,
+        SelfShimPublishes = 8,
+        SelfEpWindowP99Nanos = 9,
+    };
 
     /** Live session count (registry size).  Safe from any thread. */
     std::size_t openSessions() const { return registry_.size(); }

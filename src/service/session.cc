@@ -1,9 +1,47 @@
 #include "service/session.h"
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace bperf {
 namespace service {
+
+namespace {
+
+telemetry::Counter &
+ringOffersCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::MetricsRegistry::global().counter("ring.offers");
+    return c;
+}
+
+telemetry::Counter &
+ringDropsCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::MetricsRegistry::global().counter("ring.drops");
+    return c;
+}
+
+telemetry::Histogram &
+ringWaitHistogram()
+{
+    static telemetry::Histogram &h =
+        telemetry::MetricsRegistry::global().histogram("ring.wait_ns");
+    return h;
+}
+
+telemetry::Histogram &
+publishFanoutHistogram()
+{
+    static telemetry::Histogram &h =
+        telemetry::MetricsRegistry::global().histogram(
+            "publish.fanout_ns");
+    return h;
+}
+
+} // namespace
 
 void
 SessionStats::merge(const SessionStats &other)
@@ -34,7 +72,15 @@ Session::Session(SessionId id, const sim::MicroarchDescriptor &uarch,
 bool
 Session::offer(const sim::PerfRecord &rec)
 {
-    return queue_.push(rec);
+    if (!telemetry::enabled())
+        return queue_.push(rec);
+    ringOffersCounter().add();
+    sim::PerfRecord stamped = rec;
+    stamped.ingestNanos = telemetry::nowNanos();
+    const bool pushed = queue_.push(stamped);
+    if (!pushed)
+        ringDropsCounter().add();
+    return pushed;
 }
 
 std::size_t
@@ -42,6 +88,11 @@ Session::drain()
 {
     std::size_t drained = 0;
     while (auto rec = queue_.pop()) {
+        if (rec->ingestNanos != 0 && telemetry::enabled()) {
+            const std::uint64_t now = telemetry::nowNanos();
+            if (now > rec->ingestNanos)
+                ringWaitHistogram().record(now - rec->ingestNanos);
+        }
         // Publish per completed window, not per drain pass: a long
         // backlog drains in one pass, and pollers should see
         // posteriors as soon as the first window lands.
@@ -110,9 +161,19 @@ Session::harvestWindows()
     }
     for (const auto &exec : executions) {
         update.windowIndex = windowsReported_++;
+        update.windowId = exec.windowOrdinal;
         update.endSlice = exec.endSlice;
         update.execution = exec;
-        windowSink_(update);
+        if (telemetry::enabled()) {
+            update.execution.span.publishNanos = telemetry::nowNanos();
+            windowSink_(update);
+            const std::uint64_t after = telemetry::nowNanos();
+            if (after > update.execution.span.publishNanos)
+                publishFanoutHistogram().record(
+                    after - update.execution.span.publishNanos);
+        } else {
+            windowSink_(update);
+        }
     }
 }
 

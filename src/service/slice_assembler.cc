@@ -3,9 +3,30 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace bperf {
 namespace service {
+
+namespace {
+
+telemetry::Counter &
+slicesAssembledCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::MetricsRegistry::global().counter("slices.assembled");
+    return c;
+}
+
+telemetry::Counter &
+recordsRejectedCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::MetricsRegistry::global().counter("records.rejected");
+    return c;
+}
+
+} // namespace
 
 SliceAssembler::SliceAssembler(std::vector<sim::EventId> events,
                                bool align_to_first_record)
@@ -39,6 +60,7 @@ SliceAssembler::finalizeCurrent(std::vector<core::SliceMeasurements> &out)
     current_.assign(events_.size(), sim::SliceSample{});
     open_ = false;
     ++frontSlice_;
+    slicesAssembledCounter().add();
 }
 
 std::size_t
@@ -50,6 +72,7 @@ SliceAssembler::feed(const sim::PerfRecord &rec,
     if (idx == SIZE_MAX || rec.slice < frontSlice_ ||
         (open_ && rec.slice < curSlice_)) {
         ++rejected_;
+        recordsRejectedCounter().add();
         return 0;
     }
 

@@ -1,5 +1,7 @@
 #include "service/snapshot_publisher.h"
 
+#include "telemetry/telemetry.h"
+
 namespace bperf {
 namespace service {
 
@@ -12,6 +14,30 @@ regionConfig(const SnapshotConfig &config)
     region.slots = config.slots;
     region.maxEvents = config.maxEvents;
     return region;
+}
+
+telemetry::Counter &
+shimPublishesCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::MetricsRegistry::global().counter("shim.publishes");
+    return c;
+}
+
+telemetry::Counter &
+shimDropsCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::MetricsRegistry::global().counter("shim.publish_drops");
+    return c;
+}
+
+telemetry::Histogram &
+shimPublishHistogram()
+{
+    static telemetry::Histogram &h =
+        telemetry::MetricsRegistry::global().histogram("shim.publish_ns");
+    return h;
 }
 
 } // namespace
@@ -58,9 +84,53 @@ SnapshotPublisher::release(std::uint64_t session_id)
 void
 SnapshotPublisher::publish(std::size_t slot, const WindowUpdate &update)
 {
+    const std::uint64_t start = shim::steadyNowNanos();
     region_.write(slot, update.sessionId, update.windowIndex,
                   update.endSlice, update.execution, update.events,
-                  update.posterior, shim::steadyNowNanos());
+                  update.posterior, start);
+    shimPublishesCounter().add();
+    if (telemetry::enabled()) {
+        const std::uint64_t end = shim::steadyNowNanos();
+        if (end > start)
+            shimPublishHistogram().record(end - start);
+    }
+}
+
+void
+SnapshotPublisher::countDrop()
+{
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    shimDropsCounter().add();
+}
+
+bool
+SnapshotPublisher::publishSelfMetrics(const std::vector<SelfMetric> &metrics)
+{
+    std::lock_guard<std::mutex> lock(selfMutex_);
+    if (!selfSlot_) {
+        // Claim lazily: a daemon that never publishes self-metrics
+        // leaves the slot free for a tenant.  Event-count 0 passes
+        // the capacity check; actual publishes truncate below.
+        selfSlot_ = allocate(kSelfMetricsSessionId, 0);
+        if (!selfSlot_) {
+            countDrop();
+            return false;
+        }
+    }
+    const std::size_t count =
+        metrics.size() < region_.maxEvents() ? metrics.size()
+                                             : region_.maxEvents();
+    selfEvents_.clear();
+    selfPosterior_.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+        selfEvents_.push_back(metrics[i].id);
+        selfPosterior_.push_back({metrics[i].value, 0.0});
+    }
+    region_.write(*selfSlot_, kSelfMetricsSessionId, selfWindow_++,
+                  /*end_slice=*/0, core::WindowExecution{}, selfEvents_,
+                  selfPosterior_, shim::steadyNowNanos());
+    shimPublishesCounter().add();
+    return true;
 }
 
 SnapshotPublisherStats

@@ -75,6 +75,22 @@ struct SnapshotPublisherStats
 class SnapshotPublisher
 {
   public:
+    /**
+     * Pseudo-session id of the service's self-metrics slot.  Real
+     * session ids start at 1 (SessionRegistry), so 0 is free to mean
+     * "the monitor itself" — shim readers see it as just another
+     * session whose "events" are telemetry metric ids and whose
+     * posterior means are the metric values.
+     */
+    static constexpr std::uint64_t kSelfMetricsSessionId = 0;
+
+    /** One self-metric, exported shim-style as (event id, value). */
+    struct SelfMetric
+    {
+        sim::EventId id = 0;
+        double value = 0.0;
+    };
+
     explicit SnapshotPublisher(const SnapshotConfig &config);
 
     /**
@@ -95,7 +111,17 @@ class SnapshotPublisher
     void publish(std::size_t slot, const WindowUpdate &update);
 
     /** Count one window that had nowhere to go (slotless session). */
-    void countDrop() { drops_.fetch_add(1, std::memory_order_relaxed); }
+    void countDrop();
+
+    /**
+     * Publish the monitor's own metrics under kSelfMetricsSessionId
+     * — the paper's consumer interface, dogfooded: shim_reader in
+     * another process watches the monitor like any tenant.  Lazily
+     * claims a slot on first call (false when the table is full);
+     * metrics beyond a slot's event capacity are truncated.  Callers
+     * serialize publishes internally (any thread may call).
+     */
+    bool publishSelfMetrics(const std::vector<SelfMetric> &metrics);
 
     SnapshotPublisherStats stats() const;
 
@@ -113,6 +139,14 @@ class SnapshotPublisher
     mutable std::mutex mutex_;
     std::vector<bool> slotUsed_;
     std::map<std::uint64_t, std::size_t> slotOf_;
+
+    /** Serializes self-metrics publishes (one writer per slot). */
+    std::mutex selfMutex_;
+    std::optional<std::size_t> selfSlot_;
+    std::uint64_t selfWindow_ = 0;
+    /** Reusable scratch for the self-metrics seqlock write. */
+    std::vector<sim::EventId> selfEvents_;
+    std::vector<core::PosteriorPoint> selfPosterior_;
 };
 
 } // namespace service

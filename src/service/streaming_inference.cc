@@ -1,6 +1,7 @@
 #include "service/streaming_inference.h"
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace bperf {
 namespace service {
@@ -27,6 +28,12 @@ StreamingInference::consume(const sim::PerfRecord &rec)
     // past.
     engine_.setSliceOrigin(assembler_.originSlice());
     engine_.setReleaseFloor(rec.slice);
+    // Windows completed by this record carry its ring-to-drain phase
+    // stamps in their WindowSpan (finish()-tail windows stay
+    // unstamped: no record drives them).
+    engine_.setRecordStamps(rec.ingestNanos, telemetry::enabled()
+                                                 ? telemetry::nowNanos()
+                                                 : 0);
     std::size_t windows = 0;
     for (const auto &slice : ready_)
         windows += engine_.push(slice);
@@ -38,6 +45,9 @@ StreamingInference::finish()
 {
     ready_.clear();
     assembler_.flush(ready_);
+    // Tail windows have no triggering record: leave spans unstamped
+    // rather than inheriting the last consumed record's stamps.
+    engine_.setRecordStamps(0, 0);
     std::size_t windows = 0;
     for (const auto &slice : ready_)
         windows += engine_.push(slice);

@@ -1,7 +1,39 @@
 #include "service/subscription.h"
 
+#include "telemetry/telemetry.h"
+
 namespace bperf {
 namespace service {
+
+namespace {
+
+telemetry::Counter &
+subscriptionDropsCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::MetricsRegistry::global().counter("subscription.drops");
+    return c;
+}
+
+telemetry::Histogram &
+queueDepthHistogram()
+{
+    static telemetry::Histogram &h =
+        telemetry::MetricsRegistry::global().histogram(
+            "subscription.queue_depth");
+    return h;
+}
+
+telemetry::Histogram &
+deliveryLagHistogram()
+{
+    static telemetry::Histogram &h =
+        telemetry::MetricsRegistry::global().histogram(
+            "subscription.delivery_lag_ns");
+    return h;
+}
+
+} // namespace
 
 SubscriptionHub::SubscriptionHub(std::size_t queue_capacity)
     : queueCapacity_(queue_capacity == 0 ? 1 : queue_capacity),
@@ -77,11 +109,14 @@ SubscriptionHub::publish(const WindowUpdate &update)
                 sub->queue.pop_front();
                 ++sub->stats.dropped;
                 --queuedTotal_;
+                subscriptionDropsCounter().add();
             }
             sub->queue.push_back(update);
             ++queuedTotal_;
             notify = true;
         }
+        // Sampled once per publish: hub-wide queued backlog.
+        queueDepthHistogram().record(queuedTotal_);
     }
     if (notify)
         workCv_.notify_one();
@@ -127,6 +162,13 @@ SubscriptionHub::dispatchLoop()
         // The callback runs without the hub lock: it may take its
         // own locks or be slow without stalling publishers.
         next->callback(update);
+        if (update.execution.span.publishNanos != 0 &&
+            telemetry::enabled()) {
+            const std::uint64_t now = telemetry::nowNanos();
+            if (now > update.execution.span.publishNanos)
+                deliveryLagHistogram().record(
+                    now - update.execution.span.publishNanos);
+        }
         lock.lock();
         ++next->stats.delivered;
         dispatching_ = false;

@@ -49,6 +49,11 @@ struct WindowUpdate
     std::uint64_t sessionId = 0;
     /** Per-session window counter (0-based, in completion order). */
     std::uint64_t windowIndex = 0;
+    /** Stable monotone per-session window id (1-based, gap-free):
+     * the engine's window ordinal, assigned when the window ran.
+     * Always windowIndex + 1 today, but stamped at the source so
+     * consumers can rely on it without knowing harvest internals. */
+    std::uint64_t windowId = 0;
     /** Slice whose arrival completed the window. */
     std::size_t endSlice = 0;
     /** Monitored events, aligned with `posterior`. */

@@ -1,9 +1,31 @@
 #include "service/worker_pool.h"
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace bperf {
 namespace service {
+
+namespace {
+
+telemetry::Counter &
+dispatchesCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::MetricsRegistry::global().counter("worker.dispatches");
+    return c;
+}
+
+telemetry::Histogram &
+dispatchWaitHistogram()
+{
+    static telemetry::Histogram &h =
+        telemetry::MetricsRegistry::global().histogram(
+            "worker.dispatch_wait_ns");
+    return h;
+}
+
+} // namespace
 
 WorkerPool::WorkerPool(std::size_t num_threads,
                        std::function<void(SessionId)> process)
@@ -30,9 +52,13 @@ WorkerPool::~WorkerPool()
 void
 WorkerPool::submit(SessionId id)
 {
+    QueuedSession entry;
+    entry.id = id;
+    if (telemetry::enabled())
+        entry.submitNanos = telemetry::nowNanos();
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(id);
+        queue_.push_back(entry);
     }
     cv_.notify_one();
 }
@@ -53,11 +79,17 @@ WorkerPool::workerLoop()
         cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
         if (stopping_)
             return;
-        const SessionId id = queue_.front();
+        const QueuedSession entry = queue_.front();
         queue_.pop_front();
         ++active_;
         lock.unlock();
-        process_(id);
+        if (entry.submitNanos != 0 && telemetry::enabled()) {
+            const std::uint64_t now = telemetry::nowNanos();
+            if (now > entry.submitNanos)
+                dispatchWaitHistogram().record(now - entry.submitNanos);
+        }
+        dispatchesCounter().add();
+        process_(entry.id);
         lock.lock();
         --active_;
         if (queue_.empty() && active_ == 0)

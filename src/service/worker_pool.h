@@ -55,10 +55,18 @@ class WorkerPool
 
     std::function<void(SessionId)> process_;
 
+    /** One run-queue entry, stamped for dispatch-wait telemetry. */
+    struct QueuedSession
+    {
+        SessionId id = 0;
+        /** submit() time (telemetry::nowNanos(); 0 when disabled). */
+        std::uint64_t submitNanos = 0;
+    };
+
     std::mutex mutex_;
     std::condition_variable cv_;        // queue became non-empty / stop
     std::condition_variable idleCv_;    // a worker went idle
-    std::deque<SessionId> queue_;
+    std::deque<QueuedSession> queue_;
     std::size_t active_ = 0;
     bool stopping_ = false;
 

@@ -36,6 +36,10 @@ struct PerfRecord
     double value = 0.0;
     double timeEnabled = 0.0;
     double timeRunning = 0.0;
+    /** Telemetry span stamp: when the record entered the ring
+     * (telemetry::nowNanos() base; 0 when telemetry is disabled).
+     * Stamped by the service's offer path, not by producers. */
+    std::uint64_t ingestNanos = 0;
 };
 
 /**

@@ -1,0 +1,184 @@
+#include "telemetry/telemetry.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace bperf {
+namespace telemetry {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{true};
+
+std::size_t
+shardIndex()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t mine =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return mine;
+}
+
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t
+nowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+nextTraceId()
+{
+    static std::atomic<std::uint64_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+namespace {
+
+/** Geometric midpoint of bucket b — the value a percentile reports
+ * for a rank that lands there.  Exact for the two single-value
+ * buckets (0 and 1), at most sqrt(2)x off elsewhere. */
+double
+bucketRepresentative(std::size_t b)
+{
+    if (b == 0)
+        return 0.0;
+    const double lo = static_cast<double>(Histogram::bucketFloor(b));
+    // Top of the bucket is 2*lo (exclusive): sqrt(lo * 2lo) = lo*sqrt(2).
+    return lo * std::sqrt(2.0);
+}
+
+} // namespace
+
+double
+Histogram::Snapshot::percentile(double p) const
+{
+    if (count == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 100.0)
+        p = 100.0;
+    // Rank of the requested percentile, 1-based, clamped into range.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        cumulative += buckets[b];
+        if (cumulative >= rank) {
+            if (b == 1)
+                return 1.0; // bucket 1 holds exactly the value 1
+            return bucketRepresentative(b);
+        }
+    }
+    return bucketRepresentative(kBuckets - 1);
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot snap;
+    for (const Shard &s : shards_) {
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            const std::uint64_t n =
+                s.buckets[b].load(std::memory_order_relaxed);
+            snap.buckets[b] += n;
+            snap.count += n;
+        }
+    }
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    for (Shard &s : shards_)
+        for (auto &bucket : s.buckets)
+            bucket.store(0, std::memory_order_relaxed);
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histograms_[name];
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+Histogram::Snapshot
+MetricsRegistry::histogramSnapshot(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? Histogram::Snapshot{}
+                                   : it->second.snapshot();
+}
+
+MetricsSnapshot
+MetricsRegistry::scrape() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        snap.counters.push_back(CounterSample{name, counter.value()});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, histogram] : histograms_) {
+        const Histogram::Snapshot h = histogram.snapshot();
+        HistogramSample sample;
+        sample.name = name;
+        sample.count = h.count;
+        sample.p50 = h.percentile(50.0);
+        sample.p95 = h.percentile(95.0);
+        sample.p99 = h.percentile(99.0);
+        snap.histograms.push_back(std::move(sample));
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter.reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram.reset();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace telemetry
+} // namespace bperf

@@ -1,0 +1,175 @@
+#include "telemetry/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "telemetry/telemetry.h"
+
+namespace bperf {
+namespace telemetry {
+
+namespace {
+
+std::uint64_t
+secondsToNanos(double seconds)
+{
+    return seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e9)
+                         : 0;
+}
+
+} // namespace
+
+TraceCollector::TraceCollector(std::size_t max_events)
+    : maxEvents_(max_events), baseNanos_(nowNanos())
+{
+    slices_.reserve(max_events < 1024 ? max_events : 1024);
+}
+
+void
+TraceCollector::push(const PhaseSlice &slice)
+{
+    if (slices_.size() >= maxEvents_) {
+        ++dropped_;
+        return;
+    }
+    slices_.push_back(slice);
+}
+
+void
+TraceCollector::addWindow(std::uint64_t session_id,
+                          std::uint64_t window_id,
+                          const core::WindowExecution &execution)
+{
+    const core::WindowSpan &span = execution.span;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (span.epStartNanos == 0) {
+        // The window ran with telemetry off: nothing to place.
+        ++dropped_;
+        return;
+    }
+
+    PhaseSlice slice;
+    slice.sessionId = session_id;
+    slice.traceId = span.traceId;
+    slice.windowId = window_id;
+    slice.engineId = execution.engineId;
+    slice.category = "window";
+
+    // Measured phases at their real positions.  A zero ingest or
+    // assemble stamp means the phase was never observed (stream-end
+    // flush windows); skip those slices rather than inventing t=0.
+    if (span.ingestNanos != 0 && span.assembleNanos >= span.ingestNanos) {
+        slice.name = "ingest-wait";
+        slice.startNanos = span.ingestNanos;
+        slice.durationNanos = span.assembleNanos - span.ingestNanos;
+        push(slice);
+    }
+    if (span.assembleNanos != 0 &&
+        span.epStartNanos >= span.assembleNanos) {
+        slice.name = "dispatch-wait";
+        slice.startNanos = span.assembleNanos;
+        slice.durationNanos = span.epStartNanos - span.assembleNanos;
+        push(slice);
+    }
+    if (span.epEndNanos >= span.epStartNanos) {
+        slice.name = "ep-compute";
+        slice.startNanos = span.epStartNanos;
+        slice.durationNanos = span.epEndNanos - span.epStartNanos;
+        push(slice);
+    }
+
+    // Modeled backend phases exist only on the backend's simulated
+    // clock; lay them end-to-end after the EP solve so the viewer
+    // shows the queue/transfer/compute split per window.
+    slice.category = "modeled";
+    std::uint64_t cursor = span.epEndNanos;
+    const std::uint64_t queue_ns =
+        secondsToNanos(execution.queueWaitSeconds);
+    const std::uint64_t xfer_ns =
+        secondsToNanos(execution.transferSeconds);
+    const std::uint64_t service_ns =
+        secondsToNanos(execution.serviceSeconds);
+    const std::uint64_t compute_ns =
+        service_ns > xfer_ns ? service_ns - xfer_ns : 0;
+    slice.name = "backend-queue";
+    slice.startNanos = cursor;
+    slice.durationNanos = queue_ns;
+    push(slice);
+    cursor += queue_ns;
+    slice.name = "backend-xfer";
+    slice.startNanos = cursor;
+    slice.durationNanos = xfer_ns;
+    push(slice);
+    cursor += xfer_ns;
+    slice.name = "backend-compute";
+    slice.startNanos = cursor;
+    slice.durationNanos = compute_ns;
+    push(slice);
+
+    if (span.publishNanos != 0) {
+        const std::uint64_t now = nowNanos();
+        slice.category = "window";
+        slice.name = "publish";
+        slice.startNanos = span.publishNanos;
+        slice.durationNanos =
+            now > span.publishNanos ? now - span.publishNanos : 0;
+        push(slice);
+    }
+}
+
+std::size_t
+TraceCollector::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slices_.size();
+}
+
+std::uint64_t
+TraceCollector::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::string
+TraceCollector::chromeTraceJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    char buf[512];
+    bool first = true;
+    for (const PhaseSlice &slice : slices_) {
+        const std::uint64_t rel = slice.startNanos > baseNanos_
+                                      ? slice.startNanos - baseNanos_
+                                      : 0;
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, "
+            "\"tid\": %" PRIu64 ", \"args\": {\"trace_id\": %" PRIu64
+            ", \"window_id\": %" PRIu64 ", \"engine\": %zu}}",
+            first ? "" : ",", slice.name, slice.category,
+            static_cast<double>(rel) / 1e3,
+            static_cast<double>(slice.durationNanos) / 1e3,
+            slice.sessionId, slice.traceId, slice.windowId,
+            slice.engineId);
+        out += buf;
+        first = false;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+TraceCollector::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << chromeTraceJson();
+    return static_cast<bool>(out);
+}
+
+} // namespace telemetry
+} // namespace bperf

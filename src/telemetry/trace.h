@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-window span collection and Chrome trace-event export.
+ *
+ * The pipeline stamps each window's WindowSpan as it moves ring ->
+ * slice -> EP -> backend -> publish (core/backend.h).  A
+ * TraceCollector, hung off the service's window sink, expands every
+ * completed window into one trace slice per phase:
+ *
+ *   ingest-wait      ring residency of the triggering record
+ *   dispatch-wait    drain to EP start (assembler + dirty-queue wait)
+ *   ep-compute       measured host EP solve
+ *   backend-queue    modeled wait for a free engine   (cat "modeled")
+ *   backend-xfer     modeled host-interface transfer  (cat "modeled")
+ *   backend-compute  modeled engine compute           (cat "modeled")
+ *   publish          fan-out: admission/shim/subscribers
+ *
+ * Measured phases sit at their real steady-clock positions; modeled
+ * backend phases are laid end-to-end after ep-compute, since they
+ * exist only on the backend's simulated clock.  Export is the Chrome
+ * trace-event JSON array format, loadable in Perfetto or
+ * chrome://tracing (one "thread" per session).
+ *
+ * Thread contract: addWindow() is safe from any worker concurrently;
+ * export methods may run concurrently with collection (they see a
+ * consistent prefix).
+ */
+
+#ifndef BPERF_TELEMETRY_TRACE_H
+#define BPERF_TELEMETRY_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+
+namespace bperf {
+namespace telemetry {
+
+/** Bounded collector of per-window phase slices. */
+class TraceCollector
+{
+  public:
+    /** Default cap: enough for ~9k windows at 7 phases each. */
+    static constexpr std::size_t kDefaultMaxEvents = 1 << 16;
+
+    explicit TraceCollector(std::size_t max_events = kDefaultMaxEvents);
+
+    /**
+     * Record every observable phase of one completed window.  The
+     * publish phase's duration is "now minus the publish stamp", so
+     * call this from the window sink, after the other sinks ran.
+     * Windows with no EP stamp (telemetry was disabled when they
+     * ran) are counted as dropped.
+     */
+    void addWindow(std::uint64_t session_id, std::uint64_t window_id,
+                   const core::WindowExecution &execution);
+
+    /** Phase slices collected so far. */
+    std::size_t eventCount() const;
+
+    /** Phase slices discarded: cap overflow + spanless windows. */
+    std::uint64_t dropped() const;
+
+    /** The whole collection as a Chrome trace-event JSON document. */
+    std::string chromeTraceJson() const;
+
+    /** Write chromeTraceJson() to `path`; false on I/O failure. */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    struct PhaseSlice
+    {
+        const char *name = "";
+        const char *category = "";
+        std::uint64_t sessionId = 0;
+        std::uint64_t startNanos = 0;
+        std::uint64_t durationNanos = 0;
+        std::uint64_t traceId = 0;
+        std::uint64_t windowId = 0;
+        std::size_t engineId = 0;
+    };
+
+    /** Append under mutex_ (already held), honouring the cap. */
+    void push(const PhaseSlice &slice);
+
+    mutable std::mutex mutex_;
+    std::vector<PhaseSlice> slices_;
+    const std::size_t maxEvents_;
+    std::uint64_t dropped_ = 0;
+    /** Collection epoch: exported timestamps are relative to this,
+     * keeping trace-viewer timestamps small. */
+    const std::uint64_t baseNanos_;
+};
+
+} // namespace telemetry
+} // namespace bperf
+
+#endif // BPERF_TELEMETRY_TRACE_H

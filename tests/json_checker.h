@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON syntax checker (objects, arrays,
+ * strings, numbers, booleans, null) shared by the tests that validate
+ * generated artifacts: the bench JsonWriter schema tests and the
+ * telemetry Chrome-trace export test.  Syntax only — it proves a
+ * document parses, not what it contains.
+ */
+
+#ifndef BPERF_TESTS_JSON_CHECKER_H
+#define BPERF_TESTS_JSON_CHECKER_H
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace bperf {
+namespace testutil {
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool string()
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        for (++pos_; pos_ < text_.size(); ++pos_) {
+            if (text_[pos_] == '\\') {
+                ++pos_; // escaped character
+                continue;
+            }
+            if (text_[pos_] == '"') {
+                ++pos_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool number()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-'))
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool literal(const char *word)
+    {
+        skipSpace();
+        const std::string w(word);
+        if (text_.compare(pos_, w.size(), w) == 0) {
+            pos_ += w.size();
+            return true;
+        }
+        return false;
+    }
+
+    bool value()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    bool object()
+    {
+        if (!consume('{'))
+            return false;
+        if (consume('}'))
+            return true;
+        do {
+            if (!string() || !consume(':') || !value())
+                return false;
+        } while (consume(','));
+        return consume('}');
+    }
+
+    bool array()
+    {
+        if (!consume('['))
+            return false;
+        if (consume(']'))
+            return true;
+        do {
+            if (!value())
+                return false;
+        } while (consume(','));
+        return consume(']');
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace testutil
+} // namespace bperf
+
+#endif // BPERF_TESTS_JSON_CHECKER_H

@@ -16,140 +16,12 @@
 #include "common/stats.h"
 
 #include "bench_util.h"
+#include "json_checker.h"
 
 namespace bperf {
 namespace {
 
-/**
- * Minimal recursive-descent JSON syntax checker (objects, arrays,
- * strings, numbers, booleans): enough to prove writer output parses.
- */
-class JsonChecker
-{
-  public:
-    explicit JsonChecker(const std::string &text) : text_(text) {}
-
-    bool valid()
-    {
-        pos_ = 0;
-        if (!value())
-            return false;
-        skipSpace();
-        return pos_ == text_.size();
-    }
-
-  private:
-    void skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool consume(char c)
-    {
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    bool string()
-    {
-        skipSpace();
-        if (pos_ >= text_.size() || text_[pos_] != '"')
-            return false;
-        for (++pos_; pos_ < text_.size(); ++pos_) {
-            if (text_[pos_] == '\\') {
-                ++pos_; // escaped character
-                continue;
-            }
-            if (text_[pos_] == '"') {
-                ++pos_;
-                return true;
-            }
-        }
-        return false;
-    }
-
-    bool number()
-    {
-        skipSpace();
-        const std::size_t start = pos_;
-        if (pos_ < text_.size() && (text_[pos_] == '-'))
-            ++pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E' || text_[pos_] == '+' ||
-                text_[pos_] == '-'))
-            ++pos_;
-        return pos_ > start;
-    }
-
-    bool literal(const char *word)
-    {
-        skipSpace();
-        const std::string w(word);
-        if (text_.compare(pos_, w.size(), w) == 0) {
-            pos_ += w.size();
-            return true;
-        }
-        return false;
-    }
-
-    bool value()
-    {
-        skipSpace();
-        if (pos_ >= text_.size())
-            return false;
-        const char c = text_[pos_];
-        if (c == '{')
-            return object();
-        if (c == '[')
-            return array();
-        if (c == '"')
-            return string();
-        if (c == 't')
-            return literal("true");
-        if (c == 'f')
-            return literal("false");
-        if (c == 'n')
-            return literal("null");
-        return number();
-    }
-
-    bool object()
-    {
-        if (!consume('{'))
-            return false;
-        if (consume('}'))
-            return true;
-        do {
-            if (!string() || !consume(':') || !value())
-                return false;
-        } while (consume(','));
-        return consume('}');
-    }
-
-    bool array()
-    {
-        if (!consume('['))
-            return false;
-        if (consume(']'))
-            return true;
-        do {
-            if (!value())
-                return false;
-        } while (consume(','));
-        return consume(']');
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
+using testutil::JsonChecker;
 
 TEST(JsonWriter, ScalarFieldsAndCommaPlacement)
 {
@@ -251,6 +123,11 @@ TEST(JsonWriter, AccelServiceBenchSchemaIsValid)
         .field("p50_us", 2650.0)
         .field("p95_us", 3100.0)
         .field("p99_us", 3400.0)
+        .field("mean_queue_wait_us", 0.0)
+        .field("mean_transfer_us", 0.0)
+        .field("mean_compute_us", 2700.0)
+        .field("publish_p50_us", 2.0)
+        .field("publish_p99_us", 11.0)
         .endObject()
         .beginArray("accel");
     for (int engines : {1, 2, 4, 8}) {
@@ -263,6 +140,10 @@ TEST(JsonWriter, AccelServiceBenchSchemaIsValid)
             .field("p95_us", 900.0)
             .field("p99_us", 1200.0)
             .field("mean_queue_wait_us", 250.0)
+            .field("mean_transfer_us", 40.0)
+            .field("mean_compute_us", 210.0)
+            .field("publish_p50_us", 2.0)
+            .field("publish_p99_us", 11.0)
             .field("engine_utilization", 0.85)
             .field("speedup_vs_host", 5.4)
             .endObject();
@@ -270,10 +151,40 @@ TEST(JsonWriter, AccelServiceBenchSchemaIsValid)
     json.endArray().endObject();
     const std::string doc = json.str();
     EXPECT_TRUE(JsonChecker(doc).valid());
-    for (const char *key : {"sessions", "host", "accel", "p50_us",
-                            "p95_us", "p99_us", "mean_queue_wait_us",
-                            "engine_utilization", "speedup_vs_host"})
+    for (const char *key :
+         {"sessions", "host", "accel", "p50_us", "p95_us", "p99_us",
+          "mean_queue_wait_us", "mean_transfer_us", "mean_compute_us",
+          "publish_p50_us", "publish_p99_us", "engine_utilization",
+          "speedup_vs_host"})
         EXPECT_NE(doc.find('"' + std::string(key) + '"'),
+                  std::string::npos)
+            << key;
+}
+
+/** The exact schema bench_telemetry_overhead.cpp writes. */
+TEST(JsonWriter, TelemetryBenchSchemaIsValid)
+{
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("events", 13)
+        .field("window_slices", 6)
+        .field("us_per_window_disabled", 2700.0)
+        .field("us_per_window_enabled", 2750.0)
+        .field("overhead_pct", 1.85)
+        .field("counter_add_ns_enabled", 4.0)
+        .field("counter_add_ns_disabled", 0.8)
+        .field("histogram_record_ns_enabled", 6.5)
+        .field("histogram_record_ns_disabled", 0.8)
+        .field("clock_stamp_ns", 20.0)
+        .field("scrape_us", 3.5)
+        .endObject();
+    const std::string doc = json.str();
+    EXPECT_TRUE(JsonChecker(doc).valid());
+    for (const char *key :
+         {"us_per_window_disabled", "us_per_window_enabled",
+          "overhead_pct", "counter_add_ns_enabled",
+          "histogram_record_ns_disabled", "scrape_us"})
+        EXPECT_NE(doc.find('"' + std::string(key) + "\": "),
                   std::string::npos)
             << key;
 }

@@ -237,6 +237,13 @@ TEST(MonitorService, SubscriberSeesEveryWindowWithPosteriors)
         const WindowUpdate &u = updates[i];
         EXPECT_EQ(u.sessionId, id);
         EXPECT_EQ(u.windowIndex, i);
+        // The engine-stamped window id is 1-based and gap-free: no
+        // window is ever skipped or double-assigned on its way from
+        // runWindow() through harvestWindows() to the subscriber.
+        EXPECT_EQ(u.windowId, i + 1);
+        if (i > 0) {
+            EXPECT_EQ(u.windowId, updates[i - 1].windowId + 1);
+        }
         ASSERT_EQ(u.events.size(), monitored.size());
         ASSERT_EQ(u.posterior.size(), monitored.size());
         for (const auto &p : u.posterior) {
@@ -244,8 +251,9 @@ TEST(MonitorService, SubscriberSeesEveryWindowWithPosteriors)
             EXPECT_GT(p.stddev, 0.0);
         }
         EXPECT_GT(u.execution.modeledSeconds, 0.0);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GE(u.endSlice, updates[i - 1].endSlice);
+        }
     }
     const auto sub_stats = daemon.subscriptionStats(*sub);
     ASSERT_TRUE(sub_stats.has_value());
