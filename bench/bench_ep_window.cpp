@@ -30,6 +30,7 @@
 #include "common/table.h"
 #include "core/ep.h"
 #include "core/inference.h"
+#include "core/quad_kernel.h"
 #include "sim/ground_truth.h"
 #include "sim/perf_session.h"
 #include "workloads/hibench.h"
@@ -73,17 +74,24 @@ struct WindowTiming
     double usPerWindow = 0.0;
     std::size_t windows = 0;
     std::size_t sweeps = 0;
+    /** EP op counts of one full run (decomposes the µs number). */
+    std::size_t momentEvals = 0;
+    std::size_t rank1Updates = 0;
+    std::size_t fullSolves = 0;
+    std::size_t blockFlushes = 0;
+    /** Buffer growths across the run: ~0 after the first window means
+     * the arenas recycle instead of reallocating. */
+    std::size_t allocations = 0;
 };
 
 WindowTiming
 timeConfig(const sim::MicroarchDescriptor &uarch,
-           const sim::PerfResult &run, core::JointStrategy strategy,
-           core::MomentMethod method, std::size_t reps)
+           const sim::PerfResult &run, const core::EpConfig &ep,
+           std::size_t reps)
 {
     core::InferenceConfig cfg;
     cfg.windowSlices = 6;
-    cfg.ep.jointStrategy = strategy;
-    cfg.ep.method = method;
+    cfg.ep = ep;
     const core::InferenceEngine engine(uarch, cfg);
 
     WindowTiming t;
@@ -92,6 +100,11 @@ timeConfig(const sim::MicroarchDescriptor &uarch,
         const core::InferenceResult r = engine.infer(run);
         t.windows = r.windowsRun;
         t.sweeps = r.epSweepsTotal;
+        t.momentEvals = r.epMomentEvaluations;
+        t.rank1Updates = r.epRank1Updates;
+        t.fullSolves = r.epFullSolves;
+        t.blockFlushes = r.epBlockFlushes;
+        t.allocations = r.epWorkspaceAllocations + r.modelAllocations;
         best = std::min(best,
                         1e6 * r.wallSeconds /
                             static_cast<double>(r.windowsRun));
@@ -113,21 +126,41 @@ main()
     const sim::PerfResult run = makeRun(uarch, monitored, num_slices);
 
     // ------------------------------------------------ end-to-end paths
-    const WindowTiming fast = timeConfig(uarch, run, core::JointStrategy::Rank1,
-                                         core::MomentMethod::Quadrature, reps);
-    const WindowTiming dense =
-        timeConfig(uarch, run, core::JointStrategy::DenseResolve,
-                   core::MomentMethod::Quadrature, reps);
-    const WindowTiming fast_mcmc =
-        timeConfig(uarch, run, core::JointStrategy::Rank1,
-                   core::MomentMethod::Mcmc, reps);
+    core::EpConfig ep_fast; // blocked + SIMD quadrature defaults
+    const WindowTiming fast = timeConfig(uarch, run, ep_fast, reps);
+
+    core::EpConfig ep_scalar = ep_fast;
+    ep_scalar.simdQuadrature = false;
+    const WindowTiming scalar = timeConfig(uarch, run, ep_scalar, reps);
+
+    core::EpConfig ep_part = ep_fast;
+    ep_part.partitions = 2;
+    const WindowTiming partitioned = timeConfig(uarch, run, ep_part, reps);
+
+    core::EpConfig ep_dense;
+    ep_dense.jointStrategy = core::JointStrategy::DenseResolve;
+    const WindowTiming dense = timeConfig(uarch, run, ep_dense, reps);
+
+    core::EpConfig ep_mcmc;
+    ep_mcmc.method = core::MomentMethod::Mcmc;
+    const WindowTiming fast_mcmc = timeConfig(uarch, run, ep_mcmc, reps);
 
     TablePrinter table({"config", "us/window", "windows", "sweeps",
                         "speedup vs dense"});
-    table.addRow("rank-1 + fused quadrature",
+    table.addRow("blocked + SIMD quadrature",
                  {fast.usPerWindow, static_cast<double>(fast.windows),
                   static_cast<double>(fast.sweeps),
                   dense.usPerWindow / fast.usPerWindow});
+    table.addRow("blocked + scalar quadrature",
+                 {scalar.usPerWindow,
+                  static_cast<double>(scalar.windows),
+                  static_cast<double>(scalar.sweeps),
+                  dense.usPerWindow / scalar.usPerWindow});
+    table.addRow("partitioned x2",
+                 {partitioned.usPerWindow,
+                  static_cast<double>(partitioned.windows),
+                  static_cast<double>(partitioned.sweeps),
+                  dense.usPerWindow / partitioned.usPerWindow});
     table.addRow("dense re-solve reference",
                  {dense.usPerWindow, static_cast<double>(dense.windows),
                   static_cast<double>(dense.sweeps), 1.0});
@@ -138,8 +171,17 @@ main()
                   dense.usPerWindow / fast_mcmc.usPerWindow});
 
     std::cout << "\nPer-window EP latency (" << monitored.size()
-              << " events, k=6, " << num_slices << " slices):\n";
+              << " events, k=6, " << num_slices << " slices, quadrature "
+              << core::activeQuadKernelName() << "):\n";
     table.print(std::cout);
+
+    const double w = static_cast<double>(fast.windows ? fast.windows : 1);
+    std::cout << "\nFast-path ops per window: "
+              << fast.momentEvals / w << " moment evals, "
+              << fast.rank1Updates / w << " rank-1 updates, "
+              << fast.fullSolves / w << " full solves, "
+              << fast.blockFlushes / w << " block flushes; "
+              << fast.allocations << " buffer growths total\n";
 
     // ------------------------------------------------- kernel micro-costs
     const std::size_t quad_iters = bench::quickMode() ? 20000 : 200000;
@@ -196,11 +238,23 @@ main()
         .field("events", monitored.size())
         .field("window_slices", 6)
         .field("joint_size", n)
+        .field("quad_kernel", core::activeQuadKernelName())
+        .field("block_size", ep_fast.blockSize)
+        .field("partitions", ep_part.partitions)
         .field("us_per_window_fast", fast.usPerWindow)
+        .field("us_per_window_scalar", scalar.usPerWindow)
+        .field("us_per_window_partitioned", partitioned.usPerWindow)
         .field("us_per_window_dense", dense.usPerWindow)
         .field("us_per_window_mcmc", fast_mcmc.usPerWindow)
         .field("speedup_fast_vs_dense",
                dense.usPerWindow / fast.usPerWindow)
+        .field("speedup_simd_vs_scalar",
+               scalar.usPerWindow / fast.usPerWindow)
+        .field("moment_evals_per_window", fast.momentEvals / w)
+        .field("rank1_updates_per_window", fast.rank1Updates / w)
+        .field("full_solves_per_window", fast.fullSolves / w)
+        .field("block_flushes_per_window", fast.blockFlushes / w)
+        .field("buffer_growths", fast.allocations)
         .field("quadrature_us", quad_us)
         .field("rank1_update_us", rank1_us)
         .field("full_solve_us", solve_us)

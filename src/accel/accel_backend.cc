@@ -34,6 +34,7 @@ jobShape(const AccelBackendConfig &cfg, const core::WindowJob &job)
     shape.numSweeps = std::max<std::size_t>(1, job.numSweeps);
     shape.samplesPerSite = cfg.samplesPerSite;
     shape.inputBytes = std::max<std::size_t>(64, job.inputBytes);
+    shape.maxPartitionSites = job.maxPartitionSites;
     return shape;
 }
 
@@ -122,12 +123,12 @@ AccelBackend::stats() const
 }
 
 core::BackendQueueDepth
-AccelBackend::queueDepth() const
+AccelBackend::queueDepth(double nowSeconds) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     core::BackendQueueDepth depth;
     depth.engines = freeAt_.size();
-    depth.nowSeconds = lastReleaseSeconds_;
+    depth.nowSeconds = std::max(nowSeconds, lastReleaseSeconds_);
     depth.earliestFreeSeconds =
         *std::min_element(freeAt_.begin(), freeAt_.end());
     depth.latestFreeSeconds =

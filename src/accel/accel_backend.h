@@ -110,11 +110,15 @@ class AccelBackend : public core::InferenceBackend
 
     /**
      * Live pool backlog on the stream clock: how long a window
-     * released at the latest release time seen so far would wait for
-     * the earliest engine.  This is the saturation signal the
-     * service's admission controller throttles and sheds on.
+     * released "now" would wait for the earliest engine.  This is the
+     * saturation signal the service's admission controller throttles
+     * and sheds on.  "Now" is max(nowSeconds, latest release seen):
+     * an idle caller advancing its stream clock sees the backlog
+     * drain, instead of the stale last-release snapshot that used to
+     * report phantom queue depth across idle gaps.
      */
-    core::BackendQueueDepth queueDepth() const override;
+    core::BackendQueueDepth
+    queueDepth(double nowSeconds = 0.0) const override;
 
     void reset() override;
 

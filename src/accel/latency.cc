@@ -55,23 +55,31 @@ std::uint64_t
 ReadLatencyModel::bayesPerfCpuCycles() const
 {
     // The CPU implementation must refresh the posterior before
-    // serving the value: per read, refresh `sitesPerRead` EP sites
-    // (quadrature tilted moments) and update the read variable's
-    // marginal (one length-n row operation).  Time the real code.
+    // serving the value: per read, refresh `sitesPerRead` EP sites —
+    // quadrature tilted moments plus the rank-1 Sherman-Morrison
+    // downdate of the window's n x n covariance (the lower-triangle
+    // sweep EP's incremental joint update performs).  Time the real
+    // kernels.
     const std::size_t n = config_.windowVariables;
-    std::vector<double> row(n, 0.5);
+    std::vector<double> cov(n * n, 0.5);
+    std::vector<double> col(n, 0.25);
     volatile double sink = 0.0;
     const double seconds = timeIt(config_.timedReads, [&]() {
         double m = 0.0, v = 0.0;
         for (std::size_t s = 0; s < config_.sitesPerRead; ++s) {
             core::tiltedMomentsQuadrature(1.0e6, 4.0e10, 1.05e6, 2.0e5,
                                           3.0, 129, m, v);
+            // Rank-1 covariance refresh: one outer-product pass over
+            // the stored lower triangle, as in rank1SiteUpdate.
+            const double c = 1e-3 * (m * 1e-6 + 1.0);
+            for (std::size_t r = 0; r < n; ++r) {
+                const double cr = c * col[r];
+                double *row = cov.data() + r * n;
+                for (std::size_t k = 0; k <= r; ++k)
+                    row[k] -= cr * col[k];
+            }
         }
-        // Rank-1 marginal refresh over the window's variables.
-        double acc = 0.0;
-        for (std::size_t i = 0; i < n; ++i)
-            acc += row[i] * (m + static_cast<double>(i));
-        sink = acc + v;
+        sink = cov[n * n - 1] + v;
     });
     (void)sink;
     return static_cast<std::uint64_t>(

@@ -49,6 +49,15 @@ struct WindowJob
     std::size_t numVariables = 0;
     /** Student-t measurement sites EP refreshed. */
     std::size_t numSites = 0;
+    /**
+     * Sites of the most loaded partition when the host engine ran a
+     * partitioned sweep (graph/partition.h): accelerator backends
+     * spread the window over engines along the same plan, so their
+     * per-engine critical path matches the host's.  0 = the window
+     * ran unpartitioned; backends fall back to an even ceil-division
+     * split.
+     */
+    std::size_t maxPartitionSites = 0;
     /** EP sweeps until convergence. */
     std::size_t numSweeps = 0;
     /** Measurement + g(theta) bytes streamed into the engine. */
@@ -169,9 +178,17 @@ class InferenceBackend
      * Live queue-depth snapshot.  The host path never queues, so the
      * default is an all-zero snapshot; pooled backends report their
      * modeled backlog for admission-control feedback.
+     *
+     * `nowSeconds` is the caller's stream clock ("now" on the release
+     * timeline).  Pooled backends clamp their internal release clock
+     * up to it, so backlog drains across idle gaps instead of staying
+     * frozen at the last release (a stale "now" used to report
+     * phantom queue depth to the admission controller).  Pass 0 to
+     * read at the backend's own last-release clock.
      */
-    virtual BackendQueueDepth queueDepth() const
+    virtual BackendQueueDepth queueDepth(double nowSeconds = 0.0) const
     {
+        (void)nowSeconds;
         return BackendQueueDepth{};
     }
 

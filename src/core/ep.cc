@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "core/quad_kernel.h"
 
 namespace bperf {
 namespace core {
@@ -15,66 +16,135 @@ using graph::FactorKind;
 using graph::Gaussian;
 using graph::GaussianSolver;
 
+namespace {
+
+/**
+ * Grid setup shared by every quadrature entry point: cover both the
+ * cavity and the likelihood bulk, then hand the uniform grid to the
+ * requested kernel.  All x-independent terms of the two log-densities
+ * are dropped (they shift all weights equally and cancel in the
+ * normalized moments), so the kernels evaluate only one log1p and one
+ * exp per grid point.
+ */
 void
-tiltedMomentsQuadrature(double cavity_mean, double cavity_var, double loc,
-                        double scale, double nu, std::size_t points,
-                        double &mean_out, double &var_out)
+quadMomentsOnGrid(double cavity_mean, double cavity_var, double loc,
+                  double scale, double nu, std::size_t points,
+                  QuadKernelFn kernel, double &mean_out, double &var_out)
 {
     bp_assert(cavity_var > 0.0, "quadrature needs proper cavity");
     bp_assert(points >= 9, "too few quadrature points");
     const double cavity_sd = std::sqrt(cavity_var);
 
-    // Cover both the cavity and the likelihood bulk.
-    const double lo = std::min(cavity_mean - 8.0 * cavity_sd,
-                               loc - 10.0 * scale);
+    QuadParams p;
+    p.lo = std::min(cavity_mean - 8.0 * cavity_sd, loc - 10.0 * scale);
     const double hi = std::max(cavity_mean + 8.0 * cavity_sd,
                                loc + 10.0 * scale);
-    const double step = (hi - lo) / static_cast<double>(points - 1);
+    p.step = (hi - p.lo) / static_cast<double>(points - 1);
+    p.points = points;
+    p.cavityMean = cavity_mean;
+    p.invSd = 1.0 / cavity_sd;
+    p.loc = loc;
+    p.invScale = 1.0 / scale;
+    p.halfNup1 = 0.5 * (nu + 1.0);
+    p.invNu = 1.0 / nu;
+    kernel(p, mean_out, var_out);
+}
 
-    // Log-weight of grid point x, with every x-independent term of
-    // the two log-densities dropped: the normal's -log(sd)-log(2pi)/2
-    // and the Student-t's lgamma/log(nu pi)/log(scale) constants shift
-    // all weights equally and cancel in the normalized moments, so
-    // the inner loop needs no lgamma/log calls — only one log1p.
-    const double inv_sd = 1.0 / cavity_sd;
-    const double inv_scale = 1.0 / scale;
-    const double half_nup1 = 0.5 * (nu + 1.0);
-    const double inv_nu = 1.0 / nu;
+/**
+ * One site's moment-matched damped update (Alg. 1 lines 3-7), shared
+ * by the sequential and partitioned sweep schedules: computes the
+ * cavity and tilted moments, commits the damped site approximation
+ * and folds its delta into `site_sums`, and accumulates the relative
+ * mean change into `max_rel_change`.  Returns false (touching
+ * nothing) when the cavity is improper or degenerate; `delta_out` is
+ * valid only on true.  Bringing the *joint* up to date with
+ * `delta_out` is the caller's job — that is where the two schedules
+ * differ.
+ */
+template <typename Site>
+bool
+momentMatchSite(const FactorGraph &graph, Site &site,
+                std::vector<Gaussian> &site_sums, double marg_mean,
+                double marg_var, const EpConfig &config, QuadKernelFn quad,
+                double damping, std::uint64_t mcmc_seed, Gaussian &delta_out,
+                double &max_rel_change)
+{
+    const graph::VarId v = site.var;
+    if (marg_var <= 0.0)
+        return false;
+    const Gaussian marginal = Gaussian::fromMeanVar(marg_mean, marg_var);
+    const Gaussian cavity = marginal / site.approx;
+    // Degenerate cavity: skip when the division leaves less than 1e-9
+    // of the marginal precision.  True rounding noise appears near
+    // 1e-16 of the marginal; the margin is deliberately conservative —
+    // a cavity carrying under a billionth of the precision contributes
+    // nothing real to moment matching, and near the noise floor its
+    // sign is arbitrary.  Subsumes the classic improper (lambda <= 0)
+    // case.
+    if (!(cavity.lambda * marg_var > 1e-9))
+        return false;
 
-    // Single fused pass: instead of materializing all log-weights and
-    // shifting by their max (two passes + a buffer), keep the running
-    // max and rescale the partial sums whenever it moves.  The tilted
-    // density is unimodal on this grid, so rescales stop at the mode.
-    double max_logw = -1e300;
-    double z = 0.0, m1 = 0.0, m2 = 0.0;
-    for (std::size_t i = 0; i < points; ++i) {
-        const double x = lo + step * static_cast<double>(i);
-        const double u = (x - cavity_mean) * inv_sd;
-        // -u^2/2 upper-bounds the log-weight (the likelihood term is
-        // <= 0), and the running max only grows: points whose bound
-        // sits 40 nats under it contribute < 5e-18 of the mass — skip
-        // them without paying the log1p/exp.
-        const double gauss_term = -0.5 * u * u;
-        if (gauss_term - max_logw < -40.0)
-            continue;
-        const double t = (x - loc) * inv_scale;
-        const double logw =
-            gauss_term - half_nup1 * std::log1p(t * t * inv_nu);
-        if (logw > max_logw) {
-            const double r = std::exp(max_logw - logw);
-            z *= r;
-            m1 *= r;
-            m2 *= r;
-            max_logw = logw;
-        }
-        const double w = std::exp(logw - max_logw);
-        z += w;
-        m1 += w * x;
-        m2 += w * x * x;
+    double tilt_mean = 0.0, tilt_var = 0.0;
+    if (config.method == MomentMethod::Quadrature) {
+        quadMomentsOnGrid(cavity.mean(), cavity.variance(), site.loc,
+                          site.scale, site.nu, config.quadraturePoints, quad,
+                          tilt_mean, tilt_var);
+    } else {
+        tiltedMomentsMcmc(cavity.mean(), cavity.variance(), site.loc,
+                          site.scale, site.nu, config.mcmcSamples,
+                          config.mcmcBurnin, mcmc_seed, tilt_mean, tilt_var);
     }
-    bp_assert(z > 0.0, "tilted density vanished on the grid");
-    mean_out = m1 / z;
-    var_out = std::max(m2 / z - mean_out * mean_out, 1e-30);
+
+    const Gaussian tilted = Gaussian::fromMeanVar(tilt_mean, tilt_var);
+    Gaussian updated = tilted / cavity;
+    // Keep sites proper: clamping retains stability without changing
+    // the fixed point in practice.
+    if (updated.lambda < 0.0)
+        updated = Gaussian::flat();
+
+    const double d = damping;
+    const Gaussian damped(d * updated.lambda + (1.0 - d) * site.approx.lambda,
+                          d * updated.eta + (1.0 - d) * site.approx.eta);
+
+    const double scale_hint = graph.variable(v).scaleHint;
+    const double old_mean =
+        site.approx.isProper() ? site.approx.mean() : site.loc;
+    const double new_mean = damped.isProper() ? damped.mean() : site.loc;
+    max_rel_change = std::max(max_rel_change,
+                              std::abs(new_mean - old_mean) / scale_hint);
+
+    delta_out = damped / site.approx;
+    site.approx = damped;
+    site_sums[v] = site_sums[v] * delta_out;
+    return true;
+}
+
+std::size_t
+clampedBlockSize(const EpConfig &config)
+{
+    return std::min(std::max<std::size_t>(config.blockSize, 1),
+                    graph::BlockedJointUpdater::kMaxBlockSize);
+}
+
+} // namespace
+
+void
+tiltedMomentsQuadrature(double cavity_mean, double cavity_var, double loc,
+                        double scale, double nu, std::size_t points,
+                        double &mean_out, double &var_out)
+{
+    quadMomentsOnGrid(cavity_mean, cavity_var, loc, scale, nu, points,
+                      activeQuadKernel(), mean_out, var_out);
+}
+
+void
+tiltedMomentsQuadratureScalar(double cavity_mean, double cavity_var,
+                              double loc, double scale, double nu,
+                              std::size_t points, double &mean_out,
+                              double &var_out)
+{
+    quadMomentsOnGrid(cavity_mean, cavity_var, loc, scale, nu, points,
+                      quadMomentsScalar, mean_out, var_out);
 }
 
 void
@@ -128,7 +198,10 @@ tiltedMomentsMcmc(double cavity_mean, double cavity_var, double loc,
 std::size_t
 EpWorkspace::totalAllocations() const
 {
-    return grows_ + scratch_.grows + solver_.bufferGrows();
+    std::size_t total = grows_ + scratch_.grows + solver_.bufferGrows();
+    for (const Lane &lane : lanes_)
+        total += lane.scratch.grows;
+    return total;
 }
 
 ExpectationPropagation::ExpectationPropagation(EpConfig config)
@@ -146,11 +219,33 @@ ExpectationPropagation::run(const FactorGraph &graph) const
 EpResult
 ExpectationPropagation::run(const FactorGraph &graph, EpWorkspace &ws) const
 {
-    const std::size_t n = graph.numVariables();
-
     EpResult result;
+    // Pre-size the fresh result so its (one-time) growth is not
+    // charged to the workspace accounting, matching the persistent-
+    // result overload's steady state.
+    result.mean.reserve(graph.numVariables());
+    result.stddev.reserve(graph.numVariables());
+    run(graph, ws, result);
+    return result;
+}
+
+void
+ExpectationPropagation::run(const FactorGraph &graph, EpWorkspace &ws,
+                            EpResult &result) const
+{
+    const std::size_t n = graph.numVariables();
     const std::size_t grows_before = ws.totalAllocations();
     ++ws.runs_;
+
+    result.sweeps = 0;
+    result.converged = false;
+    result.skippedUpdates = 0;
+    result.momentEvaluations = 0;
+    result.rank1Updates = 0;
+    result.fullSolves = 0;
+    result.blockFlushes = 0;
+    result.deferredUpdates = 0;
+    result.workspaceAllocations = 0;
 
     GaussianSolver &solver = ws.solver_;
     solver.rebind(graph);
@@ -178,24 +273,58 @@ ExpectationPropagation::run(const FactorGraph &graph, EpWorkspace &ws) const
 
     if (ws.siteByVar_.capacity() < n)
         ++ws.grows_;
-    auto rebuild_site_sums = [&]() {
-        ws.siteByVar_.assign(n, Gaussian::flat());
-        for (const auto &s : ws.sites_)
-            ws.siteByVar_[s.var] = ws.siteByVar_[s.var] * s.approx;
-    };
+    ws.siteByVar_.assign(n, Gaussian::flat());
+    for (const auto &s : ws.sites_)
+        ws.siteByVar_[s.var] = ws.siteByVar_[s.var] * s.approx;
+    solver.solveInto(ws.siteByVar_, ws.joint_, ws.scratch_);
+    ++result.fullSolves;
+
+    if (config_.partitions > 1 &&
+        config_.jointStrategy == JointStrategy::Rank1 && !ws.sites_.empty())
+        runSweepsPartitioned(graph, ws, result);
+    else
+        runSweepsSequential(graph, ws, result);
+
+    if (result.mean.capacity() < n || result.stddev.capacity() < n)
+        ++ws.grows_;
+    result.mean.resize(n);
+    result.stddev.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        result.mean[v] = ws.joint_.mean[v];
+        result.stddev[v] =
+            std::sqrt(std::max(ws.joint_.covariance(v, v), 0.0));
+    }
+    result.workspaceAllocations = ws.totalAllocations() - grows_before;
+}
+
+void
+ExpectationPropagation::runSweepsSequential(const FactorGraph &graph,
+                                            EpWorkspace &ws,
+                                            EpResult &result) const
+{
+    const std::size_t n = graph.numVariables();
+    GaussianSolver &solver = ws.solver_;
+    const QuadKernelFn quad =
+        config_.simdQuadrature ? activeQuadKernel() : quadMomentsScalar;
+    const bool incremental = config_.jointStrategy == JointStrategy::Rank1;
+    graph::BlockedJointUpdater updater(
+        ws.joint_, ws.scratch_, incremental ? clampedBlockSize(config_) : 1);
 
     std::size_t updates_since_refactor = 0;
     auto full_solve = [&]() {
-        // Rebuild the per-variable site sums from scratch so the
-        // re-factorized joint carries no additive drift.
-        rebuild_site_sums();
+        // Anything pending is superseded by the fresh factorization,
+        // and the per-variable site sums are rebuilt from scratch so
+        // the re-factorized joint carries no additive drift.
+        updater.discard();
+        ws.siteByVar_.assign(n, Gaussian::flat());
+        for (const auto &s : ws.sites_)
+            ws.siteByVar_[s.var] = ws.siteByVar_[s.var] * s.approx;
         solver.solveInto(ws.siteByVar_, ws.joint_, ws.scratch_);
         ++result.fullSolves;
         updates_since_refactor = 0;
     };
 
     Rng rng(config_.seed);
-    full_solve();
 
     // Damping protects the early sweeps, where parallel conflicts
     // between coupled sites are large; near the fixed point it only
@@ -212,80 +341,33 @@ ExpectationPropagation::run(const FactorGraph &graph, EpWorkspace &ws) const
 
         for (auto &site : ws.sites_) {
             const graph::VarId v = site.var;
-            const double marg_var = ws.joint_.covariance(v, v);
+            // marginalVariance sees the stored diagonal corrected for
+            // the pending block — exactly what the one-at-a-time
+            // chain would read; the mean is maintained eagerly.
+            const double marg_var = updater.marginalVariance(v);
             const double marg_mean = ws.joint_.mean[v];
-            if (marg_var <= 0.0) {
-                ++result.skippedUpdates;
-                continue;
-            }
-            const Gaussian marginal =
-                Gaussian::fromMeanVar(marg_mean, marg_var);
-            const Gaussian cavity = marginal / site.approx;
-            // Degenerate cavity: skip when the division leaves less
-            // than 1e-9 of the marginal precision.  True rounding
-            // noise appears near 1e-16 of the marginal; the margin is
-            // deliberately conservative — a cavity carrying under a
-            // billionth of the precision contributes nothing real to
-            // moment matching, and near the noise floor its sign is
-            // arbitrary.  Subsumes the classic improper (lambda <= 0)
-            // case.
-            if (!(cavity.lambda * marg_var > 1e-9)) {
-                ++result.skippedUpdates;
-                continue;
-            }
+            const std::uint64_t mcmc_seed =
+                config_.method == MomentMethod::Mcmc ? rng() : 0;
 
-            double tilt_mean = 0.0, tilt_var = 0.0;
-            if (config_.method == MomentMethod::Quadrature) {
-                tiltedMomentsQuadrature(cavity.mean(), cavity.variance(),
-                                        site.loc, site.scale, site.nu,
-                                        config_.quadraturePoints, tilt_mean,
-                                        tilt_var);
-            } else {
-                tiltedMomentsMcmc(cavity.mean(), cavity.variance(),
-                                  site.loc, site.scale, site.nu,
-                                  config_.mcmcSamples, config_.mcmcBurnin,
-                                  rng(), tilt_mean, tilt_var);
+            Gaussian delta;
+            if (!momentMatchSite(graph, site, ws.siteByVar_, marg_mean,
+                                 marg_var, config_, quad, damping, mcmc_seed,
+                                 delta, max_rel_change)) {
+                ++result.skippedUpdates;
+                continue;
             }
             ++result.momentEvaluations;
-
-            const Gaussian tilted =
-                Gaussian::fromMeanVar(tilt_mean, tilt_var);
-            Gaussian updated = tilted / cavity;
-            // Keep sites proper: clamping retains stability without
-            // changing the fixed point in practice.
-            if (updated.lambda < 0.0)
-                updated = Gaussian::flat();
-
-            const double d = damping;
-            const Gaussian damped(
-                d * updated.lambda + (1.0 - d) * site.approx.lambda,
-                d * updated.eta + (1.0 - d) * site.approx.eta);
-
-            const double scale_hint = graph.variable(v).scaleHint;
-            const double old_mean =
-                site.approx.isProper() ? site.approx.mean() : site.loc;
-            const double new_mean =
-                damped.isProper() ? damped.mean() : site.loc;
-            max_rel_change =
-                std::max(max_rel_change,
-                         std::abs(new_mean - old_mean) / scale_hint);
-
-            const Gaussian delta = damped / site.approx;
-            site.approx = damped;
-            ws.siteByVar_[v] = ws.siteByVar_[v] * delta;
             if (delta.lambda == 0.0 && delta.eta == 0.0)
                 continue;
 
             // Bring the joint up to date with this one site change.
-            if (config_.jointStrategy == JointStrategy::DenseResolve) {
+            if (!incremental) {
                 solver.solveInto(ws.siteByVar_, ws.joint_, ws.scratch_);
                 ++result.fullSolves;
             } else if (config_.refactorInterval > 0 &&
                        updates_since_refactor >= config_.refactorInterval) {
                 full_solve();
-            } else if (GaussianSolver::rank1SiteUpdate(
-                           ws.joint_, v, delta.lambda, delta.eta,
-                           ws.scratch_)) {
+            } else if (updater.push(v, delta.lambda, delta.eta)) {
                 ++result.rank1Updates;
                 ++updates_since_refactor;
             } else {
@@ -306,15 +388,163 @@ ExpectationPropagation::run(const FactorGraph &graph, EpWorkspace &ws) const
         prev_change = max_rel_change;
     }
 
-    result.mean.resize(n);
-    result.stddev.resize(n);
-    for (std::size_t v = 0; v < n; ++v) {
-        result.mean[v] = ws.joint_.mean[v];
-        result.stddev[v] =
-            std::sqrt(std::max(ws.joint_.covariance(v, v), 0.0));
+    // Apply any still-pending downdates so the stored covariance is
+    // current for result extraction.
+    updater.flush();
+    result.blockFlushes += updater.flushes();
+}
+
+void
+ExpectationPropagation::runSweepsPartitioned(const FactorGraph &graph,
+                                             EpWorkspace &ws,
+                                             EpResult &result) const
+{
+    const std::size_t n = graph.numVariables();
+    const std::size_t num_sites = ws.sites_.size();
+    GaussianSolver &solver = ws.solver_;
+    const QuadKernelFn quad =
+        config_.simdQuadrature ? activeQuadKernel() : quadMomentsScalar;
+    const std::size_t block_size = clampedBlockSize(config_);
+
+    // The shared partitioning pass (also consumed by the accelerator
+    // model via WindowJob): contiguous variable-id bands, one per
+    // engine lane.
+    if (ws.plan_.partitionOfSite.capacity() < num_sites ||
+        ws.plan_.siteCounts.capacity() < config_.partitions)
+        ++ws.grows_;
+    graph::partitionSites(graph, config_.partitions, ws.plan_);
+    const std::size_t P = ws.plan_.numPartitions;
+
+    if (ws.lanes_.capacity() < P)
+        ++ws.grows_;
+    ws.lanes_.resize(P);
+    for (EpWorkspace::Lane &lane : ws.lanes_) {
+        if (lane.joint.mean.capacity() < n ||
+            lane.joint.covariance.capacity() < n * n)
+            ++ws.grows_;
     }
-    result.workspaceAllocations = ws.totalAllocations() - grows_before;
-    return result;
+
+    const std::size_t T = std::min(
+        std::max<std::size_t>(config_.partitionThreads, 1), P);
+    if (T > 1 && ws.threads_.capacity() < T - 1)
+        ++ws.grows_;
+
+    double damping = config_.damping;
+    double prev_change = 1e300;
+
+    for (std::size_t sweep = 0; sweep < config_.maxSweeps; ++sweep) {
+        ++result.sweeps;
+
+        // Phase A prep (serial): freeze the sweep-start joint into
+        // every lane and zero the per-sweep counters.  Copy-assign
+        // reuses lane capacity, so steady-state sweeps allocate
+        // nothing.
+        for (EpWorkspace::Lane &lane : ws.lanes_) {
+            lane.joint = ws.joint_;
+            lane.skipped = 0;
+            lane.moments = 0;
+            lane.rank1 = 0;
+            lane.deferred = 0;
+            lane.flushes = 0;
+            lane.maxRelChange = 0.0;
+        }
+
+        // Phase A (parallelizable): every lane updates its own sites
+        // against its frozen joint.  Lanes own disjoint sites and
+        // disjoint variables (the plan maps whole variables), so the
+        // shared writes — ws.sites_[i].approx and ws.siteByVar_[v] —
+        // touch distinct elements; the arithmetic per lane does not
+        // depend on scheduling, which is what makes the posterior
+        // bit-identical for any thread count.
+        auto lane_work = [&](std::size_t p) {
+            EpWorkspace::Lane &lane = ws.lanes_[p];
+            graph::BlockedJointUpdater updater(lane.joint, lane.scratch,
+                                               block_size);
+            for (std::size_t i = 0; i < num_sites; ++i) {
+                if (ws.plan_.partitionOfSite[i] != p)
+                    continue;
+                EpWorkspace::Site &site = ws.sites_[i];
+                const graph::VarId v = site.var;
+                const double marg_var = updater.marginalVariance(v);
+                const double marg_mean = lane.joint.mean[v];
+                // Deterministic per-(sweep, site) seed: MCMC draws
+                // must not depend on lane interleaving.
+                const std::uint64_t mcmc_seed =
+                    config_.seed +
+                    0x9E3779B97F4A7C15ull *
+                        static_cast<std::uint64_t>(sweep * num_sites + i + 1);
+
+                Gaussian delta;
+                if (!momentMatchSite(graph, site, ws.siteByVar_, marg_mean,
+                                     marg_var, config_, quad, damping,
+                                     mcmc_seed, delta, lane.maxRelChange)) {
+                    ++lane.skipped;
+                    continue;
+                }
+                ++lane.moments;
+                if (delta.lambda == 0.0 && delta.eta == 0.0)
+                    continue;
+                if (updater.push(v, delta.lambda, delta.eta)) {
+                    ++lane.rank1;
+                } else {
+                    // A lane never re-factorizes (that would depend on
+                    // lane state, not the graph): the site change is
+                    // committed and the merge solve below carries it.
+                    ++lane.deferred;
+                }
+            }
+            // The lane joint is discarded at the merge; whatever is
+            // still pending need not be applied.
+            updater.discard();
+            lane.flushes = updater.flushes();
+        };
+
+        if (T > 1) {
+            ws.threads_.clear();
+            for (std::size_t t = 1; t < T; ++t)
+                ws.threads_.emplace_back([&lane_work, t, T, P]() {
+                    for (std::size_t p = t; p < P; p += T)
+                        lane_work(p);
+                });
+            for (std::size_t p = 0; p < P; p += T)
+                lane_work(p);
+            for (std::thread &th : ws.threads_)
+                th.join();
+            ws.threads_.clear();
+        } else {
+            for (std::size_t p = 0; p < P; ++p)
+                lane_work(p);
+        }
+
+        // Phase B (serial): merge counters — max and sums are
+        // order-independent — then synchronize the controller's joint
+        // with one full solve over the freshly rebuilt site sums.
+        double max_rel_change = 0.0;
+        for (const EpWorkspace::Lane &lane : ws.lanes_) {
+            result.skippedUpdates += lane.skipped;
+            result.momentEvaluations += lane.moments;
+            result.rank1Updates += lane.rank1;
+            result.deferredUpdates += lane.deferred;
+            result.blockFlushes += lane.flushes;
+            max_rel_change = std::max(max_rel_change, lane.maxRelChange);
+        }
+
+        ws.siteByVar_.assign(n, Gaussian::flat());
+        for (const auto &s : ws.sites_)
+            ws.siteByVar_[s.var] = ws.siteByVar_[s.var] * s.approx;
+        solver.solveInto(ws.siteByVar_, ws.joint_, ws.scratch_);
+        ++result.fullSolves;
+
+        if (max_rel_change < config_.tolerance) {
+            result.converged = true;
+            break;
+        }
+        damping = (max_rel_change < 20.0 * config_.tolerance &&
+                   max_rel_change < prev_change)
+                      ? 1.0
+                      : config_.damping;
+        prev_change = max_rel_change;
+    }
 }
 
 } // namespace core

@@ -10,26 +10,42 @@
  *             quadrature or MCMC
  *   site'   = tilted / cavity, damped            (Alg. 1 lines 5-7)
  *
- * Hot-path structure: sites update sequentially against a joint that
- * is kept current by Sherman-Morrison rank-1 updates of the
- * covariance (O(n^2) per site instead of an O(n^3) re-solve), with a
- * periodic full re-factorization for numerical hygiene
- * (EpConfig::refactorInterval).  JointStrategy::DenseResolve replaces
- * every rank-1 update with a full re-solve on the same schedule; the
- * golden-posterior suite pins the two paths to each other within
- * 1e-6.  Callers that run EP repeatedly (windowed inference) pass an
- * EpWorkspace so steady-state runs reuse all buffers and perform no
- * allocations.
+ * Hot-path structure: tilted moments run through the SIMD quadrature
+ * kernel (quad_kernel.h, AVX2/NEON with a bit-identical scalar
+ * fallback); sites update sequentially against a joint that is kept
+ * current by blocked Sherman-Morrison downdates of the covariance
+ * (BlockedJointUpdater: O(n^2) per site with the triangle sweep
+ * amortized over EpConfig::blockSize sites, instead of an O(n^3)
+ * re-solve), with a periodic full re-factorization for numerical
+ * hygiene (EpConfig::refactorInterval).  JointStrategy::DenseResolve
+ * replaces every incremental update with a full re-solve on the same
+ * schedule; the golden-posterior suite pins the two paths to each
+ * other within 1e-6.
+ *
+ * With EpConfig::partitions > 1 the engine switches to the paper's
+ * synchronous per-engine schedule: the shared partitioning pass
+ * (graph/partition.h) splits sites into contiguous variable-id bands,
+ * each sweep updates every band against a frozen copy of the joint
+ * (optionally on EpConfig::partitionThreads worker threads), and one
+ * full solve merges the sweep — the controller sync.  Because bands
+ * own disjoint sites and the merge is a deterministic full solve, the
+ * posterior is bit-identical for any thread count.
+ *
+ * Callers that run EP repeatedly (windowed inference) pass an
+ * EpWorkspace (and optionally a persistent EpResult) so steady-state
+ * runs reuse all buffers and perform no allocations.
  */
 
 #ifndef BPERF_CORE_EP_H
 #define BPERF_CORE_EP_H
 
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "graph/exact.h"
 #include "graph/factor_graph.h"
+#include "graph/partition.h"
 
 namespace bperf {
 namespace core {
@@ -45,7 +61,7 @@ enum class MomentMethod {
 /** How the joint is kept in sync with site updates. */
 enum class JointStrategy {
     /**
-     * Sherman-Morrison rank-1 update per site change, full
+     * Blocked Sherman-Morrison update per site change, full
      * re-factorization every refactorInterval updates or when a
      * downdate is too ill-conditioned.  The fast path.
      */
@@ -69,8 +85,8 @@ struct EpConfig
     MomentMethod method = MomentMethod::Quadrature;
     JointStrategy jointStrategy = JointStrategy::Rank1;
     /**
-     * Rank-1 updates applied between full re-factorizations of the
-     * joint (numerical hygiene for the Sherman-Morrison chain).
+     * Incremental updates applied between full re-factorizations of
+     * the joint (numerical hygiene for the Sherman-Morrison chain).
      * 0 re-factorizes only when a downdate is refused.
      */
     std::size_t refactorInterval = 256;
@@ -78,6 +94,30 @@ struct EpConfig
     std::size_t mcmcSamples = 400;
     std::size_t mcmcBurnin = 100;
     std::uint64_t seed = 7;
+    /**
+     * Sites per covariance-triangle sweep of the blocked joint
+     * updater (1 = classic one-at-a-time rank-1 updates; the blocked
+     * algebra at any size matches the sequential chain exactly).
+     * Clamped to BlockedJointUpdater::kMaxBlockSize.
+     */
+    std::size_t blockSize = 8;
+    /**
+     * Gauss grid evaluation via the runtime-dispatched SIMD kernel
+     * (true) or the scalar reference kernel (false).  The two are
+     * bit-identical by construction; the switch exists for the parity
+     * tests and for -DBPERF_SIMD=OFF builds.
+     */
+    bool simdQuadrature = true;
+    /**
+     * Number of site partitions (the paper's per-slice EP engines).
+     * 1 = sequential sweeps (the classic schedule); > 1 = synchronous
+     * partition-parallel sweeps merged by a full solve.  Only the
+     * Rank1 strategy partitions; DenseResolve stays sequential.
+     */
+    std::size_t partitions = 1;
+    /** Worker threads for partition-parallel sweeps (clamped to the
+     * partition count; results are identical for any value). */
+    std::size_t partitionThreads = 1;
 };
 
 /** Result of EP inference. */
@@ -91,10 +131,18 @@ struct EpResult
     std::size_t skippedUpdates = 0;
     /** Total tilted-moment evaluations (accelerator cost model). */
     std::size_t momentEvaluations = 0;
-    /** Rank-1 joint updates applied. */
+    /** Incremental (blocked rank-1) joint updates applied. */
     std::size_t rank1Updates = 0;
     /** Full joint factorizations (initial solve + refactorizations). */
     std::size_t fullSolves = 0;
+    /** Covariance-triangle sweeps of the blocked updater. */
+    std::size_t blockFlushes = 0;
+    /**
+     * Partitioned-mode site updates whose lane-local downdate was
+     * refused; the site change is carried by the sweep's merge solve
+     * instead (sequential mode re-factorizes immediately).
+     */
+    std::size_t deferredUpdates = 0;
     /**
      * Workspace buffer-growth events during this run.  0 means the
      * run reused a warm EpWorkspace without allocating — the
@@ -118,6 +166,14 @@ class EpWorkspace
     /** EP runs served by this workspace. */
     std::size_t runs() const { return runs_; }
 
+    /**
+     * Partition plan of the most recent partitioned run (empty/1 when
+     * every run was sequential).  The windowed engine forwards its
+     * critical path (maxPartitionSites) to the execution backend so
+     * simulated accelerator engines split the window the same way.
+     */
+    const graph::PartitionPlan &partitionPlan() const { return plan_; }
+
   private:
     friend class ExpectationPropagation;
 
@@ -128,11 +184,28 @@ class EpWorkspace
         graph::Gaussian approx; // natural units
     };
 
+    /** Per-partition engine state (partition-parallel sweeps). */
+    struct Lane
+    {
+        graph::GaussianJoint joint; // frozen sweep-start copy
+        graph::SolverScratch scratch;
+        // Per-sweep counters, merged serially after the join.
+        std::size_t skipped = 0;
+        std::size_t moments = 0;
+        std::size_t rank1 = 0;
+        std::size_t deferred = 0;
+        std::size_t flushes = 0;
+        double maxRelChange = 0.0;
+    };
+
     std::vector<Site> sites_;
     std::vector<graph::Gaussian> siteByVar_;
     graph::GaussianSolver solver_;
     graph::GaussianJoint joint_;
     graph::SolverScratch scratch_;
+    graph::PartitionPlan plan_;
+    std::vector<Lane> lanes_;
+    std::vector<std::thread> threads_;
     std::size_t grows_ = 0;
     std::size_t runs_ = 0;
 };
@@ -151,22 +224,43 @@ class ExpectationPropagation
     /** Run reusing caller-owned buffers (hot path). */
     EpResult run(const graph::FactorGraph &graph, EpWorkspace &ws) const;
 
+    /**
+     * Run reusing caller-owned buffers *and* a caller-owned result:
+     * result.mean/stddev are resized in place, so steady-state runs
+     * allocate nothing at all.  All result counters are reset.
+     */
+    void run(const graph::FactorGraph &graph, EpWorkspace &ws,
+             EpResult &result) const;
+
   private:
+    void runSweepsSequential(const graph::FactorGraph &graph,
+                             EpWorkspace &ws, EpResult &result) const;
+    void runSweepsPartitioned(const graph::FactorGraph &graph,
+                              EpWorkspace &ws, EpResult &result) const;
+
     EpConfig config_;
 };
 
 /**
  * Moments of the 1-D tilted density
  *   p(x) ∝ N(x; cavity_mean, cavity_var) * St(x; loc, scale, nu)
- * computed by grid quadrature in a single fused pass (online
- * max-rescaling replaces the separate log-sum-exp passes, and all
+ * computed on a uniform grid covering both densities' bulk, by the
+ * best quadrature kernel for this CPU (quad_kernel.h).  All
  * x-independent density constants are dropped since they cancel in
- * the normalized moments).  Exposed for tests.
+ * the normalized moments.  Exposed for tests.
  */
 void tiltedMomentsQuadrature(double cavity_mean, double cavity_var,
                              double loc, double scale, double nu,
                              std::size_t points, double &mean_out,
                              double &var_out);
+
+/** Same grid through the scalar reference kernel — bit-identical to
+ * tiltedMomentsQuadrature by the kernel parity contract.  Exposed for
+ * the SIMD-vs-scalar golden tests. */
+void tiltedMomentsQuadratureScalar(double cavity_mean, double cavity_var,
+                                   double loc, double scale, double nu,
+                                   std::size_t points, double &mean_out,
+                                   double &var_out);
 
 /** Same moments estimated by Metropolis MCMC.  Exposed for tests. */
 void tiltedMomentsMcmc(double cavity_mean, double cavity_var, double loc,

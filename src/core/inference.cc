@@ -55,7 +55,8 @@ WindowedInference::WindowedInference(const sim::MicroarchDescriptor &uarch,
                                      std::vector<sim::EventId> events,
                                      InferenceConfig config,
                                      std::size_t schedule_period)
-    : uarch_(uarch), events_(std::move(events)), config_(config)
+    : uarch_(uarch), events_(std::move(events)), config_(config),
+      ep_(config.ep)
 {
     bp_assert(!events_.empty(), "nothing to infer");
     k_ = config_.windowSlices;
@@ -144,7 +145,10 @@ WindowedInference::runWindow(std::size_t w_len)
 
     // Level hints: the measured magnitude of each event inside this
     // window (falling back to the carried estimate).
-    std::vector<double> levels(events_.size());
+    if (levels_.capacity() < events_.size())
+        ++stagingGrows_;
+    levels_.resize(events_.size());
+    std::vector<double> &levels = levels_;
     for (std::size_t i = 0; i < events_.size(); ++i) {
         double sum = 0.0;
         std::size_t n = 0;
@@ -166,11 +170,14 @@ WindowedInference::runWindow(std::size_t w_len)
 
     // Normalizer: the fixed instruction counter's measured values,
     // which anchor the ratio walk.
-    std::vector<double> normalizer;
+    std::vector<double> &normalizer = normalizer_;
+    normalizer.clear();
     const sim::EventId inst_id = uarch_.idForRole(sim::Role::Instructions);
     for (std::size_t i = 0; i < events_.size(); ++i) {
         if (events_[i] != inst_id)
             continue;
+        if (normalizer.capacity() < w_len)
+            ++stagingGrows_;
         normalizer.resize(w_len);
         bool ok = true;
         for (std::size_t s = 0; s < w_len; ++s) {
@@ -186,8 +193,16 @@ WindowedInference::runWindow(std::size_t w_len)
         break;
     }
 
-    WindowModel model(uarch_, events_, w_len, config_.model, &levels,
-                      normalizer.empty() ? nullptr : &normalizer);
+    // Rebuild the persistent model in place (all buffers recycled);
+    // only the first window constructs it.
+    const std::vector<double> *norm =
+        normalizer.empty() ? nullptr : &normalizer;
+    if (!model_)
+        model_.emplace(uarch_, events_, w_len, config_.model, &levels,
+                       norm);
+    else
+        model_->rebuild(w_len, &levels, norm);
+    WindowModel &model = *model_;
     model.addCarryPriors(carry_);
 
     // Measurement factors for every observed (event, slice).
@@ -224,10 +239,16 @@ WindowedInference::runWindow(std::size_t w_len)
     }
 
     const std::size_t ws_allocs_before = epWorkspace_.totalAllocations();
-    ExpectationPropagation ep(config_.ep);
-    const EpResult ep_result = ep.run(model.graph(), epWorkspace_);
+    ep_.run(model.graph(), epWorkspace_, epResult_);
+    const EpResult &ep_result = epResult_;
     ++windowsRun_;
     epSweepsTotal_ += ep_result.sweeps;
+    epMomentEvaluations_ += ep_result.momentEvaluations;
+    epRank1Updates_ += ep_result.rank1Updates;
+    epFullSolves_ += ep_result.fullSolves;
+    epBlockFlushes_ += ep_result.blockFlushes;
+    epDeferredUpdates_ += ep_result.deferredUpdates;
+    epSkippedUpdates_ += ep_result.skippedUpdates;
 
     // Record every covered slice; later (more contextual) windows
     // overwrite all but their warm-up prefix.
@@ -297,6 +318,12 @@ WindowedInference::runWindow(std::size_t w_len)
                        .factorsOfKind(graph::FactorKind::StudentT)
                        .size();
     job.numSweeps = ep_result.sweeps;
+    // Partitioned runs share their plan with the backend so simulated
+    // accelerator engines split the window along the same bands.
+    if (config_.ep.partitions > 1 &&
+        epWorkspace_.partitionPlan().numPartitions > 1)
+        job.maxPartitionSites =
+            epWorkspace_.partitionPlan().maxPartitionSites();
     // Streamed inputs: per-site window reads + per-variable g(theta).
     job.inputBytes = 24 * job.numSites + 8 * job.numVariables;
     job.hostSeconds = window_seconds;
@@ -370,8 +397,15 @@ WindowedInference::takeResult()
     result.firstSlice = seriesBase_;
     result.windowsRun = windowsRun_;
     result.epSweepsTotal = epSweepsTotal_;
+    result.epMomentEvaluations = epMomentEvaluations_;
+    result.epRank1Updates = epRank1Updates_;
+    result.epFullSolves = epFullSolves_;
+    result.epBlockFlushes = epBlockFlushes_;
+    result.epDeferredUpdates = epDeferredUpdates_;
+    result.epSkippedUpdates = epSkippedUpdates_;
     result.wallSeconds = inferSeconds_;
     result.epWorkspaceAllocations = epWorkspace_.totalAllocations();
+    result.modelAllocations = modelAllocations();
     result.backendName =
         config_.backend != nullptr ? config_.backend->name() : "host";
     result.windowExecutions = std::move(executions_);

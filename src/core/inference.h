@@ -22,6 +22,7 @@
 #define BPERF_CORE_INFERENCE_H
 
 #include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -99,15 +100,30 @@ struct InferenceResult
 
     std::size_t windowsRun = 0;
     std::size_t epSweepsTotal = 0;
+    /** Cumulative EP op counts over the run's windows (the bench's
+     * per-window cost decomposition; see EpResult). */
+    std::size_t epMomentEvaluations = 0;
+    std::size_t epRank1Updates = 0;
+    std::size_t epFullSolves = 0;
+    std::size_t epBlockFlushes = 0;
+    std::size_t epDeferredUpdates = 0;
+    std::size_t epSkippedUpdates = 0;
     double wallSeconds = 0.0;
     /**
      * Cumulative EpWorkspace buffer growths across the run's windows.
      * After the warm-up window this stops growing: steady-state EP
      * runs reuse the workspace (the O(n^2) solver working set)
-     * without allocating.  Per-window model construction and result
-     * vectors are outside this counter.
+     * without allocating.
      */
     std::size_t epWorkspaceAllocations = 0;
+    /**
+     * Cumulative buffer growths of the window model (factor graph
+     * slots, names, term scratch) and engine-side staging (levels,
+     * normalizer, EP result vectors).  Like the workspace counter it
+     * stops growing after warm-up: the model is rebuilt in place per
+     * window without allocating.
+     */
+    std::size_t modelAllocations = 0;
 
     /** Backend that executed the run's windows ("host" when none was
      * configured). */
@@ -263,6 +279,16 @@ class WindowedInference
         return epWorkspace_.totalAllocations();
     }
 
+    /**
+     * Cumulative buffer-growth events of the reused window model and
+     * engine staging buffers (see InferenceResult::modelAllocations).
+     * Constant across steady-state windows.
+     */
+    std::size_t modelAllocations() const
+    {
+        return (model_ ? model_->bufferGrows() : 0) + stagingGrows_;
+    }
+
     /** Cumulative wall time spent inside window EP runs. */
     double inferSeconds() const { return inferSeconds_; }
 
@@ -307,6 +333,17 @@ class WindowedInference
 
     /** Reused across windows so steady-state EP runs allocate nothing. */
     EpWorkspace epWorkspace_;
+    /** Window model rebuilt in place each window (buffers recycled);
+     * constructed lazily on the first window. */
+    std::optional<WindowModel> model_;
+    /** Reused per-window staging: level hints, normalizer series and
+     * the EP result vectors. */
+    std::vector<double> levels_;
+    std::vector<double> normalizer_;
+    EpResult epResult_;
+    ExpectationPropagation ep_;
+    /** Buffer-growth events of the staging vectors above. */
+    std::size_t stagingGrows_ = 0;
 
     std::vector<CarryPrior> carry_;
     /** Retained posterior rows: absolute slice seriesBase_ + t. */
@@ -315,6 +352,13 @@ class WindowedInference
 
     std::size_t windowsRun_ = 0;
     std::size_t epSweepsTotal_ = 0;
+    /** Cumulative EP op counters (InferenceResult mirrors). */
+    std::size_t epMomentEvaluations_ = 0;
+    std::size_t epRank1Updates_ = 0;
+    std::size_t epFullSolves_ = 0;
+    std::size_t epBlockFlushes_ = 0;
+    std::size_t epDeferredUpdates_ = 0;
+    std::size_t epSkippedUpdates_ = 0;
     double inferSeconds_ = 0.0;
     std::vector<double> pendingWindowSeconds_;
 

@@ -1,6 +1,7 @@
 #include "core/model_builder.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <limits>
 
@@ -19,52 +20,100 @@ WindowModel::WindowModel(const sim::MicroarchDescriptor &uarch,
     : uarch_(uarch), events_(events), numSlices_(num_slices),
       config_(config)
 {
-    bp_assert(numSlices_ >= 1, "window needs at least one slice");
     bp_assert(!events_.empty(), "window needs at least one event");
-    if (normalizer) {
-        bp_assert(normalizer->size() == numSlices_,
-                  "normalizer must cover the window");
-        normalizer_ = *normalizer;
-        for (double n : normalizer_)
-            bp_assert(n > 0.0, "normalizer values must be positive");
-    }
-
     if (config_.includeLatent) {
         // Model every catalog event so any posterior can be polled.
         events_.clear();
         for (const auto &def : uarch_.events())
             events_.push_back(def.id);
-    } else if (levels) {
+    }
+    rebuild(num_slices, levels, normalizer);
+}
+
+void
+WindowModel::rebuild(std::size_t num_slices,
+                     const std::vector<double> *levels,
+                     const std::vector<double> *normalizer)
+{
+    bp_assert(num_slices >= 1, "window needs at least one slice");
+    numSlices_ = num_slices;
+
+    if (normalizer) {
+        bp_assert(normalizer->size() == numSlices_,
+                  "normalizer must cover the window");
+        assignReuse(normalizer_, *normalizer);
+        for (double n : normalizer_)
+            bp_assert(n > 0.0, "normalizer values must be positive");
+    } else {
+        normalizer_.clear();
+    }
+
+    if (!config_.includeLatent && levels) {
         bp_assert(levels->size() == events_.size(),
                   "level hints must align with events");
-        levels_ = *levels;
-    }
-    if (levels_.empty()) {
-        levels_.reserve(events_.size());
+        assignReuse(levels_, *levels);
+    } else {
+        if (levels_.capacity() < events_.size())
+            ++grows_;
+        levels_.clear();
         for (sim::EventId e : events_)
             levels_.push_back(uarch_.event(e).typicalPerSlice);
     }
+
+    graph_.reset();
     build();
+}
+
+std::string_view
+WindowModel::fmtName(std::string_view prefix, std::string_view base,
+                     std::ptrdiff_t slice)
+{
+    char digits[24];
+    std::string_view suffix;
+    if (slice >= 0) {
+        const auto [end, ec] =
+            std::to_chars(digits, digits + sizeof(digits), slice);
+        (void)ec;
+        suffix = {digits, static_cast<std::size_t>(end - digits)};
+    }
+    const std::size_t needed = prefix.size() + base.size() +
+                               (slice >= 0 ? 1 + suffix.size() : 0);
+    if (nameBuf_.capacity() < needed)
+        ++grows_;
+    nameBuf_.clear();
+    nameBuf_.append(prefix);
+    nameBuf_.append(base);
+    if (slice >= 0) {
+        nameBuf_.push_back('@');
+        nameBuf_.append(suffix);
+    }
+    return nameBuf_;
 }
 
 void
 WindowModel::build()
 {
+    if (eventIndex_.capacity() < uarch_.events().size())
+        ++grows_;
     eventIndex_.assign(uarch_.events().size(),
                        std::numeric_limits<std::size_t>::max());
     for (std::size_t i = 0; i < events_.size(); ++i)
         eventIndex_[events_[i]] = i;
 
     // Variables + weak priors centered on the current level.
+    if (varOf_.capacity() < numSlices_ * events_.size())
+        ++grows_;
     varOf_.assign(numSlices_ * events_.size(), graph::kNoVar);
     for (std::size_t t = 0; t < numSlices_; ++t) {
         for (std::size_t i = 0; i < events_.size(); ++i) {
             const auto &def = uarch_.event(events_[i]);
-            const VarId v = graph_.addVariable(
-                def.name + "@" + std::to_string(t), def.typicalPerSlice);
+            const VarId v =
+                graph_.addVariable(fmtName("", def.name,
+                                           static_cast<std::ptrdiff_t>(t)),
+                                   def.typicalPerSlice);
             varOf_[t * events_.size() + i] = v;
             graph_.addGaussianPrior(
-                "prior:" + def.name, v, levels_[i],
+                fmtName("prior:", def.name), v, levels_[i],
                 config_.priorSigmaRel *
                     std::max(levels_[i], 0.05 * def.typicalPerSlice));
         }
@@ -93,13 +142,19 @@ WindowModel::build()
             continue;
         const double noise = std::max(inv.slackRel * magnitude, 1e-9);
         for (std::size_t t = 0; t < numSlices_; ++t) {
-            std::vector<std::pair<VarId, double>> terms;
-            terms.reserve(inv.terms.size());
-            for (const auto &term : inv.terms)
-                terms.emplace_back(var(uarch_.idForRole(term.role), t),
-                                   term.coeff);
-            graph_.addLinearGaussian(inv.name + "@" + std::to_string(t),
-                                     std::move(terms), 0.0, noise);
+            if (termVars_.capacity() < inv.terms.size())
+                ++grows_;
+            if (termCoeffs_.capacity() < inv.terms.size())
+                ++grows_;
+            termVars_.clear();
+            termCoeffs_.clear();
+            for (const auto &term : inv.terms) {
+                termVars_.push_back(var(uarch_.idForRole(term.role), t));
+                termCoeffs_.push_back(term.coeff);
+            }
+            graph_.addLinearGaussian(
+                fmtName("", inv.name, static_cast<std::ptrdiff_t>(t)),
+                termVars_, termCoeffs_, 0.0, noise);
         }
     }
 
@@ -113,10 +168,13 @@ WindowModel::build()
         const double noise =
             std::max(config_.temporalSigmaRel * level, 1e-9);
         for (std::size_t t = 1; t < numSlices_; ++t) {
+            const VarId walk_vars[2] = {var(events_[i], t),
+                                        var(events_[i], t - 1)};
+            const double walk_coeffs[2] = {1.0, -1.0};
             graph_.addLinearGaussian(
-                "walk:" + def.name + "@" + std::to_string(t),
-                {{var(events_[i], t), 1.0}, {var(events_[i], t - 1), -1.0}},
-                0.0, noise);
+                fmtName("walk:", def.name,
+                        static_cast<std::ptrdiff_t>(t)),
+                walk_vars, walk_coeffs, 0.0, noise);
         }
     }
 
@@ -158,11 +216,14 @@ WindowModel::build()
                 const double n_geo = std::sqrt(n_prev * n_cur);
                 const double noise = std::max(
                     config_.ratioSigmaRel * level / n_geo, 1e-15);
+                const VarId ratio_vars[2] = {var(events_[i], t),
+                                             var(events_[i], t - 1)};
+                const double ratio_coeffs[2] = {1.0 / n_cur,
+                                                -1.0 / n_prev};
                 graph_.addLinearGaussian(
-                    "ratio_walk:" + def.name + "@" + std::to_string(t),
-                    {{var(events_[i], t), 1.0 / n_cur},
-                     {var(events_[i], t - 1), -1.0 / n_prev}},
-                    0.0, noise);
+                    fmtName("ratio_walk:", def.name,
+                            static_cast<std::ptrdiff_t>(t)),
+                    ratio_vars, ratio_coeffs, 0.0, noise);
             }
         }
     }
@@ -185,8 +246,8 @@ WindowModel::addMeasurement(sim::EventId event, std::size_t slice,
 {
     const VarId v = var(event, slice);
     bp_assert(v != graph::kNoVar, "measurement for unmodeled event");
-    graph_.addStudentT("meas:" + uarch_.event(event).name + "@" +
-                           std::to_string(slice),
+    graph_.addStudentT(fmtName("meas:", uarch_.event(event).name,
+                               static_cast<std::ptrdiff_t>(slice)),
                        v, m.loc, m.scale, m.nu);
 }
 
@@ -197,8 +258,9 @@ WindowModel::addCarryPriors(const std::vector<CarryPrior> &priors)
         const VarId v = var(p.event, 0);
         if (v == graph::kNoVar)
             continue;
-        graph_.addGaussianPrior("carry:" + uarch_.event(p.event).name, v,
-                                p.mean, p.stddev);
+        graph_.addGaussianPrior(fmtName("carry:",
+                                        uarch_.event(p.event).name),
+                                v, p.mean, p.stddev);
     }
 }
 

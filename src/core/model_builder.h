@@ -11,12 +11,20 @@
  *   - Student-t measurement factors for slices where the event was
  *     scheduled on a counter (section 4.2).
  * A weak Gaussian prior anchors every variable.
+ *
+ * The model is rebuilt once per sliding window, so it recycles like
+ * the graph beneath it: rebuild() re-enters construction for the next
+ * window reusing every buffer (the graph's slots, the name formatting
+ * buffer, term scratch), and bufferGrows() counts the growth events —
+ * zero per window in steady state.
  */
 
 #ifndef BPERF_CORE_MODEL_BUILDER_H
 #define BPERF_CORE_MODEL_BUILDER_H
 
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/measurement.h"
@@ -114,6 +122,16 @@ class WindowModel
                 const std::vector<double> *levels = nullptr,
                 const std::vector<double> *normalizer = nullptr);
 
+    /**
+     * Rebuild the model for the next window of the same event set:
+     * resets the graph (keeping its buffers) and reconstructs every
+     * structural factor with the new window length, level hints and
+     * normalizer.  Allocation-free once every buffer has warmed up.
+     */
+    void rebuild(std::size_t num_slices,
+                 const std::vector<double> *levels = nullptr,
+                 const std::vector<double> *normalizer = nullptr);
+
     /** Variable for an event at a window-relative slice; kNoVar if
      * the event is not modeled. */
     graph::VarId var(sim::EventId event, std::size_t slice) const;
@@ -132,8 +150,31 @@ class WindowModel
     std::size_t numSlices() const { return numSlices_; }
     const std::vector<sim::EventId> &events() const { return events_; }
 
+    /**
+     * Cumulative buffer-growth events across this model and its
+     * graph.  Constant across steady-state rebuild() cycles (the
+     * zero-allocation invariant the window engine asserts).
+     */
+    std::size_t bufferGrows() const
+    {
+        return grows_ + graph_.bufferGrows();
+    }
+
   private:
     void build();
+    /** Format "<prefix><base>" or "<prefix><base>@<slice>" into the
+     * reused name buffer. */
+    std::string_view fmtName(std::string_view prefix,
+                             std::string_view base,
+                             std::ptrdiff_t slice = -1);
+    /** Capacity-aware copy into a reused vector. */
+    template <typename T>
+    void assignReuse(std::vector<T> &dst, const std::vector<T> &src)
+    {
+        if (dst.capacity() < src.size())
+            ++grows_;
+        dst.assign(src.begin(), src.end());
+    }
 
     const sim::MicroarchDescriptor &uarch_;
     std::vector<sim::EventId> events_;
@@ -145,6 +186,12 @@ class WindowModel
     // varOf_[slice * events_.size() + eventIndex]
     std::vector<graph::VarId> varOf_;
     std::vector<std::size_t> eventIndex_; // by EventId, SIZE_MAX if absent
+
+    /** Reused scratch: name formatting + linear-factor terms. */
+    std::string nameBuf_;
+    std::vector<graph::VarId> termVars_;
+    std::vector<double> termCoeffs_;
+    std::size_t grows_ = 0;
 };
 
 } // namespace core

@@ -1,0 +1,200 @@
+/**
+ * AVX2+FMA variant of the quadrature moment kernel.  This file is
+ * compiled with -mavx2 -mfma (CMake adds them only on x86-64 with
+ * BPERF_SIMD=ON) and otherwise compiles to nothing, so the library
+ * never carries AVX2 code it could not have dispatched.
+ *
+ * Bit-identity contract with quadMomentsScalar: every intrinsic below
+ * corresponds 1:1 to a scalar operation in quad_kernel.cc /
+ * quad_poly.h — same constants, same FMA placement, same four-lane
+ * accumulator layout, same reduction order.  Change them together.
+ */
+
+#include "core/quad_kernel.h"
+
+#if defined(BPERF_SIMD) && defined(__x86_64__) && defined(__AVX2__) && \
+    defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/quad_poly.h"
+
+namespace bperf {
+namespace core {
+
+namespace {
+
+using namespace quadpoly;
+
+inline __m256d
+vPolyLog1p(__m256d q)
+{
+    const __m256d one = _mm256_set1_pd(1.0);
+    const __m256d a = _mm256_add_pd(one, q);
+    const __m256i tmp = _mm256_sub_epi64(
+        _mm256_castpd_si256(a),
+        _mm256_set1_epi64x(static_cast<long long>(kSqrtHalfBits)));
+    // Exponent as a double via the 2^52 magic constant (tmp >> 52 is
+    // a small non-negative integer for a >= 1).
+    const __m256d magic = _mm256_set1_pd(0x1p52);
+    const __m256d e = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(_mm256_srli_epi64(tmp, 52),
+                                            _mm256_castpd_si256(magic))),
+        magic);
+    const __m256d m = _mm256_castsi256_pd(_mm256_add_epi64(
+        _mm256_and_si256(
+            tmp, _mm256_set1_epi64x(static_cast<long long>(kMantissaMask))),
+        _mm256_set1_epi64x(static_cast<long long>(kSqrtHalfBits))));
+    const __m256d s =
+        _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+    const __m256d t2 = _mm256_mul_pd(s, s);
+    __m256d p = _mm256_set1_pd(kLogCoeff[kLogDegree - 1]);
+    for (std::size_t j = kLogDegree - 1; j-- > 0;)
+        p = _mm256_fmadd_pd(p, t2, _mm256_set1_pd(kLogCoeff[j]));
+    const __m256d two_s = _mm256_add_pd(s, s);
+    return _mm256_fmadd_pd(
+        e, _mm256_set1_pd(kLn2Hi),
+        _mm256_fmadd_pd(e, _mm256_set1_pd(kLn2Lo),
+                        _mm256_mul_pd(two_s, p)));
+}
+
+inline __m256d
+vPolyExp(__m256d y)
+{
+    y = _mm256_min_pd(_mm256_max_pd(y, _mm256_set1_pd(kExpLoClamp)),
+                      _mm256_set1_pd(kExpHiClamp));
+    const __m256d kd = _mm256_round_pd(
+        _mm256_mul_pd(y, _mm256_set1_pd(kLog2E)),
+        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    __m256d r = _mm256_fmadd_pd(kd, _mm256_set1_pd(-kLn2Hi), y);
+    r = _mm256_fmadd_pd(kd, _mm256_set1_pd(-kLn2Lo), r);
+    __m256d p = _mm256_set1_pd(kExpCoeff[kExpDegree - 1]);
+    for (std::size_t j = kExpDegree - 1; j-- > 0;)
+        p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kExpCoeff[j]));
+    const __m256i k64 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(kd));
+    const __m256d scale = _mm256_castsi256_pd(_mm256_slli_epi64(
+        _mm256_add_epi64(k64, _mm256_set1_epi64x(1023)), 52));
+    return _mm256_mul_pd(p, scale);
+}
+
+} // namespace
+
+void
+quadMomentsAvx2(const QuadParams &p, double &mean_out, double &var_out)
+{
+    bp_assert(p.points >= 2 && p.points <= kMaxQuadPoints,
+              "quadrature grid size out of range");
+    double *logw = quadLogWeightBuffer();
+    const std::size_t n4 = p.points & ~static_cast<std::size_t>(3);
+
+    const __m256d vstep = _mm256_set1_pd(p.step);
+    const __m256d vlo = _mm256_set1_pd(p.lo);
+    const __m256d vcm = _mm256_set1_pd(p.cavityMean);
+    const __m256d vinv_sd = _mm256_set1_pd(p.invSd);
+    const __m256d vloc = _mm256_set1_pd(p.loc);
+    const __m256d vinv_scale = _mm256_set1_pd(p.invScale);
+    const __m256d vneg_half_nup1 = _mm256_set1_pd(-p.halfNup1);
+    const __m256d vinv_nu = _mm256_set1_pd(p.invNu);
+    const __m256d vneg_half = _mm256_set1_pd(-0.5);
+    const __m256d four = _mm256_set1_pd(4.0);
+
+    // Pass 1: log-weights + running max.
+    __m256d idx = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+    __m256d vmax = _mm256_set1_pd(-1e300);
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const __m256d x = _mm256_fmadd_pd(vstep, idx, vlo);
+        const __m256d u =
+            _mm256_mul_pd(_mm256_sub_pd(x, vcm), vinv_sd);
+        const __m256d g = _mm256_mul_pd(_mm256_mul_pd(u, u), vneg_half);
+        const __m256d t =
+            _mm256_mul_pd(_mm256_sub_pd(x, vloc), vinv_scale);
+        const __m256d q = _mm256_mul_pd(_mm256_mul_pd(t, t), vinv_nu);
+        const __m256d lw =
+            _mm256_fmadd_pd(vneg_half_nup1, vPolyLog1p(q), g);
+        _mm256_storeu_pd(logw + i, lw);
+        vmax = _mm256_max_pd(vmax, lw);
+        idx = _mm256_add_pd(idx, four);
+    }
+    double max_lanes[4];
+    _mm256_storeu_pd(max_lanes, vmax);
+    double max_logw = std::max(std::max(max_lanes[0], max_lanes[1]),
+                               std::max(max_lanes[2], max_lanes[3]));
+    for (std::size_t i = n4; i < p.points; ++i) {
+        const double x =
+            std::fma(p.step, static_cast<double>(i), p.lo);
+        const double u = (x - p.cavityMean) * p.invSd;
+        const double g = (u * u) * -0.5;
+        const double t = (x - p.loc) * p.invScale;
+        const double q = (t * t) * p.invNu;
+        const double lw = std::fma(-p.halfNup1, polyLog1p(q), g);
+        logw[i] = lw;
+        max_logw = std::max(max_logw, lw);
+    }
+
+    // Pass 2: shifted weights into four accumulator lanes, moments
+    // centered on the cavity mean (see quad_kernel.cc).
+    __m256d vz = _mm256_setzero_pd();
+    __m256d vm1 = _mm256_setzero_pd();
+    __m256d vm2 = _mm256_setzero_pd();
+    const __m256d vshift = _mm256_set1_pd(max_logw);
+    idx = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const __m256d x = _mm256_fmadd_pd(vstep, idx, vlo);
+        const __m256d dx = _mm256_sub_pd(x, vcm);
+        const __m256d w =
+            vPolyExp(_mm256_sub_pd(_mm256_loadu_pd(logw + i), vshift));
+        vz = _mm256_add_pd(vz, w);
+        vm1 = _mm256_fmadd_pd(w, dx, vm1);
+        const __m256d wdx = _mm256_mul_pd(w, dx);
+        vm2 = _mm256_fmadd_pd(wdx, dx, vm2);
+        idx = _mm256_add_pd(idx, four);
+    }
+    double z[4], m1[4], m2[4];
+    _mm256_storeu_pd(z, vz);
+    _mm256_storeu_pd(m1, vm1);
+    _mm256_storeu_pd(m2, vm2);
+    for (std::size_t i = n4; i < p.points; ++i) {
+        const std::size_t lane = i & 3;
+        const double x =
+            std::fma(p.step, static_cast<double>(i), p.lo);
+        const double dx = x - p.cavityMean;
+        const double w = polyExp(logw[i] - max_logw);
+        z[lane] += w;
+        m1[lane] = std::fma(w, dx, m1[lane]);
+        const double wdx = w * dx;
+        m2[lane] = std::fma(wdx, dx, m2[lane]);
+    }
+    const double zs = (z[0] + z[1]) + (z[2] + z[3]);
+    const double m1s = (m1[0] + m1[1]) + (m1[2] + m1[3]);
+    const double m2s = (m2[0] + m2[1]) + (m2[2] + m2[3]);
+
+    bp_assert(zs > 0.0, "tilted density vanished on the grid");
+    const double mean_off = m1s / zs;
+    mean_out = p.cavityMean + mean_off;
+    var_out = std::max(m2s / zs - mean_off * mean_off, 1e-30);
+}
+
+} // namespace core
+} // namespace bperf
+
+#elif defined(BPERF_SIMD) && defined(__x86_64__)
+
+// Built without -mavx2 -mfma (unexpected toolchain): the dispatch
+// table still references this symbol, so satisfy it with the scalar
+// kernel — bit-identical by the parity contract, just not vectorized.
+namespace bperf {
+namespace core {
+
+void
+quadMomentsAvx2(const QuadParams &p, double &mean_out, double &var_out)
+{
+    quadMomentsScalar(p, mean_out, var_out);
+}
+
+} // namespace core
+} // namespace bperf
+
+#endif // BPERF_SIMD && __x86_64__ && __AVX2__ && __FMA__

@@ -1,0 +1,196 @@
+/**
+ * NEON (aarch64) variant of the quadrature moment kernel.  Processes
+ * four grid points per iteration as two float64x2 halves so the
+ * accumulator-lane layout (lane = i mod 4) and reduction order match
+ * the scalar and AVX2 kernels exactly — see the bit-identity contract
+ * in quad_kernel_avx2.cc.  Compiles to nothing off aarch64.
+ */
+
+#include "core/quad_kernel.h"
+
+#if defined(BPERF_SIMD) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/quad_poly.h"
+
+namespace bperf {
+namespace core {
+
+namespace {
+
+using namespace quadpoly;
+
+inline float64x2_t
+vPolyLog1p(float64x2_t q)
+{
+    const float64x2_t one = vdupq_n_f64(1.0);
+    const float64x2_t a = vaddq_f64(one, q);
+    const uint64x2_t tmp = vsubq_u64(vreinterpretq_u64_f64(a),
+                                     vdupq_n_u64(kSqrtHalfBits));
+    const float64x2_t e = vcvtq_f64_u64(vshrq_n_u64(tmp, 52));
+    const float64x2_t m = vreinterpretq_f64_u64(
+        vaddq_u64(vandq_u64(tmp, vdupq_n_u64(kMantissaMask)),
+                  vdupq_n_u64(kSqrtHalfBits)));
+    const float64x2_t s =
+        vdivq_f64(vsubq_f64(m, one), vaddq_f64(m, one));
+    const float64x2_t t2 = vmulq_f64(s, s);
+    float64x2_t p = vdupq_n_f64(kLogCoeff[kLogDegree - 1]);
+    for (std::size_t j = kLogDegree - 1; j-- > 0;)
+        p = vfmaq_f64(vdupq_n_f64(kLogCoeff[j]), p, t2);
+    const float64x2_t two_s = vaddq_f64(s, s);
+    return vfmaq_f64(
+        vfmaq_f64(vmulq_f64(two_s, p), e, vdupq_n_f64(kLn2Lo)), e,
+        vdupq_n_f64(kLn2Hi));
+}
+
+inline float64x2_t
+vPolyExp(float64x2_t y)
+{
+    y = vminq_f64(vmaxq_f64(y, vdupq_n_f64(kExpLoClamp)),
+                  vdupq_n_f64(kExpHiClamp));
+    const float64x2_t kd =
+        vrndnq_f64(vmulq_f64(y, vdupq_n_f64(kLog2E)));
+    float64x2_t r = vfmaq_f64(y, kd, vdupq_n_f64(-kLn2Hi));
+    r = vfmaq_f64(r, kd, vdupq_n_f64(-kLn2Lo));
+    float64x2_t p = vdupq_n_f64(kExpCoeff[kExpDegree - 1]);
+    for (std::size_t j = kExpDegree - 1; j-- > 0;)
+        p = vfmaq_f64(vdupq_n_f64(kExpCoeff[j]), p, r);
+    const int64x2_t k64 = vcvtq_s64_f64(kd); // kd integral: exact
+    const float64x2_t scale = vreinterpretq_f64_s64(
+        vshlq_n_s64(vaddq_s64(k64, vdupq_n_s64(1023)), 52));
+    return vmulq_f64(p, scale);
+}
+
+struct LaneBlock
+{
+    float64x2_t lo, hi; // lanes {0,1} and {2,3}
+};
+
+inline LaneBlock
+logWeights(const QuadParams &p, float64x2_t idx_lo, float64x2_t idx_hi)
+{
+    const float64x2_t vstep = vdupq_n_f64(p.step);
+    const float64x2_t vlo = vdupq_n_f64(p.lo);
+    LaneBlock out;
+    float64x2_t idx[2] = {idx_lo, idx_hi};
+    float64x2_t *half[2] = {&out.lo, &out.hi};
+    for (int h = 0; h < 2; ++h) {
+        const float64x2_t x = vfmaq_f64(vlo, vstep, idx[h]);
+        const float64x2_t u = vmulq_f64(
+            vsubq_f64(x, vdupq_n_f64(p.cavityMean)),
+            vdupq_n_f64(p.invSd));
+        const float64x2_t g =
+            vmulq_f64(vmulq_f64(u, u), vdupq_n_f64(-0.5));
+        const float64x2_t t = vmulq_f64(
+            vsubq_f64(x, vdupq_n_f64(p.loc)), vdupq_n_f64(p.invScale));
+        const float64x2_t q =
+            vmulq_f64(vmulq_f64(t, t), vdupq_n_f64(p.invNu));
+        *half[h] = vfmaq_f64(g, vdupq_n_f64(-p.halfNup1), vPolyLog1p(q));
+    }
+    return out;
+}
+
+} // namespace
+
+void
+quadMomentsNeon(const QuadParams &p, double &mean_out, double &var_out)
+{
+    bp_assert(p.points >= 2 && p.points <= kMaxQuadPoints,
+              "quadrature grid size out of range");
+    double *logw = quadLogWeightBuffer();
+    const std::size_t n4 = p.points & ~static_cast<std::size_t>(3);
+
+    // Pass 1: log-weights + running max.
+    float64x2_t idx_lo = {0.0, 1.0};
+    float64x2_t idx_hi = {2.0, 3.0};
+    const float64x2_t four = vdupq_n_f64(4.0);
+    float64x2_t vmax_lo = vdupq_n_f64(-1e300);
+    float64x2_t vmax_hi = vdupq_n_f64(-1e300);
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const LaneBlock lw = logWeights(p, idx_lo, idx_hi);
+        vst1q_f64(logw + i, lw.lo);
+        vst1q_f64(logw + i + 2, lw.hi);
+        vmax_lo = vmaxq_f64(vmax_lo, lw.lo);
+        vmax_hi = vmaxq_f64(vmax_hi, lw.hi);
+        idx_lo = vaddq_f64(idx_lo, four);
+        idx_hi = vaddq_f64(idx_hi, four);
+    }
+    double max_logw =
+        std::max(vmaxvq_f64(vmax_lo), vmaxvq_f64(vmax_hi));
+    for (std::size_t i = n4; i < p.points; ++i) {
+        const double x =
+            std::fma(p.step, static_cast<double>(i), p.lo);
+        const double u = (x - p.cavityMean) * p.invSd;
+        const double g = (u * u) * -0.5;
+        const double t = (x - p.loc) * p.invScale;
+        const double q = (t * t) * p.invNu;
+        const double lw = std::fma(-p.halfNup1, polyLog1p(q), g);
+        logw[i] = lw;
+        max_logw = std::max(max_logw, lw);
+    }
+
+    // Pass 2: shifted weights into four accumulator lanes, moments
+    // centered on the cavity mean (see quad_kernel.cc).
+    const float64x2_t vstep = vdupq_n_f64(p.step);
+    const float64x2_t vlo = vdupq_n_f64(p.lo);
+    const float64x2_t vcm = vdupq_n_f64(p.cavityMean);
+    const float64x2_t vshift = vdupq_n_f64(max_logw);
+    float64x2_t vz_lo = vdupq_n_f64(0.0), vz_hi = vdupq_n_f64(0.0);
+    float64x2_t vm1_lo = vdupq_n_f64(0.0), vm1_hi = vdupq_n_f64(0.0);
+    float64x2_t vm2_lo = vdupq_n_f64(0.0), vm2_hi = vdupq_n_f64(0.0);
+    idx_lo = (float64x2_t){0.0, 1.0};
+    idx_hi = (float64x2_t){2.0, 3.0};
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const float64x2_t x_lo = vfmaq_f64(vlo, vstep, idx_lo);
+        const float64x2_t x_hi = vfmaq_f64(vlo, vstep, idx_hi);
+        const float64x2_t dx_lo = vsubq_f64(x_lo, vcm);
+        const float64x2_t dx_hi = vsubq_f64(x_hi, vcm);
+        const float64x2_t w_lo =
+            vPolyExp(vsubq_f64(vld1q_f64(logw + i), vshift));
+        const float64x2_t w_hi =
+            vPolyExp(vsubq_f64(vld1q_f64(logw + i + 2), vshift));
+        vz_lo = vaddq_f64(vz_lo, w_lo);
+        vz_hi = vaddq_f64(vz_hi, w_hi);
+        vm1_lo = vfmaq_f64(vm1_lo, w_lo, dx_lo);
+        vm1_hi = vfmaq_f64(vm1_hi, w_hi, dx_hi);
+        vm2_lo = vfmaq_f64(vm2_lo, vmulq_f64(w_lo, dx_lo), dx_lo);
+        vm2_hi = vfmaq_f64(vm2_hi, vmulq_f64(w_hi, dx_hi), dx_hi);
+        idx_lo = vaddq_f64(idx_lo, four);
+        idx_hi = vaddq_f64(idx_hi, four);
+    }
+    double z[4], m1[4], m2[4];
+    vst1q_f64(z, vz_lo);
+    vst1q_f64(z + 2, vz_hi);
+    vst1q_f64(m1, vm1_lo);
+    vst1q_f64(m1 + 2, vm1_hi);
+    vst1q_f64(m2, vm2_lo);
+    vst1q_f64(m2 + 2, vm2_hi);
+    for (std::size_t i = n4; i < p.points; ++i) {
+        const std::size_t lane = i & 3;
+        const double x =
+            std::fma(p.step, static_cast<double>(i), p.lo);
+        const double dx = x - p.cavityMean;
+        const double w = polyExp(logw[i] - max_logw);
+        z[lane] += w;
+        m1[lane] = std::fma(w, dx, m1[lane]);
+        const double wdx = w * dx;
+        m2[lane] = std::fma(wdx, dx, m2[lane]);
+    }
+    const double zs = (z[0] + z[1]) + (z[2] + z[3]);
+    const double m1s = (m1[0] + m1[1]) + (m1[2] + m1[3]);
+    const double m2s = (m2[0] + m2[1]) + (m2[2] + m2[3]);
+
+    bp_assert(zs > 0.0, "tilted density vanished on the grid");
+    const double mean_off = m1s / zs;
+    mean_out = p.cavityMean + mean_off;
+    var_out = std::max(m2s / zs - mean_off * mean_off, 1e-30);
+}
+
+} // namespace core
+} // namespace bperf
+
+#endif // BPERF_SIMD && __aarch64__

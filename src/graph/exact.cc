@@ -183,5 +183,112 @@ GaussianSolver::rank1SiteUpdate(GaussianJoint &joint, VarId v,
     return true;
 }
 
+BlockedJointUpdater::BlockedJointUpdater(GaussianJoint &joint,
+                                         SolverScratch &scratch,
+                                         std::size_t block_size)
+    : joint_(&joint), scratch_(&scratch),
+      blockSize_(std::max<std::size_t>(1, block_size)),
+      n_(joint.mean.size())
+{
+    bp_assert(blockSize_ <= kMaxBlockSize, "block size too large");
+    if (scratch.blockW.capacity() < blockSize_ * n_ ||
+        scratch.blockC.capacity() < blockSize_)
+        ++scratch.grows;
+    scratch.blockW.resize(blockSize_ * n_);
+    scratch.blockC.resize(blockSize_);
+}
+
+double
+BlockedJointUpdater::marginalVariance(VarId v) const
+{
+    double var = joint_->covariance(v, v);
+    const double *W = scratch_->blockW.data();
+    const double *C = scratch_->blockC.data();
+    for (std::size_t i = 0; i < pending_; ++i) {
+        const double wv = W[i * n_ + v];
+        var -= C[i] * wv * wv;
+    }
+    return var;
+}
+
+bool
+BlockedJointUpdater::push(VarId v, double d_lambda, double d_eta)
+{
+    bp_assert(v < n_, "blocked update variable out of range");
+    double *W = scratch_->blockW.data();
+    double *C = scratch_->blockC.data();
+    double *w = W + pending_ * n_;
+    const double *cov = joint_->covariance.data();
+
+    // Column v of the *stored* covariance, from the lower triangle.
+    const double *rowv = cov + static_cast<std::size_t>(v) * n_;
+    for (std::size_t r = 0; r <= v; ++r)
+        w[r] = rowv[r];
+    for (std::size_t r = v + 1; r < n_; ++r)
+        w[r] = cov[r * n_ + v];
+
+    // Correct it to the current covariance: subtract each pending
+    // downdate's contribution.  This is the whole trick — the column
+    // is exactly what the sequential chain would read after applying
+    // the pending updates, without touching the n^2 matrix.
+    for (std::size_t i = 0; i < pending_; ++i) {
+        const double f = C[i] * W[i * n_ + v];
+        if (f == 0.0)
+            continue;
+        const double *wi = W + i * n_;
+        for (std::size_t r = 0; r < n_; ++r)
+            w[r] -= f * wi[r];
+    }
+
+    const double var_v = w[v];
+    if (!(var_v > 0.0))
+        return false;
+    const double dl_var = d_lambda * var_v;
+    const double denom = 1.0 + dl_var;
+    // Same conditioning guards as rank1SiteUpdate (see its comment).
+    if (!(denom > 0.05) || dl_var > 1e4)
+        return false;
+
+    // Mean update is exact and eager (the EP loop reads means between
+    // pushes); covariance is deferred.
+    double *mean = joint_->mean.data();
+    const double mean_gain = (d_eta - d_lambda * mean[v]) / denom;
+    for (std::size_t r = 0; r < n_; ++r)
+        mean[r] += mean_gain * w[r];
+
+    C[pending_] = d_lambda / denom;
+    ++pending_;
+    if (pending_ == blockSize_)
+        flush();
+    return true;
+}
+
+void
+BlockedJointUpdater::flush()
+{
+    if (pending_ == 0)
+        return;
+    double *cov = joint_->covariance.data();
+    const double *W = scratch_->blockW.data();
+    const double *C = scratch_->blockC.data();
+    // One pass over the lower triangle applying all pending outer
+    // products: the row stays cache-resident across the k inner
+    // sweeps, so main-memory traffic is one triangle read+write per
+    // flush instead of per update.
+    for (std::size_t r = 0; r < n_; ++r) {
+        double *row = cov + r * n_;
+        for (std::size_t i = 0; i < pending_; ++i) {
+            const double *wi = W + i * n_;
+            const double a = C[i] * wi[r];
+            if (a == 0.0)
+                continue;
+            for (std::size_t k = 0; k <= r; ++k)
+                row[k] -= a * wi[k];
+        }
+    }
+    ++flushes_;
+    pending_ = 0;
+}
+
 } // namespace graph
 } // namespace bperf

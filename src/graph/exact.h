@@ -54,6 +54,8 @@ struct SolverScratch
     std::vector<double> h;     // scaled information vector
     std::vector<double> chol;  // Cholesky factorization scratch
     std::vector<double> col;   // covariance column (rank-1 updates)
+    std::vector<double> blockW; // pending update columns (block x n)
+    std::vector<double> blockC; // pending downdate coefficients
     /** Buffer-growth events (allocation accounting for EpWorkspace). */
     std::size_t grows = 0;
 };
@@ -132,6 +134,69 @@ class GaussianSolver
     Matrix baseJ_;              // Gaussian backbone precision (scaled)
     std::vector<double> baseH_; // backbone information vector (scaled)
     std::size_t grows_ = 0;
+};
+
+/**
+ * Blocked (rank-k) variant of GaussianSolver::rank1SiteUpdate: defers
+ * up to `blockSize` site downdates and applies them to the stored
+ * lower triangle in one pass, cutting the memory traffic of the
+ * covariance sweep by the block factor (the rank-1 update is
+ * memory-bound).
+ *
+ * The algebra is exactly the sequential Sherman-Morrison chain: each
+ * push materializes the covariance column of its variable *as of all
+ * pending updates* (implicit correction against the pending block),
+ * so marginal variances, mean updates and conditioning guards see the
+ * same values the one-at-a-time path would — the two paths differ
+ * only by floating-point summation order.
+ *
+ * The joint's mean is kept current eagerly; its covariance is current
+ * only through marginalVariance()/flush().  Callers must flush()
+ * before reading covariance entries directly, and discard() before a
+ * full re-solve (which supersedes anything pending).
+ *
+ * Borrows the joint and scratch; one updater serves one EP run (or
+ * one partition lane).  Not thread-safe across lanes sharing a
+ * scratch.
+ */
+class BlockedJointUpdater
+{
+  public:
+    /** Largest supported block (bounds a stack buffer in flush). */
+    static constexpr std::size_t kMaxBlockSize = 64;
+
+    BlockedJointUpdater(GaussianJoint &joint, SolverScratch &scratch,
+                        std::size_t block_size);
+
+    /** Marginal variance of v as of all pending updates. */
+    double marginalVariance(VarId v) const;
+
+    /**
+     * Queue the site change (d_lambda, d_eta) on v.  Applies the mean
+     * update immediately and auto-flushes when the block fills.
+     * Returns false — leaving joint and block untouched — under the
+     * same conditioning guards as rank1SiteUpdate; the caller must
+     * then discard() and fall back to a full solve.
+     */
+    bool push(VarId v, double d_lambda, double d_eta);
+
+    /** Apply all pending downdates to the stored lower triangle. */
+    void flush();
+
+    /** Drop pending downdates (before a full re-solve). */
+    void discard() { pending_ = 0; }
+
+    std::size_t pending() const { return pending_; }
+    /** Lower-triangle passes performed (bench accounting). */
+    std::size_t flushes() const { return flushes_; }
+
+  private:
+    GaussianJoint *joint_;
+    SolverScratch *scratch_;
+    std::size_t blockSize_;
+    std::size_t n_;
+    std::size_t pending_ = 0;
+    std::size_t flushes_ = 0;
 };
 
 } // namespace graph

@@ -8,106 +8,183 @@
 namespace bperf {
 namespace graph {
 
+void
+FactorGraph::assignName(std::string &dst, std::string_view sv)
+{
+    if (dst.capacity() < sv.size())
+        ++grows_;
+    dst.assign(sv.data(), sv.size());
+}
+
 VarId
-FactorGraph::addVariable(std::string name, double scale_hint)
+FactorGraph::addVariable(std::string_view name, double scale_hint)
 {
     bp_assert(scale_hint > 0.0, "scale hint must be positive");
-    Variable v;
-    v.id = static_cast<VarId>(variables_.size());
-    v.name = std::move(name);
+    const VarId id = static_cast<VarId>(liveVariables_);
+    if (liveVariables_ == variables_.size()) {
+        ++grows_;
+        variables_.emplace_back();
+        varFactors_.emplace_back();
+    }
+    Variable &v = variables_[liveVariables_];
+    v.id = id;
+    assignName(v.name, name);
     v.scaleHint = scale_hint;
-    variables_.push_back(std::move(v));
-    varFactors_.emplace_back();
-    return variables_.back().id;
+    varFactors_[liveVariables_].clear();
+    ++liveVariables_;
+    return id;
+}
+
+Factor &
+FactorGraph::claimFactor(FactorKind kind, std::string_view name)
+{
+    if (liveFactors_ == factors_.size()) {
+        ++grows_;
+        factors_.emplace_back();
+    }
+    Factor &f = factors_[liveFactors_];
+    f.id = static_cast<FactorId>(liveFactors_);
+    f.kind = kind;
+    assignName(f.name, name);
+    f.vars.clear();
+    f.coeffs.clear();
+    f.offset = 0.0;
+    f.noiseStd = 1.0;
+    f.loc = 0.0;
+    f.scale = 1.0;
+    f.nu = 3.0;
+    ++liveFactors_;
+    return f;
 }
 
 FactorId
-FactorGraph::addLinearGaussian(std::string name,
-                               std::vector<std::pair<VarId, double>> terms,
+FactorGraph::addLinearGaussian(std::string_view name,
+                               std::span<const VarId> vars,
+                               std::span<const double> coeffs,
+                               double offset, double noise_std)
+{
+    bp_assert(!vars.empty(), "linear factor needs terms");
+    bp_assert(vars.size() == coeffs.size(),
+              "vars/coeffs length mismatch");
+    bp_assert(noise_std > 0.0, "linear factor needs positive noise");
+    Factor &f = claimFactor(FactorKind::LinearGaussian, name);
+    if (f.vars.capacity() < vars.size())
+        ++grows_;
+    if (f.coeffs.capacity() < coeffs.size())
+        ++grows_;
+    for (VarId v : vars) {
+        bp_assert(v < liveVariables_, "factor references missing var");
+        f.vars.push_back(v);
+    }
+    f.coeffs.assign(coeffs.begin(), coeffs.end());
+    f.offset = offset;
+    f.noiseStd = noise_std;
+    attach(f.id);
+    return f.id;
+}
+
+FactorId
+FactorGraph::addLinearGaussian(std::string_view name,
+                               const std::vector<std::pair<VarId, double>>
+                                   &terms,
                                double offset, double noise_std)
 {
     bp_assert(!terms.empty(), "linear factor needs terms");
     bp_assert(noise_std > 0.0, "linear factor needs positive noise");
-    Factor f;
-    f.id = static_cast<FactorId>(factors_.size());
-    f.kind = FactorKind::LinearGaussian;
-    f.name = std::move(name);
+    Factor &f = claimFactor(FactorKind::LinearGaussian, name);
+    if (f.vars.capacity() < terms.size())
+        ++grows_;
+    if (f.coeffs.capacity() < terms.size())
+        ++grows_;
     for (const auto &[v, c] : terms) {
-        bp_assert(v < variables_.size(), "factor references missing var");
+        bp_assert(v < liveVariables_, "factor references missing var");
         f.vars.push_back(v);
         f.coeffs.push_back(c);
     }
     f.offset = offset;
     f.noiseStd = noise_std;
-    factors_.push_back(std::move(f));
-    attach(factors_.back().id);
-    return factors_.back().id;
+    attach(f.id);
+    return f.id;
 }
 
 FactorId
-FactorGraph::addStudentT(std::string name, VarId var, double loc,
+FactorGraph::addStudentT(std::string_view name, VarId var, double loc,
                          double scale, double nu)
 {
-    bp_assert(var < variables_.size(), "factor references missing var");
+    bp_assert(var < liveVariables_, "factor references missing var");
     bp_assert(scale > 0.0 && nu > 0.0, "bad Student-t parameters");
-    Factor f;
-    f.id = static_cast<FactorId>(factors_.size());
-    f.kind = FactorKind::StudentT;
-    f.name = std::move(name);
-    f.vars = {var};
+    Factor &f = claimFactor(FactorKind::StudentT, name);
+    if (f.vars.capacity() < 1)
+        ++grows_;
+    f.vars.push_back(var);
     f.loc = loc;
     f.scale = scale;
     f.nu = nu;
-    factors_.push_back(std::move(f));
-    attach(factors_.back().id);
-    return factors_.back().id;
+    attach(f.id);
+    return f.id;
 }
 
 FactorId
-FactorGraph::addGaussianPrior(std::string name, VarId var, double mean,
-                              double stddev)
+FactorGraph::addGaussianPrior(std::string_view name, VarId var,
+                              double mean, double stddev)
 {
-    bp_assert(var < variables_.size(), "factor references missing var");
+    bp_assert(var < liveVariables_, "factor references missing var");
     bp_assert(stddev > 0.0, "bad prior stddev");
-    Factor f;
-    f.id = static_cast<FactorId>(factors_.size());
-    f.kind = FactorKind::GaussianPrior;
-    f.name = std::move(name);
-    f.vars = {var};
+    Factor &f = claimFactor(FactorKind::GaussianPrior, name);
+    if (f.vars.capacity() < 1)
+        ++grows_;
+    f.vars.push_back(var);
     f.loc = mean;
     f.scale = stddev;
-    factors_.push_back(std::move(f));
-    attach(factors_.back().id);
-    return factors_.back().id;
+    attach(f.id);
+    return f.id;
+}
+
+void
+FactorGraph::reset()
+{
+    liveVariables_ = 0;
+    liveFactors_ = 0;
+    for (auto &index : kindFactors_)
+        index.clear();
+    // varFactors_ rows are cleared lazily as addVariable reclaims
+    // their slots; retained slots keep strings and term vectors.
 }
 
 void
 FactorGraph::attach(FactorId fid)
 {
-    for (VarId v : factors_[fid].vars)
-        varFactors_[v].push_back(fid);
-    kindFactors_[static_cast<std::size_t>(factors_[fid].kind)].push_back(
-        fid);
+    for (VarId v : factors_[fid].vars) {
+        auto &row = varFactors_[v];
+        if (row.size() == row.capacity())
+            ++grows_;
+        row.push_back(fid);
+    }
+    auto &index =
+        kindFactors_[static_cast<std::size_t>(factors_[fid].kind)];
+    if (index.size() == index.capacity())
+        ++grows_;
+    index.push_back(fid);
 }
 
 const Variable &
 FactorGraph::variable(VarId v) const
 {
-    bp_assert(v < variables_.size(), "variable id out of range");
+    bp_assert(v < liveVariables_, "variable id out of range");
     return variables_[v];
 }
 
 const Factor &
 FactorGraph::factor(FactorId f) const
 {
-    bp_assert(f < factors_.size(), "factor id out of range");
+    bp_assert(f < liveFactors_, "factor id out of range");
     return factors_[f];
 }
 
 const std::vector<FactorId> &
 FactorGraph::factorsOf(VarId v) const
 {
-    bp_assert(v < variables_.size(), "variable id out of range");
+    bp_assert(v < liveVariables_, "variable id out of range");
     return varFactors_[v];
 }
 
@@ -142,13 +219,13 @@ FactorGraph::markovBlanketOfSet(const std::set<VarId> &vars) const
 std::vector<VarId>
 FactorGraph::shortestPath(VarId from, VarId to) const
 {
-    bp_assert(from < variables_.size() && to < variables_.size(),
+    bp_assert(from < liveVariables_ && to < liveVariables_,
               "path endpoints out of range");
     if (from == to)
         return {from};
 
-    std::vector<VarId> parent(variables_.size(), kNoVar);
-    std::vector<bool> visited(variables_.size(), false);
+    std::vector<VarId> parent(liveVariables_, kNoVar);
+    std::vector<bool> visited(liveVariables_, false);
     std::deque<VarId> queue{from};
     visited[from] = true;
 

@@ -7,6 +7,14 @@
  * relationships between them.  Besides holding the model it provides
  * the structural queries the scheduler needs — Markov blankets and
  * shortest variable-to-variable paths.
+ *
+ * Graphs are rebuilt per sliding window, so the container recycles:
+ * reset() drops the logical contents but keeps every buffer (variable
+ * and factor slots, their name strings, term vectors, adjacency rows),
+ * and subsequent add*() calls reuse those slots in place.  A
+ * steady-state window rebuild therefore allocates nothing — the
+ * bufferGrows() counter, which ticks once per underlying buffer
+ * growth, is the invariant the engine tests assert.
  */
 
 #ifndef BPERF_GRAPH_FACTOR_GRAPH_H
@@ -16,7 +24,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <set>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace bperf {
@@ -80,28 +90,49 @@ class FactorGraph
 {
   public:
     /** Add a variable; returns its id. */
-    VarId addVariable(std::string name, double scale_hint);
+    VarId addVariable(std::string_view name, double scale_hint);
 
     /** Add `sum coeff_i x_i + offset ~ N(0, noise_std^2)`. */
-    FactorId addLinearGaussian(std::string name,
-                               std::vector<std::pair<VarId, double>> terms,
+    FactorId addLinearGaussian(std::string_view name,
+                               std::span<const VarId> vars,
+                               std::span<const double> coeffs,
+                               double offset, double noise_std);
+
+    /** Convenience overload taking (var, coeff) pairs. */
+    FactorId addLinearGaussian(std::string_view name,
+                               const std::vector<std::pair<VarId, double>>
+                                   &terms,
                                double offset, double noise_std);
 
     /** Add a Student-t measurement factor on one variable. */
-    FactorId addStudentT(std::string name, VarId var, double loc,
+    FactorId addStudentT(std::string_view name, VarId var, double loc,
                          double scale, double nu);
 
     /** Add a Gaussian prior on one variable. */
-    FactorId addGaussianPrior(std::string name, VarId var, double mean,
-                              double stddev);
+    FactorId addGaussianPrior(std::string_view name, VarId var,
+                              double mean, double stddev);
 
-    std::size_t numVariables() const { return variables_.size(); }
-    std::size_t numFactors() const { return factors_.size(); }
+    /**
+     * Empty the graph logically while retaining every buffer: the
+     * variable/factor slot arrays keep their slots (and those slots
+     * keep their strings and term vectors), adjacency rows keep their
+     * capacity.  The next build cycle refills them in place.
+     */
+    void reset();
+
+    std::size_t numVariables() const { return liveVariables_; }
+    std::size_t numFactors() const { return liveFactors_; }
 
     const Variable &variable(VarId v) const;
     const Factor &factor(FactorId f) const;
-    const std::vector<Variable> &variables() const { return variables_; }
-    const std::vector<Factor> &factors() const { return factors_; }
+    std::span<const Variable> variables() const
+    {
+        return {variables_.data(), liveVariables_};
+    }
+    std::span<const Factor> factors() const
+    {
+        return {factors_.data(), liveFactors_};
+    }
 
     /** Factors attached to a variable. */
     const std::vector<FactorId> &factorsOf(VarId v) const;
@@ -113,6 +144,15 @@ class FactorGraph
      * instead of filtering the full factor list.
      */
     const std::vector<FactorId> &factorsOfKind(FactorKind kind) const;
+
+    /**
+     * Cumulative buffer-growth events: ticks whenever an add*() call
+     * had to grow an underlying buffer (new slot, longer name, more
+     * terms than the recycled slot ever held).  Constant across
+     * steady-state reset()/rebuild cycles — the zero-allocation
+     * invariant the window engine asserts.
+     */
+    std::size_t bufferGrows() const { return grows_; }
 
     /**
      * Markov blanket of a variable: all variables co-occurring with it
@@ -131,13 +171,22 @@ class FactorGraph
     std::vector<VarId> shortestPath(VarId from, VarId to) const;
 
   private:
+    /** Claim the next factor slot (recycled or new) for `kind`. */
+    Factor &claimFactor(FactorKind kind, std::string_view name);
     void attach(FactorId f);
+    /** Copy `sv` into `dst` reusing its capacity. */
+    void assignName(std::string &dst, std::string_view sv);
 
     std::vector<Variable> variables_;
     std::vector<Factor> factors_;
     std::vector<std::vector<FactorId>> varFactors_;
     /** Indexed by static_cast<std::size_t>(FactorKind). */
     std::array<std::vector<FactorId>, kFactorKindCount> kindFactors_;
+
+    /** Logical sizes; slots beyond them are retained for reuse. */
+    std::size_t liveVariables_ = 0;
+    std::size_t liveFactors_ = 0;
+    std::size_t grows_ = 0;
 };
 
 } // namespace graph

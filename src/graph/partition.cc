@@ -1,0 +1,57 @@
+#include "graph/partition.h"
+
+#include "common/logging.h"
+
+namespace bperf {
+namespace graph {
+
+std::size_t
+PartitionPlan::maxPartitionSites() const
+{
+    std::size_t max = 0;
+    for (std::size_t c : siteCounts)
+        max = std::max(max, c);
+    return max;
+}
+
+void
+partitionSites(const FactorGraph &graph, std::size_t partitions,
+               PartitionPlan &plan)
+{
+    const std::size_t n = graph.numVariables();
+    std::size_t p_count = partitions == 0 ? 1 : partitions;
+    if (n > 0)
+        p_count = std::min(p_count, n);
+
+    plan.numPartitions = p_count;
+    plan.siteCounts.assign(p_count, 0);
+
+    const auto &sites = graph.factorsOfKind(FactorKind::StudentT);
+    if (plan.partitionOfSite.capacity() < sites.size())
+        plan.partitionOfSite.reserve(sites.size());
+    plan.partitionOfSite.clear();
+    for (FactorId f : sites) {
+        const Factor &factor = graph.factor(f);
+        bp_assert(factor.vars.size() == 1,
+                  "StudentT site must bind one variable");
+        const VarId v = factor.vars[0];
+        // Contiguous id ranges: p(v) = floor(v * P / n).  Ids are
+        // slice-major, so ranges are time-slice bands.
+        const std::size_t p =
+            n == 0 ? 0
+                   : (static_cast<std::size_t>(v) * p_count) / n;
+        plan.partitionOfSite.push_back(static_cast<std::uint32_t>(p));
+        ++plan.siteCounts[p];
+    }
+}
+
+PartitionPlan
+partitionSites(const FactorGraph &graph, std::size_t partitions)
+{
+    PartitionPlan plan;
+    partitionSites(graph, partitions, plan);
+    return plan;
+}
+
+} // namespace graph
+} // namespace bperf

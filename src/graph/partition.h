@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Graph-partitioning pass shared by the host EP engine and the
+ * modeled accelerator (accel::Accelerator).
+ *
+ * The paper's FPGA runs EP site updates on parallel per-slice
+ * engines; the host path mirrors that by splitting the window graph's
+ * variables into P contiguous id ranges.  Variable ids are slice-
+ * major (model_builder lays out (slice, event) row by row), so
+ * contiguous ranges are contiguous time-slice bands — exactly the
+ * paper's per-slice engine assignment — and every Student-t site
+ * lands in the partition of its (single) variable.
+ *
+ * The plan is deterministic in the graph alone (no RNG, no thread
+ * count), which is what lets partition-parallel EP merge results
+ * bit-identically across any number of worker threads, and lets the
+ * accelerator model consume the same load distribution the host ran.
+ */
+
+#ifndef BPERF_GRAPH_PARTITION_H
+#define BPERF_GRAPH_PARTITION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/factor_graph.h"
+
+namespace bperf {
+namespace graph {
+
+/** Site-to-partition assignment of one graph. */
+struct PartitionPlan
+{
+    std::size_t numPartitions = 1;
+    /** Partition of each Student-t site, indexed by the site's
+     * position in factorsOfKind(StudentT) insertion order. */
+    std::vector<std::uint32_t> partitionOfSite;
+    /** Sites per partition. */
+    std::vector<std::size_t> siteCounts;
+
+    /** Heaviest partition's site count (the accelerator's critical
+     * path; 0 for a plan with no sites). */
+    std::size_t maxPartitionSites() const;
+};
+
+/**
+ * Assign the graph's Student-t sites to `partitions` contiguous
+ * variable-id ranges, reusing `plan`'s storage (allocation-free at
+ * steady state).  `partitions` is clamped to [1, numVariables].
+ */
+void partitionSites(const FactorGraph &graph, std::size_t partitions,
+                    PartitionPlan &plan);
+
+/** Convenience overload building a fresh plan. */
+PartitionPlan partitionSites(const FactorGraph &graph,
+                             std::size_t partitions);
+
+} // namespace graph
+} // namespace bperf
+
+#endif // BPERF_GRAPH_PARTITION_H

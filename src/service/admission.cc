@@ -129,7 +129,8 @@ AdmissionController::admitSession(const std::string &name)
     // drained pool would shed every future open forever).
     if (config_.shedQueueSeconds > 0.0 && backend_ != nullptr &&
         totalLiveSessions_ > 0) {
-        const core::BackendQueueDepth depth = backend_->queueDepth();
+        const core::BackendQueueDepth depth =
+            backend_->queueDepth(lastStreamSeconds_);
         const double now =
             std::max(depth.nowSeconds, lastStreamSeconds_);
         if (depth.queueSecondsAt(now) > config_.shedQueueSeconds) {
@@ -199,7 +200,8 @@ AdmissionController::admitRecord(const std::string &name,
     // Latency feedback first: a saturated pool sheds regardless of
     // how many tokens the tenant has banked.
     if (config_.throttleQueueSeconds > 0.0 && backend_ != nullptr) {
-        const core::BackendQueueDepth depth = backend_->queueDepth();
+        const core::BackendQueueDepth depth =
+            backend_->queueDepth(streamSeconds);
         if (depth.queueSecondsAt(streamSeconds) >
             config_.throttleQueueSeconds) {
             ++t.stats.recordsShed;
@@ -280,8 +282,14 @@ AdmissionController::tenantStats(const std::string &name) const
 core::BackendQueueDepth
 AdmissionController::backendQueue() const
 {
-    return backend_ != nullptr ? backend_->queueDepth()
-                               : core::BackendQueueDepth{};
+    if (backend_ == nullptr)
+        return core::BackendQueueDepth{};
+    double now = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        now = lastStreamSeconds_;
+    }
+    return backend_->queueDepth(now);
 }
 
 } // namespace service

@@ -317,7 +317,9 @@ MonitorService::stats() const
     out.totals = closedTotals_;
     out.backendName = backend_->name();
     out.backend = backend_->stats();
-    out.backendQueue = backend_->queueDepth();
+    // Read the backlog at the controller's stream clock so an idle
+    // service reports a drained queue, not the last-release snapshot.
+    out.backendQueue = admission_.backendQueue();
     out.admission = admission_.stats();
     if (snapshot_)
         out.snapshot = snapshot_->stats();

@@ -19,6 +19,7 @@ readStatusName(ReadStatus status)
       case ReadStatus::Ok: return "ok";
       case ReadStatus::NotFound: return "not-found";
       case ReadStatus::Torn: return "torn";
+      case ReadStatus::WriterDead: return "writer-dead";
     }
     return "unknown";
 }
@@ -124,10 +125,20 @@ SnapshotReader::peekSlot(std::size_t slot, std::uint64_t &session_id,
                          std::size_t max_retries) const
 {
     const SlotHeader *s = slotAt(base_, layout_, slot);
+    // Distinguish a live writer from a dead one: if every attempt
+    // observes the *same odd* sequence, the publish never progressed
+    // and the writer is gone (see ReadStatus::WriterDead).
+    std::uint64_t odd_seq = 0;
+    std::size_t odd_stuck = 0;
     for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
         const std::uint64_t s1 = s->seq.load(std::memory_order_acquire);
-        if (s1 & 1)
+        if (s1 & 1) {
+            if (attempt == 0 || s1 == odd_seq) {
+                odd_seq = s1;
+                ++odd_stuck;
+            }
             continue;
+        }
         if (s1 == 0)
             return ReadStatus::NotFound;
         const std::uint64_t active =
@@ -142,7 +153,8 @@ SnapshotReader::peekSlot(std::size_t slot, std::uint64_t &session_id,
         session_id = id;
         return ReadStatus::Ok;
     }
-    return ReadStatus::Torn;
+    return odd_stuck == max_retries + 1 ? ReadStatus::WriterDead
+                                        : ReadStatus::Torn;
 }
 
 ReadStatus
@@ -156,10 +168,20 @@ SnapshotReader::readSlot(std::size_t slot, PosteriorSnapshot &out,
     // Reused across retry attempts, so a contended read does not
     // reallocate its counters vector per attempt.
     PosteriorSnapshot snap;
+    // Same dead-writer detection as peekSlot: an odd sequence that
+    // never moves across the whole retry budget is a writer that died
+    // mid-publish, not contention.
+    std::uint64_t odd_seq = 0;
+    std::size_t odd_stuck = 0;
     for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
         const std::uint64_t s1 = s->seq.load(std::memory_order_acquire);
-        if (s1 & 1)
+        if (s1 & 1) {
+            if (attempt == 0 || s1 == odd_seq) {
+                odd_seq = s1;
+                ++odd_stuck;
+            }
             continue; // write in flight
+        }
         if (s1 == 0)
             return ReadStatus::NotFound; // never published
 
@@ -215,7 +237,8 @@ SnapshotReader::readSlot(std::size_t slot, PosteriorSnapshot &out,
         out = std::move(snap);
         return ReadStatus::Ok;
     }
-    return ReadStatus::Torn;
+    return odd_stuck == max_retries + 1 ? ReadStatus::WriterDead
+                                        : ReadStatus::Torn;
 }
 
 ReadStatus
@@ -223,6 +246,7 @@ SnapshotReader::read(std::uint64_t session_id, PosteriorSnapshot &out,
                      std::size_t max_retries) const
 {
     bool torn = false;
+    bool writer_dead = false;
     for (std::size_t slot = 0; slot < slots_; ++slot) {
         // Cheap probe first: only the target slot's full payload
         // (and its counters vector) is copied, so the scan stays a
@@ -231,6 +255,10 @@ SnapshotReader::read(std::uint64_t session_id, PosteriorSnapshot &out,
         const ReadStatus peek = peekSlot(slot, id, max_retries);
         if (peek == ReadStatus::Torn) {
             torn = true;
+            continue;
+        }
+        if (peek == ReadStatus::WriterDead) {
+            writer_dead = true;
             continue;
         }
         if (peek != ReadStatus::Ok || id != session_id)
@@ -245,6 +273,10 @@ SnapshotReader::read(std::uint64_t session_id, PosteriorSnapshot &out,
             torn = true;
             continue;
         }
+        if (status == ReadStatus::WriterDead) {
+            writer_dead = true;
+            continue;
+        }
         // The slot may have been invalidated or handed to another
         // session between probe and copy; keep scanning if so.
         if (status == ReadStatus::Ok && snap.sessionId == session_id) {
@@ -252,8 +284,13 @@ SnapshotReader::read(std::uint64_t session_id, PosteriorSnapshot &out,
             return ReadStatus::Ok;
         }
     }
-    // A torn slot could have been the session's; report it so the
-    // consumer retries instead of concluding the session is gone.
+    // A torn or dead slot could have been the session's; report the
+    // strongest signal so the consumer reacts correctly — WriterDead
+    // over Torn (a dead writer never resolves; a retry loop keyed on
+    // Torn would spin forever), Torn over NotFound (the consumer
+    // should retry instead of concluding the session is gone).
+    if (writer_dead)
+        return ReadStatus::WriterDead;
     return torn ? ReadStatus::Torn : ReadStatus::NotFound;
 }
 

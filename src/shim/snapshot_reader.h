@@ -43,14 +43,18 @@ enum class ReadStatus
     /** No active slot holds the session (never published, or the
      * session closed and its slot was invalidated). */
     NotFound,
-    /** Retries exhausted without a stable sequence; try again.
-     * Transient against a live (or descheduled mid-publish) writer —
-     * but *persistent* if the writer died mid-publish, which leaves
-     * that one slot's sequence odd forever.  Consumers should treat
-     * a slot that stays Torn across polls spanning seconds as lost,
-     * not as contended; the two cases are indistinguishable within
-     * one read's bounded retries. */
+    /** Retries exhausted without a stable sequence, but the sequence
+     * *moved* while we watched: a live writer is publishing under us
+     * (or was descheduled between moves).  Transient; try again. */
     Torn,
+    /** The slot's sequence was odd — a publish in flight — and never
+     * changed across the entire retry budget.  A live seqlock writer
+     * advances the sequence within a handful of reader iterations, so
+     * a frozen odd sequence means the writer died (or was killed)
+     * mid-publish, leaving the slot odd forever.  Persistent until
+     * the daemon restarts and reinitialises the segment; consumers
+     * should treat the session as lost, not poll it as contended. */
+    WriterDead,
 };
 
 /** Stable identifier of a ReadStatus (logs, tables, tests). */

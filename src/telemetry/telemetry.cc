@@ -1,5 +1,6 @@
 #include "telemetry/telemetry.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -75,16 +76,20 @@ Histogram::Snapshot::percentile(double p) const
         std::ceil(p / 100.0 * static_cast<double>(count)));
     if (rank == 0)
         rank = 1;
+    // Clamp bucket midpoints to the largest recorded value: a rank
+    // landing in the top occupied bucket must never report a latency
+    // the pipeline did not produce.
+    const double max_seen = static_cast<double>(maxValue);
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < kBuckets; ++b) {
         cumulative += buckets[b];
         if (cumulative >= rank) {
             if (b == 1)
                 return 1.0; // bucket 1 holds exactly the value 1
-            return bucketRepresentative(b);
+            return std::min(bucketRepresentative(b), max_seen);
         }
     }
-    return bucketRepresentative(kBuckets - 1);
+    return std::min(bucketRepresentative(kBuckets - 1), max_seen);
 }
 
 Histogram::Snapshot
@@ -98,6 +103,8 @@ Histogram::snapshot() const
             snap.buckets[b] += n;
             snap.count += n;
         }
+        snap.maxValue = std::max(
+            snap.maxValue, s.maxValue.load(std::memory_order_relaxed));
     }
     return snap;
 }
@@ -105,9 +112,11 @@ Histogram::snapshot() const
 void
 Histogram::reset()
 {
-    for (Shard &s : shards_)
+    for (Shard &s : shards_) {
         for (auto &bucket : s.buckets)
             bucket.store(0, std::memory_order_relaxed);
+        s.maxValue.store(0, std::memory_order_relaxed);
+    }
 }
 
 Counter &

@@ -148,20 +148,36 @@ class Histogram
     /** Record one sample; a relaxed load + branch when disabled. */
     void record(std::uint64_t v)
     {
-        if (enabled())
-            shards_[detail::shardIndex()]
-                .buckets[bucketIndex(v)]
-                .fetch_add(1, std::memory_order_relaxed);
+        if (!enabled())
+            return;
+        Shard &shard = shards_[detail::shardIndex()];
+        shard.buckets[bucketIndex(v)].fetch_add(
+            1, std::memory_order_relaxed);
+        // Track the largest observed value so percentiles can clamp
+        // their bucket representative to something actually recorded.
+        std::uint64_t seen =
+            shard.maxValue.load(std::memory_order_relaxed);
+        while (v > seen && !shard.maxValue.compare_exchange_weak(
+                               seen, v, std::memory_order_relaxed))
+            ;
     }
 
     /** Merged view of the histogram at one scrape. */
     struct Snapshot
     {
         std::uint64_t count = 0;
+        /** Largest value recorded (0 when empty). */
+        std::uint64_t maxValue = 0;
         std::array<std::uint64_t, kBuckets> buckets{};
 
-        /** Approximate percentile (geometric bucket midpoint); NaN
-         * when the histogram is empty. */
+        /**
+         * Approximate percentile; NaN when the histogram is empty.
+         * The reported value is the geometric midpoint of the bucket
+         * the rank lands in, clamped to maxValue — without the clamp
+         * a top-bucket midpoint can exceed every recorded value by up
+         * to sqrt(2)x, which turned tail latencies into values the
+         * pipeline never produced.
+         */
         double percentile(double p) const;
     };
 
@@ -174,6 +190,8 @@ class Histogram
     struct alignas(64) Shard
     {
         std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+        /** Largest value this shard has recorded. */
+        std::atomic<std::uint64_t> maxValue{0};
     };
     std::array<Shard, detail::kShards> shards_{};
 };

@@ -256,6 +256,55 @@ TEST(AdmissionController, SessionShedWhenPoolSaturated)
     EXPECT_EQ(admission.admitSession("u"), AdmissionError::None);
 }
 
+/**
+ * Regression: queueDepth() used to evaluate the backlog at the pool's
+ * own *last release* clock, so a pool left idle reported a phantom
+ * queue forever — records arriving after a long gap in the stream
+ * were shed against work that had long since drained.  The query now
+ * takes the caller's stream clock, clamped against the release clock.
+ */
+TEST(AdmissionController, IdleGapDrainsPhantomQueueDepth)
+{
+    accel::AccelBackendConfig pool;
+    pool.numEngines = 1;
+    pool.slicePeriodSeconds = 1e-3;
+    accel::AccelBackend backend(pool);
+
+    core::WindowJob job;
+    job.endSlice = 0;
+    job.windowSlices = 6;
+    job.numVariables = 20;
+    job.numSites = 30;
+    job.numSweeps = 6;
+    job.inputBytes = 1024;
+    for (int i = 0; i < 4; ++i)
+        backend.execute(job);
+
+    // At the release clock the backlog is real...
+    const double backlog = backend.queueDepth().queueSeconds;
+    ASSERT_GT(backlog, 0.0);
+    ASSERT_LT(backlog, 50.0);
+    // ...but a query from a stream clock far past it must see it
+    // drained, not frozen at the moment of the last release.
+    EXPECT_DOUBLE_EQ(backend.queueDepth(50.0).queueSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(backend.queueDepth(50.0).totalBacklogSeconds, 0.0);
+    // The release clock still wins for queries from the past: a
+    // caller clock behind the pool's own never resurrects capacity.
+    EXPECT_DOUBLE_EQ(backend.queueDepth(0.0).queueSeconds, backlog);
+
+    // End to end through admission: the saturated pool sheds at the
+    // time of the burst, and the same tenant's records flow again
+    // once the stream clock has moved past the drained backlog.
+    AdmissionConfig cfg;
+    cfg.enabled = true;
+    cfg.slicePeriodSeconds = pool.slicePeriodSeconds;
+    cfg.throttleQueueSeconds = backlog / 2.0;
+    AdmissionController admission(cfg, &backend);
+    EXPECT_EQ(admission.admitRecord("t", 0.0),
+              AdmissionError::BackendSaturated);
+    EXPECT_EQ(admission.admitRecord("t", 50.0), AdmissionError::None);
+}
+
 TEST(MonitorService, QuotaExceededOpenReturnsTypedError)
 {
     MonitorServiceConfig cfg;

@@ -88,10 +88,21 @@ TEST(JsonWriter, EpWindowBenchSchemaIsValid)
         .field("events", 13)
         .field("window_slices", 6)
         .field("joint_size", 78)
-        .field("us_per_window_fast", 2700.5)
+        .field("quad_kernel", "avx2")
+        .field("block_size", 8)
+        .field("partitions", 2)
+        .field("us_per_window_fast", 730.5)
+        .field("us_per_window_scalar", 4500.0)
+        .field("us_per_window_partitioned", 3100.0)
         .field("us_per_window_dense", 45000.25)
         .field("us_per_window_mcmc", 30000.0)
         .field("speedup_fast_vs_dense", 16.66)
+        .field("speedup_simd_vs_scalar", 6.15)
+        .field("moment_evals_per_window", 293.0)
+        .field("rank1_updates_per_window", 292.0)
+        .field("full_solves_per_window", 2.0)
+        .field("block_flushes_per_window", 37.0)
+        .field("buffer_growths", 1205)
         .field("quadrature_us", 1.25)
         .field("rank1_update_us", 10.5)
         .field("full_solve_us", 120.75)
@@ -99,8 +110,10 @@ TEST(JsonWriter, EpWindowBenchSchemaIsValid)
     const std::string doc = json.str();
     EXPECT_TRUE(JsonChecker(doc).valid());
     for (const char *key :
-         {"events", "window_slices", "joint_size", "us_per_window_fast",
-          "us_per_window_dense", "speedup_fast_vs_dense"})
+         {"events", "window_slices", "joint_size", "quad_kernel",
+          "us_per_window_fast", "us_per_window_scalar",
+          "us_per_window_dense", "speedup_fast_vs_dense",
+          "speedup_simd_vs_scalar", "buffer_growths"})
         EXPECT_NE(doc.find('"' + std::string(key) + "\": "),
                   std::string::npos)
             << key;

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -219,6 +220,30 @@ TEST(SnapshotReader, TornWritesRetriedNeverReturned)
     (void)retried_reads; // informational; contention is not guaranteed
 }
 
+TEST(SnapshotReader, FrozenOddSequenceReportsWriterDead)
+{
+    SnapshotRegion region(SnapshotRegionConfig{2, 4});
+    // Forge a stalled publish: bump the slot sequence to odd and
+    // leave it there, exactly the state a writer dying mid-burst
+    // leaves behind.
+    auto *slot = slotAt(const_cast<std::byte *>(region.base()),
+                        region.layout(), 1);
+    slot->sessionId.store(9, std::memory_order_relaxed);
+    slot->active.store(1, std::memory_order_relaxed);
+    slot->seq.store(1, std::memory_order_release);
+
+    SnapshotReader reader(region);
+    PosteriorSnapshot snap;
+    EXPECT_EQ(reader.readSlot(1, snap), ReadStatus::WriterDead);
+    // The by-session scan reports the dead slot over NotFound: the
+    // stalled slot *could* hold the requested session, and a retry
+    // loop keyed on Torn would spin forever against it.
+    EXPECT_EQ(reader.read(9, snap), ReadStatus::WriterDead);
+    // Untouched slots are unaffected.
+    EXPECT_EQ(reader.readSlot(0, snap), ReadStatus::NotFound);
+    EXPECT_STREQ(readStatusName(ReadStatus::WriterDead), "writer-dead");
+}
+
 TEST(SnapshotReader, AttachToMissingSegmentFails)
 {
     EXPECT_FALSE(
@@ -368,6 +393,50 @@ TEST(SnapshotCrossProcess, ForkedChildReadsBitIdenticalSnapshot)
         EXPECT_EQ(counters[i].stddevBits,
                   doubleBits(posterior[i].stddev));
     }
+}
+
+TEST(SnapshotCrossProcess, WriterKilledMidPublishReportsWriterDead)
+{
+    const std::string name = uniqueShmName("dead");
+    SnapshotRegion region(SnapshotRegionConfig{4, 8}, name);
+
+    // A healthy session in slot 0: the dead slot must not hide it.
+    const std::vector<sim::EventId> events = {3};
+    const std::vector<core::PosteriorPoint> posterior = {{2.5, 0.5}};
+    region.write(0, /*session_id=*/7, /*window_index=*/1,
+                 /*end_slice=*/5, sampleExecution(), events, posterior,
+                 /*publish_nanos=*/10);
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: begin publishing session 42 into slot 2 of the
+        // shared named segment, then die before the closing sequence
+        // increment — the slot stays odd forever.
+        auto *slot = slotAt(const_cast<std::byte *>(region.base()),
+                            region.layout(), 2);
+        slot->sessionId.store(42, std::memory_order_relaxed);
+        slot->active.store(1, std::memory_order_relaxed);
+        slot->seq.store(1, std::memory_order_release);
+        ::kill(::getpid(), SIGKILL);
+        ::_exit(9); // unreachable
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+    SnapshotReader reader(region);
+    PosteriorSnapshot snap;
+    // The killed writer's slot is reported dead, not endlessly torn.
+    EXPECT_EQ(reader.readSlot(2, snap), ReadStatus::WriterDead);
+    EXPECT_EQ(reader.read(42, snap), ReadStatus::WriterDead);
+    // The live session still reads fine through the same scan.
+    ASSERT_EQ(reader.read(7, snap), ReadStatus::Ok);
+    EXPECT_EQ(snap.sessionId, 7u);
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(doubleBits(snap.counters[0].posterior.mean),
+              doubleBits(2.5));
 }
 
 #endif // !BPERF_TSAN

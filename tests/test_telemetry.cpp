@@ -106,6 +106,45 @@ TEST(Histogram, PercentilesStayInsideTheirBucket)
     EXPECT_LT(m.percentile(99.0), 16384.0);
 }
 
+TEST(Histogram, PercentilesNeverExceedRecordedMax)
+{
+    EnabledGuard guard;
+    setEnabled(true);
+
+    // Regression: a value just past a power of two lands in a bucket
+    // whose geometric midpoint overshoots it — 8200 sits in
+    // [8192, 16384) with midpoint ~11585, so the old code reported a
+    // p99 ~41% above anything ever recorded.
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(8200);
+    const Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.maxValue, 8200u);
+    for (double p : {1.0, 50.0, 99.0, 100.0}) {
+        const double v = snap.percentile(p);
+        EXPECT_GE(v, 8192.0) << p;
+        EXPECT_LE(v, 8200.0) << p;
+    }
+
+    // Mixed magnitudes: the clamp binds only to the overall max, so
+    // mid-distribution percentiles keep their bucket midpoints while
+    // the tail stays at or below the largest sample.
+    Histogram mixed;
+    for (int i = 0; i < 90; ++i)
+        mixed.record(100);
+    mixed.record(1 << 20);
+    const Histogram::Snapshot m = mixed.snapshot();
+    EXPECT_EQ(m.maxValue, std::uint64_t{1} << 20);
+    EXPECT_LT(m.percentile(50.0), 128.0);
+    EXPECT_LE(m.percentile(100.0),
+              static_cast<double>(std::uint64_t{1} << 20));
+
+    // reset() clears the tracked max along with the buckets.
+    mixed.reset();
+    EXPECT_EQ(mixed.snapshot().maxValue, 0u);
+    EXPECT_EQ(mixed.snapshot().count, 0u);
+}
+
 TEST(Telemetry, ShardsMergeUnderConcurrentWriters)
 {
     EnabledGuard guard;
@@ -131,6 +170,8 @@ TEST(Telemetry, ShardsMergeUnderConcurrentWriters)
     EXPECT_EQ(counter.value(), kThreads * kPerThread + 2 * kThreads);
     const Histogram::Snapshot snap = histogram.snapshot();
     EXPECT_EQ(snap.count, kThreads * kPerThread);
+    // The max merges across shards, not just within one writer's.
+    EXPECT_EQ(snap.maxValue, kThreads * 100u);
 
     counter.reset();
     histogram.reset();
