@@ -119,6 +119,10 @@ struct ReadBenchResult
     std::size_t reads = 0;
     std::uint64_t retriedReads = 0;
     std::uint64_t tornReads = 0;
+    /** Checksum mismatches under a stable even sequence.  Nothing in
+     * this bench corrupts memory, so any nonzero count is a protocol
+     * bug — asserted zero via the exit code. */
+    std::uint64_t corruptReads = 0;
 };
 
 /**
@@ -137,6 +141,10 @@ timeReads(const shim::SnapshotReader &reader, std::size_t reads)
         const std::uint64_t t0 = nowNanos();
         const shim::ReadStatus status = reader.readSlot(0, snap);
         const std::uint64_t t1 = nowNanos();
+        if (status == shim::ReadStatus::Corrupt) {
+            ++result.corruptReads;
+            continue;
+        }
         if (status != shim::ReadStatus::Ok) {
             ++result.tornReads; // Torn: retry bound exhausted
             continue;
@@ -216,10 +224,17 @@ main()
         static_cast<double>(nowNanos() - w0) /
         static_cast<double>(kPublishes);
 
-    // Uncontended reads (writer idle).
+    // Uncontended reads (writer idle) — checksums verified (default).
     const ReadBenchResult uncontended = timeReads(reader, kDirectReads);
 
-    // Reads against a hammering writer.
+    // The same reads with verification off: the v2 integrity tax is
+    // the delta between these two paths.
+    shim::SnapshotReader raw_reader(region);
+    raw_reader.setVerifyChecksums(false);
+    const ReadBenchResult uncontended_raw =
+        timeReads(raw_reader, kDirectReads);
+
+    // Reads against a hammering writer, verify on and off.
     std::atomic<bool> stop{false};
     std::thread writer([&] {
         std::uint64_t w = kPublishes;
@@ -230,8 +245,17 @@ main()
         }
     });
     const ReadBenchResult hammered = timeReads(reader, kDirectReads);
+    const ReadBenchResult hammered_raw =
+        timeReads(raw_reader, kDirectReads);
     stop.store(true);
     writer.join();
+
+    const auto overhead_pct = [](double with, double without) {
+        return without > 0.0 ? 100.0 * (with - without) / without : 0.0;
+    };
+    const std::uint64_t corrupt_reads =
+        uncontended.corruptReads + hammered.corruptReads +
+        uncontended_raw.corruptReads + hammered_raw.corruptReads;
 
     // --------------------------------------------- 2+3. service run
     // Identical single-tenant replays with the shim off vs on; with
@@ -357,15 +381,32 @@ main()
     table.addRow("read (idle writer)",
                  {uncontended.latency.p50, uncontended.latency.p99,
                   uncontended.latency.max, uncontended.staleness.mean});
+    table.addRow("read (idle, no verify)",
+                 {uncontended_raw.latency.p50,
+                  uncontended_raw.latency.p99,
+                  uncontended_raw.latency.max,
+                  uncontended_raw.staleness.mean});
     table.addRow("read (hammered)",
                  {hammered.latency.p50, hammered.latency.p99,
                   hammered.latency.max, hammered.staleness.mean});
+    table.addRow("read (hammered, no verify)",
+                 {hammered_raw.latency.p50, hammered_raw.latency.p99,
+                  hammered_raw.latency.max,
+                  hammered_raw.staleness.mean});
     table.addRow("subscription callback",
                  {service_result.callbackLag.p50,
                   service_result.callbackLag.p99,
                   service_result.callbackLag.max,
                   service_result.shimAge.mean});
     table.print(std::cout);
+    std::cout << "checksum verify tax (uncontended): p50 "
+              << overhead_pct(uncontended.latency.p50,
+                              uncontended_raw.latency.p50)
+              << "% p99 "
+              << overhead_pct(uncontended.latency.p99,
+                              uncontended_raw.latency.p99)
+              << "%; corrupt reads: " << corrupt_reads
+              << (corrupt_reads == 0 ? "" : " (PROTOCOL BUG)") << "\n";
     std::cout << "publish cost: " << publish_ns << " ns/publish; "
               << "service replay " << 1e3 * service_result.offSeconds
               << " ms (shim off) vs "
@@ -403,6 +444,23 @@ main()
         .field("tornReads", hammered.tornReads)
         .endObject();
 
+    // The v2 integrity tax: identical read loops with verification
+    // off, plus the relative overhead the checksum adds.  corruptReads
+    // doubles as an in-band protocol assertion (nonzero fails the run).
+    json.beginObject("checksum");
+    writeNsSummary(json, "uncontendedNoVerify", uncontended_raw.latency,
+                   uncontended_raw.reads);
+    writeNsSummary(json, "hammeredNoVerify", hammered_raw.latency,
+                   hammered_raw.reads);
+    json.field("verifyOverheadPctP50",
+               overhead_pct(uncontended.latency.p50,
+                            uncontended_raw.latency.p50))
+        .field("verifyOverheadPctP99",
+               overhead_pct(uncontended.latency.p99,
+                            uncontended_raw.latency.p99))
+        .field("corruptReads", corrupt_reads)
+        .endObject();
+
     json.beginObject("writer")
         .field("publishNs", publish_ns)
         .field("serviceOffSeconds", service_result.offSeconds)
@@ -429,5 +487,5 @@ main()
         std::cerr << "failed to write BENCH_shim.json\n";
     else
         std::cout << "wrote BENCH_shim.json\n";
-    return service_result.bitIdentical ? 0 : 1;
+    return (service_result.bitIdentical && corrupt_reads == 0) ? 0 : 1;
 }

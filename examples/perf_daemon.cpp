@@ -59,6 +59,7 @@
 #include "example_args.h"
 #include "service/monitor_service.h"
 #include "service/record_stream.h"
+#include "shim/snapshot_reader.h"
 #include "sim/ground_truth.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
@@ -397,14 +398,30 @@ main(int argc, char **argv)
 
     // Keep the snapshot table populated long enough for an external
     // shim_reader to attach and poll before the sessions close and
-    // their slots are invalidated.
+    // their slots are invalidated.  The linger sleeps in steps,
+    // stamping the segment's writer heartbeat each step, so a reader
+    // watching writerIdleNanos() sees "alive but idle" — not the
+    // growing silence of a dead daemon — even with no metrics thread
+    // publishing.
     if (linger_ms > 0) {
         if (cfg.snapshot.enabled)
             std::printf("lingering %zu ms with snapshot table \"%s\" "
                         "live...\n",
                         linger_ms, cfg.snapshot.shmName.c_str());
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(linger_ms));
+        const auto linger_deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(linger_ms);
+        constexpr std::chrono::milliseconds kHeartbeatStep(50);
+        while (std::chrono::steady_clock::now() < linger_deadline) {
+            daemon.heartbeatSnapshot();
+            const auto remaining = linger_deadline -
+                                   std::chrono::steady_clock::now();
+            std::this_thread::sleep_for(
+                remaining < kHeartbeatStep
+                    ? std::chrono::duration_cast<
+                          std::chrono::milliseconds>(remaining)
+                    : kHeartbeatStep);
+        }
     }
 
     if (metrics_thread.joinable()) {
@@ -421,6 +438,21 @@ main(int argc, char **argv)
     // "0 slots live").
     const service::SnapshotPublisherStats snapshot_stats =
         daemon.stats().snapshot;
+
+    // Self-scan: read the daemon's own table the way a consumer
+    // would, and report the scan's health verdict — any degraded slot
+    // (torn/writer-dead/corrupt) in the daemon's own log is a segment
+    // integrity problem worth noticing before a consumer does.
+    if (daemon.snapshotRegion() != nullptr) {
+        shim::SnapshotReader self_reader(*daemon.snapshotRegion());
+        shim::ScanHealth health;
+        const auto live = self_reader.sessions(&health);
+        std::printf("snapshot self-scan: %zu active slots, %zu empty, "
+                    "%zu degraded (torn %zu, writer-dead %zu, "
+                    "corrupt %zu)\n",
+                    live.size(), health.empty, health.degraded(),
+                    health.torn, health.writerDead, health.corrupt);
+    }
 
     // 6. Close everything; score posteriors against ground truth and
     // report the backend's modeled window latency next to the

@@ -12,15 +12,23 @@
  *
  * Usage: shim_reader <shm-name> [--attach-timeout-ms=N]
  *                    [--duration-ms=N] [--interval-ms=N]
- *                    [--min-reads=N]
+ *                    [--min-reads=N] [--max-writer-idle-ms=N]
  *
  * The reader retries attachment until the segment appears (up to
- * --attach-timeout-ms, default 5000), then polls every
- * --interval-ms (default 100) for --duration-ms (default 2000),
- * printing one line per live session with its latest window, a few
- * posteriors, and the measured staleness of the read.  Exits 0 once
- * it has observed at least --min-reads (default 1) consistent
- * snapshots, non-zero otherwise — which is what the CI smoke checks.
+ * --attach-timeout-ms, default 5000) — only NoSegment/NotReady are
+ * retried; a typed deployment error (bad magic, version mismatch,
+ * corrupt geometry, truncated segment) is reported and fatal
+ * immediately.  It then polls every --interval-ms (default 100) for
+ * --duration-ms (default 2000), printing one line per live session
+ * with its latest window, a few posteriors, and the measured
+ * staleness of the read.  With --max-writer-idle-ms=N it also
+ * watches the writer's heartbeat and stops polling early — cleanly —
+ * once the daemon has been silent that long (the dead-daemon case
+ * the CI chaos smoke SIGKILLs into existence).  The final line
+ * reports the reader's health stats (ok/torn/writer-dead/corrupt/
+ * quarantined).  Exits 0 once it has observed at least --min-reads
+ * (default 1) consistent snapshots, non-zero otherwise — which is
+ * what the CI smoke checks.
  */
 
 #include <chrono>
@@ -46,7 +54,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <shm-name> [--attach-timeout-ms=N]\n"
                  "          [--duration-ms=N] [--interval-ms=N]\n"
-                 "          [--min-reads=N]\n",
+                 "          [--min-reads=N] [--max-writer-idle-ms=N]\n",
                  argv0);
 }
 
@@ -60,6 +68,7 @@ main(int argc, char **argv)
     std::size_t duration_ms = 2000;
     std::size_t interval_ms = 100;
     std::size_t min_reads = 1;
+    std::size_t max_writer_idle_ms = 0; // 0 = no heartbeat watch
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -88,6 +97,12 @@ main(int argc, char **argv)
                 return 2;
             }
             min_reads = nval;
+        } else if (arg.rfind("--max-writer-idle-ms=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 21, &nval)) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            max_writer_idle_ms = nval;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
                          argv[i]);
@@ -105,16 +120,34 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // 1. Attach: the daemon may not have created the segment yet.
+    // 1. Attach: the daemon may not have created the segment yet, so
+    // NoSegment/NotReady are retried until the deadline.  Everything
+    // else is a deployment error retrying cannot fix — report the
+    // typed status and stop.
     std::optional<shim::SnapshotReader> reader;
     const auto attach_deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(attach_timeout_ms);
-    while (!(reader = shim::SnapshotReader::attach(shm_name))) {
+    for (;;) {
+        shim::AttachResult attach =
+            shim::SnapshotReader::attach(shm_name);
+        if (attach) {
+            reader = std::move(attach.reader);
+            break;
+        }
+        if (!attach.retryable()) {
+            std::fprintf(stderr,
+                         "%s: cannot attach to \"%s\": %s\n", argv[0],
+                         shm_name.c_str(),
+                         shim::attachStatusName(attach.status));
+            return 1;
+        }
         if (std::chrono::steady_clock::now() >= attach_deadline) {
             std::fprintf(stderr,
-                         "%s: no snapshot segment \"%s\" after %zu ms\n",
-                         argv[0], shm_name.c_str(), attach_timeout_ms);
+                         "%s: no snapshot segment \"%s\" after %zu ms "
+                         "(last status: %s)\n",
+                         argv[0], shm_name.c_str(), attach_timeout_ms,
+                         shim::attachStatusName(attach.status));
             return 1;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -126,20 +159,17 @@ main(int argc, char **argv)
 
     // 2. Poll: every interval, list live sessions and read each one.
     std::size_t ok_reads = 0;
-    std::uint64_t torn = 0;
     std::uint64_t max_age_ns = 0;
+    bool writer_went_silent = false;
     const auto poll_deadline = std::chrono::steady_clock::now() +
                                std::chrono::milliseconds(duration_ms);
     do {
-        for (std::uint64_t session : reader->sessions()) {
+        shim::ScanHealth health;
+        for (std::uint64_t session : reader->sessions(&health)) {
             shim::PosteriorSnapshot snap;
             const shim::ReadStatus status = reader->read(session, snap);
-            if (status == shim::ReadStatus::Torn) {
-                ++torn;
-                continue;
-            }
             if (status != shim::ReadStatus::Ok)
-                continue; // closed between listing and read
+                continue; // closed/degraded between listing and read
             ++ok_reads;
             if (snap.ageNanos > max_age_ns)
                 max_age_ns = snap.ageNanos;
@@ -161,15 +191,43 @@ main(int argc, char **argv)
             std::printf("%s\n",
                         snap.counters.size() > shown ? " ..." : "");
         }
+        if (health.degraded() != 0)
+            std::printf("scan: %zu degraded slots (torn %zu, "
+                        "writer-dead %zu, corrupt %zu)\n",
+                        health.degraded(), health.torn,
+                        health.writerDead, health.corrupt);
+        if (max_writer_idle_ms != 0 &&
+            reader->writerIdleNanos() >
+                static_cast<std::uint64_t>(max_writer_idle_ms) *
+                    1000000ull) {
+            std::printf("writer silent for %.1f ms (> %zu ms): "
+                        "stopping\n",
+                        1e-6 * static_cast<double>(
+                                   reader->writerIdleNanos()),
+                        max_writer_idle_ms);
+            writer_went_silent = true;
+            break;
+        }
         std::this_thread::sleep_for(
             std::chrono::milliseconds(interval_ms));
     } while (std::chrono::steady_clock::now() < poll_deadline);
 
-    std::printf("%zu consistent reads (%llu torn retry exhaustions), "
-                "max staleness %.1f us, %llu publishes total\n",
-                ok_reads, static_cast<unsigned long long>(torn),
-                1e-3 * static_cast<double>(max_age_ns),
-                static_cast<unsigned long long>(reader->publishes()));
+    const shim::ReaderStats stats = reader->stats();
+    std::printf("%zu consistent reads, max staleness %.1f us, "
+                "%llu publishes total%s\n",
+                ok_reads, 1e-3 * static_cast<double>(max_age_ns),
+                static_cast<unsigned long long>(reader->publishes()),
+                writer_went_silent ? " (writer went silent)" : "");
+    std::printf("reader stats: ok=%llu not-found=%llu torn=%llu "
+                "writer-dead=%llu corrupt=%llu quarantine-skips=%llu "
+                "quarantined-slots=%zu\n",
+                static_cast<unsigned long long>(stats.okReads),
+                static_cast<unsigned long long>(stats.notFoundReads),
+                static_cast<unsigned long long>(stats.tornReads),
+                static_cast<unsigned long long>(stats.deadReads),
+                static_cast<unsigned long long>(stats.corruptReads),
+                static_cast<unsigned long long>(stats.quarantineSkips),
+                stats.quarantinedSlots);
     if (ok_reads < min_reads) {
         std::fprintf(stderr, "%s: only %zu of the required %zu reads\n",
                      argv[0], ok_reads, min_reads);

@@ -38,8 +38,11 @@ struct LatencyModelConfig
     double hostClockGhz = 2.6;
     /** Reads averaged when timing measured paths (paper: 100). */
     std::size_t timedReads = 100;
-    /** Sites refreshed incrementally per BayesPerf-CPU read. */
-    std::size_t sitesPerRead = 1;
+    /** Sites refreshed incrementally per BayesPerf-CPU read: the
+     * event's measurement site plus the invariant-factor sites that
+     * constrain it in the current slice — a read cannot be served
+     * until every site its marginal depends on has been refreshed. */
+    std::size_t sitesPerRead = 4;
     /** Variables in the active window (marginal update cost). */
     std::size_t windowVariables = 96;
     /** Trace length CounterMiner re-mines per online read. */

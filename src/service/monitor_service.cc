@@ -372,5 +372,12 @@ MonitorService::publishSelfMetrics()
     return snapshot_->publishSelfMetrics(metrics);
 }
 
+void
+MonitorService::heartbeatSnapshot()
+{
+    if (snapshot_)
+        snapshot_->heartbeat();
+}
+
 } // namespace service
 } // namespace bperf

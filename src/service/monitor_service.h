@@ -268,6 +268,14 @@ class MonitorService
     bool publishSelfMetrics();
 
     /**
+     * Stamp the snapshot segment's writer heartbeat without
+     * publishing anything — an idle daemon's keepalive, so attached
+     * readers watching writerIdleNanos() can tell "alive but quiet"
+     * from "dead".  No-op when the shim is disabled.
+     */
+    void heartbeatSnapshot();
+
+    /**
      * Shim "event ids" of the self-metrics slot.  A reader sees
      * (id, mean) pairs; the mean carries the metric value and the
      * variance is always 0.

@@ -120,16 +120,23 @@ SnapshotPublisher::publishSelfMetrics(const std::vector<SelfMetric> &metrics)
     const std::size_t count =
         metrics.size() < region_.maxEvents() ? metrics.size()
                                              : region_.maxEvents();
-    selfEvents_.clear();
-    selfPosterior_.clear();
+    // Shape the metrics as a WindowUpdate and go through publish():
+    // self-metrics publishes are ordinary publishes, with the same
+    // counter bump and the same shim.publish_ns histogram sample —
+    // not a parallel path that duplicates (and drifts from) the
+    // accounting.
+    selfUpdate_.sessionId = kSelfMetricsSessionId;
+    selfUpdate_.windowIndex = selfWindow_++;
+    selfUpdate_.windowId = selfWindow_;
+    selfUpdate_.endSlice = 0;
+    selfUpdate_.execution = core::WindowExecution{};
+    selfUpdate_.events.clear();
+    selfUpdate_.posterior.clear();
     for (std::size_t i = 0; i < count; ++i) {
-        selfEvents_.push_back(metrics[i].id);
-        selfPosterior_.push_back({metrics[i].value, 0.0});
+        selfUpdate_.events.push_back(metrics[i].id);
+        selfUpdate_.posterior.push_back({metrics[i].value, 0.0});
     }
-    region_.write(*selfSlot_, kSelfMetricsSessionId, selfWindow_++,
-                  /*end_slice=*/0, core::WindowExecution{}, selfEvents_,
-                  selfPosterior_, shim::steadyNowNanos());
-    shimPublishesCounter().add();
+    publish(*selfSlot_, selfUpdate_);
     return true;
 }
 

@@ -123,6 +123,11 @@ class SnapshotPublisher
      */
     bool publishSelfMetrics(const std::vector<SelfMetric> &metrics);
 
+    /** Stamp the region's writer-liveness word with "now" (publishes
+     * stamp it implicitly; idle writers call this on a keepalive
+     * cadence). */
+    void heartbeat() { region_.heartbeat(shim::steadyNowNanos()); }
+
     SnapshotPublisherStats stats() const;
 
     /** The exported table (in-process readers attach to this). */
@@ -144,9 +149,9 @@ class SnapshotPublisher
     std::mutex selfMutex_;
     std::optional<std::size_t> selfSlot_;
     std::uint64_t selfWindow_ = 0;
-    /** Reusable scratch for the self-metrics seqlock write. */
-    std::vector<sim::EventId> selfEvents_;
-    std::vector<core::PosteriorPoint> selfPosterior_;
+    /** Reusable scratch for self-metrics publishes: shaped as a
+     * WindowUpdate so they flow through the one publish() path. */
+    WindowUpdate selfUpdate_;
 };
 
 } // namespace service

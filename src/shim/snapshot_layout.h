@@ -25,6 +25,17 @@
  * observes posteriors bit-identical to the in-process subscription
  * stream).  The layout is versioned; readers refuse segments whose
  * magic/version/geometry do not match what they were compiled with.
+ *
+ * Layout v2 builds integrity into the protocol, in the spirit of
+ * SEU-hardening via redundancy (ASPIS): a slot carries a 64-bit
+ * checksum over its payload words (written inside the seqlock
+ * critical section, verified on every read — a flipped payload word
+ * under a stable even sequence is reported, never served), the
+ * header's geometry words are duplicated and checksummed (a flipped
+ * `slotStride`/`slotCount` is detected — or repaired from the copy —
+ * instead of trusted), and the header carries a writer heartbeat
+ * stamp so readers can tell a dead daemon from an idle one at region
+ * granularity.
  */
 
 #ifndef BPERF_SHIM_SNAPSHOT_LAYOUT_H
@@ -50,8 +61,39 @@ static_assert(Word::is_always_lock_free,
 /** "BPSNPSHM" — identifies an initialised snapshot segment. */
 inline constexpr std::uint64_t kSnapshotMagic = 0x4250534e5053484dull;
 
-/** Bumped on any incompatible layout change. */
-inline constexpr std::uint64_t kSnapshotLayoutVersion = 1;
+/** Bumped on any incompatible layout change.  v2: per-slot payload
+ * checksums, duplicated-and-checksummed header geometry, writer
+ * heartbeat word. */
+inline constexpr std::uint64_t kSnapshotLayoutVersion = 2;
+
+/**
+ * The shim's 64-bit word mixer (splitmix64 finalizer): full-avalanche,
+ * so a single flipped payload bit flips ~half the checksum bits.
+ */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Seed of every chained checksum (an empty chain is never 0). */
+inline constexpr std::uint64_t kChecksumSeed = 0x8f3a91c2d5e70b64ull;
+
+/**
+ * Chain one word into a running checksum.  Order-sensitive (the odd
+ * constant breaks xor symmetry), so swapped words are detected too.
+ * Writer and reader must fold the exact same word sequence.
+ */
+inline std::uint64_t
+chainChecksum(std::uint64_t acc, std::uint64_t word)
+{
+    return mix64(acc ^ word) + 0x9e3779b97f4a7c15ull;
+}
 
 /** Store a double's bit pattern in a word (bit-preserving). */
 inline std::uint64_t
@@ -92,6 +134,12 @@ steadyNowNanos()
  * creation and read-only afterwards; `magic` is stored *last* with
  * release ordering, so an attaching reader that observes the magic
  * also observes a fully initialised geometry.
+ *
+ * The geometry words {layoutVersion, slotCount, maxEvents, slotStride}
+ * exist twice, each copy guarded by a chained checksum, so a reader
+ * never computes slot addresses from a flipped word: it uses whichever
+ * copy validates (primary preferred) and refuses the segment when
+ * neither does (AttachStatus::GeometryCorrupt).
  */
 struct RegionHeader
 {
@@ -101,7 +149,36 @@ struct RegionHeader
     Word maxEvents;     ///< Posterior entries per slot.
     Word slotStride;    ///< Bytes between consecutive slots.
     Word publishes;     ///< Total publishes across all slots (live).
+
+    /** Writer liveness: steady-clock stamp of the writer's latest
+     * publish or explicit heartbeat() — readers subtract their own
+     * clock to tell a dead daemon from an idle one without waiting on
+     * any single slot. */
+    Word heartbeatNanos;
+
+    /** chainChecksum over {layoutVersion, slotCount, maxEvents,
+     * slotStride}, in that order. */
+    Word geometryChecksum;
+
+    /** Redundant copy of the geometry words + its own checksum. */
+    Word layoutVersionDup;
+    Word slotCountDup;
+    Word maxEventsDup;
+    Word slotStrideDup;
+    Word geometryChecksumDup;
 };
+
+/** Fold the four geometry words into their guard checksum. */
+inline std::uint64_t
+geometryChecksum(std::uint64_t version, std::uint64_t slots,
+                 std::uint64_t max_events, std::uint64_t stride)
+{
+    std::uint64_t acc = kChecksumSeed;
+    acc = chainChecksum(acc, version);
+    acc = chainChecksum(acc, slots);
+    acc = chainChecksum(acc, max_events);
+    return chainChecksum(acc, stride);
+}
 
 /** One posterior entry of one slot: event id + mean/stddev bits. */
 struct SlotEvent
@@ -121,6 +198,14 @@ struct SlotHeader
     /** Seqlock sequence: odd while a write is in flight; 0 means the
      * slot has never been published. */
     Word seq;
+
+    /** chainChecksum over the closing (even) sequence value followed
+     * by every payload word below, in declaration order, then the
+     * `eventCount` trailing SlotEvent words in order.  Written inside
+     * the seqlock critical section; a reader that copies a stable
+     * even-sequence payload whose checksum does not match reports
+     * ReadStatus::Corrupt — a flipped bit is detected, never served. */
+    Word checksum;
 
     Word active;       ///< 1 while a live session owns the slot.
     Word sessionId;    ///< Owning session.
@@ -148,6 +233,29 @@ struct SlotHeader
 static_assert(sizeof(RegionHeader) % sizeof(Word) == 0, "word layout");
 static_assert(sizeof(SlotHeader) % sizeof(Word) == 0, "word layout");
 static_assert(sizeof(SlotEvent) % sizeof(Word) == 0, "word layout");
+
+/** Fixed payload words a slot checksum covers (every SlotHeader word
+ * below `checksum`, in declaration order). */
+inline constexpr std::size_t kSlotFixedPayloadWords = 11;
+
+/**
+ * The slot checksum both sides must compute: the closing (even)
+ * sequence value, the kSlotFixedPayloadWords fixed payload words,
+ * then 3 * event_count trailing SlotEvent words.  Binding the
+ * sequence value in means even a flipped sequence word (even -> other
+ * even) cannot revalidate a stale payload.
+ */
+inline std::uint64_t
+slotChecksum(std::uint64_t even_seq, const std::uint64_t *fixed_words,
+             const std::uint64_t *event_words, std::size_t event_count)
+{
+    std::uint64_t acc = chainChecksum(kChecksumSeed, even_seq);
+    for (std::size_t i = 0; i < kSlotFixedPayloadWords; ++i)
+        acc = chainChecksum(acc, fixed_words[i]);
+    for (std::size_t i = 0; i < 3 * event_count; ++i)
+        acc = chainChecksum(acc, event_words[i]);
+    return acc;
+}
 
 /** Byte geometry of a segment; identical for writer and readers. */
 struct RegionLayout

@@ -20,6 +20,22 @@ readStatusName(ReadStatus status)
       case ReadStatus::NotFound: return "not-found";
       case ReadStatus::Torn: return "torn";
       case ReadStatus::WriterDead: return "writer-dead";
+      case ReadStatus::Corrupt: return "corrupt";
+    }
+    return "unknown";
+}
+
+const char *
+attachStatusName(AttachStatus status)
+{
+    switch (status) {
+      case AttachStatus::Ok: return "ok";
+      case AttachStatus::NoSegment: return "no-segment";
+      case AttachStatus::NotReady: return "not-ready";
+      case AttachStatus::BadMagic: return "bad-magic";
+      case AttachStatus::VersionMismatch: return "version-mismatch";
+      case AttachStatus::GeometryCorrupt: return "geometry-corrupt";
+      case AttachStatus::TooSmall: return "too-small";
     }
     return "unknown";
 }
@@ -29,57 +45,148 @@ SnapshotReader::SnapshotReader(const SnapshotRegion &region)
       slots_(region.slots()), maxEvents_(region.maxEvents()),
       mappedBytes_(0)
 {
+    initState();
 }
 
-std::optional<SnapshotReader>
+void
+SnapshotReader::initState()
+{
+    state_ = std::make_unique<State>();
+    state_->quarantineSeq =
+        std::make_unique<std::atomic<std::uint64_t>[]>(slots_);
+    for (std::size_t i = 0; i < slots_; ++i)
+        state_->quarantineSeq[i].store(kNotQuarantined,
+                                       std::memory_order_relaxed);
+}
+
+namespace {
+
+/** A geometry-word bound far beyond any real deployment: rejects
+ * absurd values before RegionLayout::compute can overflow, even in
+ * the (astronomically unlikely) case a flipped copy still checksums. */
+constexpr std::uint64_t kMaxGeometryWord = 1ull << 20;
+
+struct Geometry
+{
+    std::uint64_t version = 0;
+    std::uint64_t slots = 0;
+    std::uint64_t maxEvents = 0;
+    std::uint64_t stride = 0;
+
+    bool plausible() const
+    {
+        return slots > 0 && slots <= kMaxGeometryWord &&
+               maxEvents > 0 && maxEvents <= kMaxGeometryWord &&
+               stride <= kMaxGeometryWord * 64;
+    }
+};
+
+bool
+geometryValidates(const Geometry &g, std::uint64_t stored_sum)
+{
+    return geometryChecksum(g.version, g.slots, g.maxEvents, g.stride) ==
+               stored_sum &&
+           g.plausible();
+}
+
+AttachResult
+attachFail(AttachStatus status, const void *mem, std::size_t mapped)
+{
+    if (mem != nullptr)
+        ::munmap(const_cast<void *>(mem), mapped);
+    AttachResult result;
+    result.status = status;
+    return result;
+}
+
+} // namespace
+
+AttachResult
 SnapshotReader::attach(const std::string &shm_name)
 {
     const int fd = ::shm_open(shm_name.c_str(), O_RDONLY, 0);
     if (fd < 0)
-        return std::nullopt; // not created yet
+        return attachFail(AttachStatus::NoSegment, nullptr, 0);
     struct stat st;
     if (::fstat(fd, &st) != 0 ||
         static_cast<std::size_t>(st.st_size) < sizeof(RegionHeader)) {
         ::close(fd);
-        return std::nullopt; // creator mid-ftruncate
+        // Creator mid-ftruncate (or the segment was truncated under
+        // the header itself); either way there is no header to read.
+        return attachFail(AttachStatus::NotReady, nullptr, 0);
     }
     const std::size_t mapped = static_cast<std::size_t>(st.st_size);
     void *mem = ::mmap(nullptr, mapped, PROT_READ, MAP_SHARED, fd, 0);
     ::close(fd);
     if (mem == MAP_FAILED)
-        return std::nullopt;
+        return attachFail(AttachStatus::NotReady, nullptr, 0);
 
     const auto *base = static_cast<const std::byte *>(mem);
     const auto *header = reinterpret_cast<const RegionHeader *>(base);
-    if (header->magic.load(std::memory_order_acquire) != kSnapshotMagic) {
+    const std::uint64_t magic =
+        header->magic.load(std::memory_order_acquire);
+    if (magic == 0) {
         // Exists but not initialised yet; caller retries.
-        ::munmap(mem, mapped);
-        return std::nullopt;
+        return attachFail(AttachStatus::NotReady, mem, mapped);
     }
-    const std::uint64_t version =
-        header->layoutVersion.load(std::memory_order_relaxed);
-    const std::size_t slots =
-        header->slotCount.load(std::memory_order_relaxed);
-    const std::size_t max_events =
-        header->maxEvents.load(std::memory_order_relaxed);
-    const std::size_t stride =
-        header->slotStride.load(std::memory_order_relaxed);
-    const RegionLayout layout = RegionLayout::compute(slots, max_events);
-    bp_assert(version == kSnapshotLayoutVersion,
-              "snapshot segment \"" << shm_name << "\" has layout v"
-                                    << version << ", reader expects v"
-                                    << kSnapshotLayoutVersion);
-    bp_assert(stride == layout.slotStride && layout.totalBytes <= mapped,
-              "snapshot segment \"" << shm_name
-                                    << "\" geometry mismatch");
+    if (magic != kSnapshotMagic)
+        return attachFail(AttachStatus::BadMagic, mem, mapped);
+
+    // Geometry: use whichever checksummed copy validates (primary
+    // preferred); a slot address is never computed from a word no
+    // checksum vouches for.
+    const Geometry primary{
+        header->layoutVersion.load(std::memory_order_relaxed),
+        header->slotCount.load(std::memory_order_relaxed),
+        header->maxEvents.load(std::memory_order_relaxed),
+        header->slotStride.load(std::memory_order_relaxed)};
+    const Geometry dup{
+        header->layoutVersionDup.load(std::memory_order_relaxed),
+        header->slotCountDup.load(std::memory_order_relaxed),
+        header->maxEventsDup.load(std::memory_order_relaxed),
+        header->slotStrideDup.load(std::memory_order_relaxed)};
+    Geometry geom;
+    if (geometryValidates(
+            primary,
+            header->geometryChecksum.load(std::memory_order_relaxed)))
+        geom = primary;
+    else if (geometryValidates(dup, header->geometryChecksumDup.load(
+                                        std::memory_order_relaxed)))
+        geom = dup;
+    else
+        return attachFail(AttachStatus::GeometryCorrupt, mem, mapped);
+
+    if (geom.version != kSnapshotLayoutVersion)
+        return attachFail(AttachStatus::VersionMismatch, mem, mapped);
+
+    const RegionLayout layout = RegionLayout::compute(
+        static_cast<std::size_t>(geom.slots),
+        static_cast<std::size_t>(geom.maxEvents));
+    if (geom.stride != layout.slotStride) {
+        // The writer's stride disagrees with the layout this reader
+        // computes from the same slot/event counts: a corrupted (yet
+        // checksum-surviving) word or an ABI drift no version bump
+        // recorded.  Either way, slot addresses cannot be trusted.
+        return attachFail(AttachStatus::GeometryCorrupt, mem, mapped);
+    }
+    if (layout.totalBytes > mapped) {
+        // The file is smaller than its own geometry claims (truncated
+        // after creation, or ftruncate raced): touching the missing
+        // tail would SIGBUS, so the segment is refused up front.
+        return attachFail(AttachStatus::TooSmall, mem, mapped);
+    }
 
     SnapshotReader reader;
     reader.base_ = base;
     reader.layout_ = layout;
-    reader.slots_ = slots;
-    reader.maxEvents_ = max_events;
+    reader.slots_ = static_cast<std::size_t>(geom.slots);
+    reader.maxEvents_ = static_cast<std::size_t>(geom.maxEvents);
     reader.mappedBytes_ = mapped;
-    return reader;
+    reader.initState();
+    AttachResult result;
+    result.status = AttachStatus::Ok;
+    result.reader.emplace(std::move(reader));
+    return result;
 }
 
 SnapshotReader::~SnapshotReader()
@@ -90,7 +197,10 @@ SnapshotReader::~SnapshotReader()
 
 SnapshotReader::SnapshotReader(SnapshotReader &&other) noexcept
     : base_(other.base_), layout_(other.layout_), slots_(other.slots_),
-      maxEvents_(other.maxEvents_), mappedBytes_(other.mappedBytes_)
+      maxEvents_(other.maxEvents_), mappedBytes_(other.mappedBytes_),
+      verifyChecksums_(other.verifyChecksums_),
+      retryProbe_(std::move(other.retryProbe_)),
+      state_(std::move(other.state_))
 {
     other.base_ = nullptr;
     other.mappedBytes_ = 0;
@@ -107,6 +217,9 @@ SnapshotReader::operator=(SnapshotReader &&other) noexcept
         slots_ = other.slots_;
         maxEvents_ = other.maxEvents_;
         mappedBytes_ = other.mappedBytes_;
+        verifyChecksums_ = other.verifyChecksums_;
+        retryProbe_ = std::move(other.retryProbe_);
+        state_ = std::move(other.state_);
         other.base_ = nullptr;
         other.mappedBytes_ = 0;
     }
@@ -120,114 +233,356 @@ SnapshotReader::publishes() const
         std::memory_order_relaxed);
 }
 
+std::uint64_t
+SnapshotReader::writerHeartbeatNanos() const
+{
+    return reinterpret_cast<const RegionHeader *>(base_)
+        ->heartbeatNanos.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+SnapshotReader::writerIdleNanos() const
+{
+    const std::uint64_t beat = writerHeartbeatNanos();
+    const std::uint64_t now = steadyNowNanos();
+    return now > beat ? now - beat : 0;
+}
+
+std::optional<ReadStatus>
+SnapshotReader::checkQuarantine(std::size_t slot,
+                                std::uint64_t seq_now) const
+{
+    std::atomic<std::uint64_t> &entry = state_->quarantineSeq[slot];
+    const std::uint64_t qseq = entry.load(std::memory_order_relaxed);
+    if (qseq == kNotQuarantined)
+        return std::nullopt;
+    if (qseq != seq_now) {
+        // The sequence moved since the verdict: the writer (or a
+        // successor publish) touched the slot, so it gets a fresh
+        // poll.
+        entry.store(kNotQuarantined, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    state_->quarantineSkips.fetch_add(1, std::memory_order_relaxed);
+    // The verdict is recoverable from the condemned sequence's
+    // parity: a slot is quarantined frozen-odd (writer died
+    // mid-publish) or stable-even-with-bad-checksum (corrupt).
+    return (qseq & 1) ? ReadStatus::WriterDead : ReadStatus::Corrupt;
+}
+
+void
+SnapshotReader::quarantine(std::size_t slot, std::uint64_t seq) const
+{
+    state_->quarantineSeq[slot].store(seq, std::memory_order_relaxed);
+}
+
+void
+SnapshotReader::countRead(ReadStatus status) const
+{
+    switch (status) {
+      case ReadStatus::Ok:
+        state_->okReads.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ReadStatus::NotFound:
+        state_->notFoundReads.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ReadStatus::Torn:
+        state_->tornReads.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ReadStatus::WriterDead:
+        state_->deadReads.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ReadStatus::Corrupt:
+        state_->corruptReads.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+}
+
+ReaderStats
+SnapshotReader::stats() const
+{
+    ReaderStats out;
+    out.okReads = state_->okReads.load(std::memory_order_relaxed);
+    out.notFoundReads =
+        state_->notFoundReads.load(std::memory_order_relaxed);
+    out.tornReads = state_->tornReads.load(std::memory_order_relaxed);
+    out.deadReads = state_->deadReads.load(std::memory_order_relaxed);
+    out.corruptReads =
+        state_->corruptReads.load(std::memory_order_relaxed);
+    out.quarantineSkips =
+        state_->quarantineSkips.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < slots_; ++i)
+        if (state_->quarantineSeq[i].load(std::memory_order_relaxed) !=
+            kNotQuarantined)
+            ++out.quarantinedSlots;
+    return out;
+}
+
+namespace {
+
+/**
+ * Frozen-odd bookkeeping shared by peekSlot/readSlotImpl.  Tracks the
+ * *latest* odd value seen and how many consecutive attempts re-saw it
+ * — any odd value, first observed at any attempt.  (The PR 7 code
+ * only armed on the odd value of attempt 0, so a writer that died on
+ * an odd value first seen later — or that advanced to a new odd value
+ * and then died — was reported Torn forever, recreating the
+ * spin-forever loop WriterDead exists to break.)
+ */
+struct OddStreak
+{
+    std::uint64_t value = 0;
+    std::size_t length = 0;
+
+    void sawOdd(std::uint64_t seq)
+    {
+        if (length != 0 && seq == value) {
+            ++length;
+        } else {
+            value = seq;
+            length = 1;
+        }
+    }
+    void sawEven() { length = 0; }
+
+    /** Dead if the same odd value held for the majority of the retry
+     * budget with no movement since: a live seqlock writer closes a
+     * publish within a handful of reader iterations, so a majority-
+     * of-budget freeze is a writer that will never finish. */
+    bool dead(std::size_t max_retries) const
+    {
+        return length >= max_retries / 2 + 1;
+    }
+};
+
+} // namespace
+
 ReadStatus
 SnapshotReader::peekSlot(std::size_t slot, std::uint64_t &session_id,
                          std::size_t max_retries) const
 {
     const SlotHeader *s = slotAt(base_, layout_, slot);
-    // Distinguish a live writer from a dead one: if every attempt
-    // observes the *same odd* sequence, the publish never progressed
-    // and the writer is gone (see ReadStatus::WriterDead).
-    std::uint64_t odd_seq = 0;
-    std::size_t odd_stuck = 0;
+    {
+        const std::uint64_t seq_now =
+            s->seq.load(std::memory_order_relaxed);
+        if (const auto cached = checkQuarantine(slot, seq_now))
+            return *cached;
+    }
+    OddStreak odd;
     for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
+        if (retryProbe_)
+            retryProbe_(attempt);
         const std::uint64_t s1 = s->seq.load(std::memory_order_acquire);
         if (s1 & 1) {
-            if (attempt == 0 || s1 == odd_seq) {
-                odd_seq = s1;
-                ++odd_stuck;
-            }
+            odd.sawOdd(s1);
             continue;
         }
+        odd.sawEven();
         if (s1 == 0)
             return ReadStatus::NotFound;
         const std::uint64_t active =
             s->active.load(std::memory_order_relaxed);
         const std::uint64_t id =
             s->sessionId.load(std::memory_order_relaxed);
+        if (!verifyChecksums_) {
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (s->seq.load(std::memory_order_relaxed) != s1)
+                continue;
+            if (active == 0)
+                return ReadStatus::NotFound;
+            session_id = id;
+            return ReadStatus::Ok;
+        }
+        // Fold every payload word into the checksum as it is read —
+        // nothing beyond {active, id} is stored, so the probe stays
+        // allocation-free while still catching a flipped word.  The
+        // words must be chained in the writer's order: closing even
+        // sequence, the fixed payload words in declaration order,
+        // then the SlotEvent words.
+        std::uint64_t acc = chainChecksum(kChecksumSeed, s1);
+        acc = chainChecksum(acc, active);
+        acc = chainChecksum(acc, id);
+        acc = chainChecksum(
+            acc, s->windowIndex.load(std::memory_order_relaxed));
+        acc = chainChecksum(acc,
+                            s->endSlice.load(std::memory_order_relaxed));
+        const std::uint64_t count =
+            s->eventCount.load(std::memory_order_relaxed);
+        acc = chainChecksum(acc, count);
+        acc = chainChecksum(
+            acc, s->publishNanos.load(std::memory_order_relaxed));
+        acc = chainChecksum(acc,
+                            s->engineId.load(std::memory_order_relaxed));
+        acc = chainChecksum(
+            acc, s->queueWaitBits.load(std::memory_order_relaxed));
+        acc = chainChecksum(
+            acc, s->serviceBits.load(std::memory_order_relaxed));
+        acc = chainChecksum(
+            acc, s->transferBits.load(std::memory_order_relaxed));
+        acc = chainChecksum(
+            acc, s->modeledBits.load(std::memory_order_relaxed));
+        if (count > maxEvents_) {
+            // An event count past the slot's capacity would walk the
+            // probe off the end of the segment.  If the sequence is
+            // stable the word itself is corrupt; if not, it was torn.
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (s->seq.load(std::memory_order_relaxed) != s1)
+                continue;
+            quarantine(slot, s1);
+            return ReadStatus::Corrupt;
+        }
+        const SlotEvent *entries = s->events();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            acc = chainChecksum(
+                acc, entries[i].event.load(std::memory_order_relaxed));
+            acc = chainChecksum(
+                acc,
+                entries[i].meanBits.load(std::memory_order_relaxed));
+            acc = chainChecksum(
+                acc,
+                entries[i].stddevBits.load(std::memory_order_relaxed));
+        }
+        const std::uint64_t stored =
+            s->checksum.load(std::memory_order_relaxed);
         std::atomic_thread_fence(std::memory_order_acquire);
         if (s->seq.load(std::memory_order_relaxed) != s1)
             continue;
+        if (acc != stored) {
+            quarantine(slot, s1);
+            return ReadStatus::Corrupt;
+        }
         if (active == 0)
             return ReadStatus::NotFound;
         session_id = id;
         return ReadStatus::Ok;
     }
-    return odd_stuck == max_retries + 1 ? ReadStatus::WriterDead
-                                        : ReadStatus::Torn;
+    if (odd.dead(max_retries)) {
+        quarantine(slot, odd.value);
+        return ReadStatus::WriterDead;
+    }
+    return ReadStatus::Torn;
 }
 
 ReadStatus
-SnapshotReader::readSlot(std::size_t slot, PosteriorSnapshot &out,
-                         std::size_t max_retries) const
+SnapshotReader::readSlotImpl(std::size_t slot, PosteriorSnapshot &out,
+                             std::size_t max_retries) const
 {
     bp_assert(slot < slots_,
               "snapshot read of slot " << slot << " of " << slots_);
     const SlotHeader *s = slotAt(base_, layout_, slot);
+    {
+        const std::uint64_t seq_now =
+            s->seq.load(std::memory_order_relaxed);
+        if (const auto cached = checkQuarantine(slot, seq_now))
+            return *cached;
+    }
 
     // Reused across retry attempts, so a contended read does not
     // reallocate its counters vector per attempt.
     PosteriorSnapshot snap;
-    // Same dead-writer detection as peekSlot: an odd sequence that
-    // never moves across the whole retry budget is a writer that died
-    // mid-publish, not contention.
-    std::uint64_t odd_seq = 0;
-    std::size_t odd_stuck = 0;
+    OddStreak odd;
     for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
+        if (retryProbe_)
+            retryProbe_(attempt);
         const std::uint64_t s1 = s->seq.load(std::memory_order_acquire);
         if (s1 & 1) {
-            if (attempt == 0 || s1 == odd_seq) {
-                odd_seq = s1;
-                ++odd_stuck;
-            }
+            odd.sawOdd(s1);
             continue; // write in flight
         }
+        odd.sawEven();
         if (s1 == 0)
             return ReadStatus::NotFound; // never published
 
         // Copy the payload under the sequence; relaxed atomic loads
         // cannot tear, and the acquire fence below orders them before
-        // the validating re-read of the sequence.
+        // the validating re-read of the sequence.  Every raw word is
+        // folded into the checksum as it is copied, in the writer's
+        // order (closing even sequence, fixed words, event words).
+        std::uint64_t acc = chainChecksum(kChecksumSeed, s1);
         const std::uint64_t active =
             s->active.load(std::memory_order_relaxed);
-        snap.sessionId = s->sessionId.load(std::memory_order_relaxed);
-        snap.windowIndex =
+        acc = chainChecksum(acc, active);
+        const std::uint64_t session =
+            s->sessionId.load(std::memory_order_relaxed);
+        acc = chainChecksum(acc, session);
+        snap.sessionId = session;
+        const std::uint64_t window =
             s->windowIndex.load(std::memory_order_relaxed);
-        snap.endSlice = static_cast<std::size_t>(
-            s->endSlice.load(std::memory_order_relaxed));
-        snap.publishNanos =
-            s->publishNanos.load(std::memory_order_relaxed);
-        snap.execution.engineId = static_cast<std::size_t>(
-            s->engineId.load(std::memory_order_relaxed));
-        snap.execution.endSlice = snap.endSlice;
-        snap.execution.queueWaitSeconds =
-            bitsDouble(s->queueWaitBits.load(std::memory_order_relaxed));
-        snap.execution.serviceSeconds =
-            bitsDouble(s->serviceBits.load(std::memory_order_relaxed));
-        snap.execution.transferSeconds =
-            bitsDouble(s->transferBits.load(std::memory_order_relaxed));
-        snap.execution.modeledSeconds =
-            bitsDouble(s->modeledBits.load(std::memory_order_relaxed));
-        std::uint64_t count =
+        acc = chainChecksum(acc, window);
+        snap.windowIndex = window;
+        const std::uint64_t end_slice =
+            s->endSlice.load(std::memory_order_relaxed);
+        acc = chainChecksum(acc, end_slice);
+        snap.endSlice = static_cast<std::size_t>(end_slice);
+        const std::uint64_t count =
             s->eventCount.load(std::memory_order_relaxed);
-        if (count > maxEvents_)
-            count = maxEvents_; // torn header word; the re-read below
-                                // rejects the attempt anyway
+        acc = chainChecksum(acc, count);
+        const std::uint64_t publish_nanos =
+            s->publishNanos.load(std::memory_order_relaxed);
+        acc = chainChecksum(acc, publish_nanos);
+        snap.publishNanos = publish_nanos;
+        const std::uint64_t engine =
+            s->engineId.load(std::memory_order_relaxed);
+        acc = chainChecksum(acc, engine);
+        snap.execution.engineId = static_cast<std::size_t>(engine);
+        snap.execution.endSlice = snap.endSlice;
+        const std::uint64_t queue_bits =
+            s->queueWaitBits.load(std::memory_order_relaxed);
+        acc = chainChecksum(acc, queue_bits);
+        snap.execution.queueWaitSeconds = bitsDouble(queue_bits);
+        const std::uint64_t service_bits =
+            s->serviceBits.load(std::memory_order_relaxed);
+        acc = chainChecksum(acc, service_bits);
+        snap.execution.serviceSeconds = bitsDouble(service_bits);
+        const std::uint64_t transfer_bits =
+            s->transferBits.load(std::memory_order_relaxed);
+        acc = chainChecksum(acc, transfer_bits);
+        snap.execution.transferSeconds = bitsDouble(transfer_bits);
+        const std::uint64_t modeled_bits =
+            s->modeledBits.load(std::memory_order_relaxed);
+        acc = chainChecksum(acc, modeled_bits);
+        snap.execution.modeledSeconds = bitsDouble(modeled_bits);
+
+        if (count > maxEvents_) {
+            // Copying `count` entries would run off the end of the
+            // segment.  Stable sequence -> the count word itself is
+            // corrupt; moved sequence -> an ordinary torn attempt.
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (s->seq.load(std::memory_order_relaxed) != s1)
+                continue;
+            quarantine(slot, s1);
+            return ReadStatus::Corrupt;
+        }
         const SlotEvent *entries = s->events();
         snap.counters.resize(static_cast<std::size_t>(count));
         for (std::size_t i = 0; i < count; ++i) {
-            snap.counters[i].event = static_cast<sim::EventId>(
-                entries[i].event.load(std::memory_order_relaxed));
-            snap.counters[i].posterior.mean = bitsDouble(
-                entries[i].meanBits.load(std::memory_order_relaxed));
-            snap.counters[i].posterior.stddev = bitsDouble(
-                entries[i].stddevBits.load(std::memory_order_relaxed));
+            const std::uint64_t ev =
+                entries[i].event.load(std::memory_order_relaxed);
+            const std::uint64_t mean =
+                entries[i].meanBits.load(std::memory_order_relaxed);
+            const std::uint64_t stddev =
+                entries[i].stddevBits.load(std::memory_order_relaxed);
+            acc = chainChecksum(acc, ev);
+            acc = chainChecksum(acc, mean);
+            acc = chainChecksum(acc, stddev);
+            snap.counters[i].event = static_cast<sim::EventId>(ev);
+            snap.counters[i].posterior.mean = bitsDouble(mean);
+            snap.counters[i].posterior.stddev = bitsDouble(stddev);
         }
+        const std::uint64_t stored =
+            s->checksum.load(std::memory_order_relaxed);
 
         std::atomic_thread_fence(std::memory_order_acquire);
         if (s->seq.load(std::memory_order_relaxed) != s1)
             continue; // torn: the writer moved under us
 
+        if (verifyChecksums_ && acc != stored) {
+            // Stable even sequence, bad checksum: a payload word was
+            // corrupted in place.  Detected and withheld — this is
+            // the one path that must never fall through to Ok.
+            quarantine(slot, s1);
+            return ReadStatus::Corrupt;
+        }
         if (active == 0)
             return ReadStatus::NotFound; // slot invalidated
         snap.retries = attempt;
@@ -237,8 +592,20 @@ SnapshotReader::readSlot(std::size_t slot, PosteriorSnapshot &out,
         out = std::move(snap);
         return ReadStatus::Ok;
     }
-    return odd_stuck == max_retries + 1 ? ReadStatus::WriterDead
-                                        : ReadStatus::Torn;
+    if (odd.dead(max_retries)) {
+        quarantine(slot, odd.value);
+        return ReadStatus::WriterDead;
+    }
+    return ReadStatus::Torn;
+}
+
+ReadStatus
+SnapshotReader::readSlot(std::size_t slot, PosteriorSnapshot &out,
+                         std::size_t max_retries) const
+{
+    const ReadStatus status = readSlotImpl(slot, out, max_retries);
+    countRead(status);
+    return status;
 }
 
 ReadStatus
@@ -247,10 +614,12 @@ SnapshotReader::read(std::uint64_t session_id, PosteriorSnapshot &out,
 {
     bool torn = false;
     bool writer_dead = false;
+    bool corrupt = false;
+    ReadStatus result = ReadStatus::NotFound;
     for (std::size_t slot = 0; slot < slots_; ++slot) {
         // Cheap probe first: only the target slot's full payload
         // (and its counters vector) is copied, so the scan stays a
-        // few word reads per non-matching slot.
+        // bounded run of word reads per non-matching slot.
         std::uint64_t id = 0;
         const ReadStatus peek = peekSlot(slot, id, max_retries);
         if (peek == ReadStatus::Torn) {
@@ -261,6 +630,10 @@ SnapshotReader::read(std::uint64_t session_id, PosteriorSnapshot &out,
             writer_dead = true;
             continue;
         }
+        if (peek == ReadStatus::Corrupt) {
+            corrupt = true;
+            continue;
+        }
         if (peek != ReadStatus::Ok || id != session_id)
             continue;
         // Copy into a local first: `out` must not be clobbered with
@@ -268,7 +641,7 @@ SnapshotReader::read(std::uint64_t session_id, PosteriorSnapshot &out,
         // between probe and copy (a consumer may keep its last-known
         // snapshot across a NotFound poll).
         PosteriorSnapshot snap;
-        const ReadStatus status = readSlot(slot, snap, max_retries);
+        const ReadStatus status = readSlotImpl(slot, snap, max_retries);
         if (status == ReadStatus::Torn) {
             torn = true;
             continue;
@@ -277,32 +650,63 @@ SnapshotReader::read(std::uint64_t session_id, PosteriorSnapshot &out,
             writer_dead = true;
             continue;
         }
+        if (status == ReadStatus::Corrupt) {
+            corrupt = true;
+            continue;
+        }
         // The slot may have been invalidated or handed to another
         // session between probe and copy; keep scanning if so.
         if (status == ReadStatus::Ok && snap.sessionId == session_id) {
             out = std::move(snap);
+            countRead(ReadStatus::Ok);
             return ReadStatus::Ok;
         }
     }
-    // A torn or dead slot could have been the session's; report the
+    // A degraded slot could have been the session's; report the
     // strongest signal so the consumer reacts correctly — WriterDead
-    // over Torn (a dead writer never resolves; a retry loop keyed on
-    // Torn would spin forever), Torn over NotFound (the consumer
-    // should retry instead of concluding the session is gone).
+    // over Corrupt (a dead writer never resolves; corruption can be
+    // overwritten by the next publish), Corrupt over Torn (the
+    // payload is provably bad, not merely contended), Torn over
+    // NotFound (the consumer should retry instead of concluding the
+    // session is gone).
     if (writer_dead)
-        return ReadStatus::WriterDead;
-    return torn ? ReadStatus::Torn : ReadStatus::NotFound;
+        result = ReadStatus::WriterDead;
+    else if (corrupt)
+        result = ReadStatus::Corrupt;
+    else if (torn)
+        result = ReadStatus::Torn;
+    countRead(result);
+    return result;
 }
 
 std::vector<std::uint64_t>
-SnapshotReader::sessions() const
+SnapshotReader::sessions(ScanHealth *health) const
 {
     std::vector<std::uint64_t> ids;
+    ScanHealth tally;
     for (std::size_t slot = 0; slot < slots_; ++slot) {
         std::uint64_t id = 0;
-        if (peekSlot(slot, id, kDefaultMaxRetries) == ReadStatus::Ok)
+        switch (peekSlot(slot, id, kDefaultMaxRetries)) {
+          case ReadStatus::Ok:
+            ++tally.active;
             ids.push_back(id);
+            break;
+          case ReadStatus::NotFound:
+            ++tally.empty;
+            break;
+          case ReadStatus::Torn:
+            ++tally.torn;
+            break;
+          case ReadStatus::WriterDead:
+            ++tally.writerDead;
+            break;
+          case ReadStatus::Corrupt:
+            ++tally.corrupt;
+            break;
+        }
     }
+    if (health != nullptr)
+        *health = tally;
     return ids;
 }
 

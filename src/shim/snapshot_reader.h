@@ -7,21 +7,30 @@
  *
  * Reads are versioned seqlock copies: a reader snapshots the slot's
  * sequence, copies the payload, and retries when the sequence moved —
- * torn reads are detected, never returned.  Every successful read
- * reports its retry count and a staleness bound (reader clock minus
- * the writer's publish stamp, both CLOCK_MONOTONIC, so the bound is
- * valid across processes on one machine).
+ * torn reads are detected, never returned.  Layout v2 adds integrity
+ * on top of consistency: every copied payload is verified against the
+ * slot's checksum (a flipped bit under a stable even sequence is
+ * ReadStatus::Corrupt, never Ok), attach failures are typed instead
+ * of fatal (AttachResult), the segment's fstat size is re-validated
+ * against its checksummed geometry so truncated segments are refused
+ * rather than faulted on, and slots that prove corrupt or
+ * writer-dead are quarantined — skipped-and-counted on scans until
+ * their sequence moves again (ReaderStats).
  *
- * Thread contract: a SnapshotReader is a read-only view with no
- * mutable state besides the mapping itself; all methods are safe from
- * any thread, concurrently with the writer.
+ * Thread contract: all read methods are safe from any thread,
+ * concurrently with the writer; the quarantine table and stats
+ * counters are atomics.  setVerifyChecksums()/setRetryProbe()
+ * configure the reader and must not race reads.
  */
 
 #ifndef BPERF_SHIM_SNAPSHOT_READER_H
 #define BPERF_SHIM_SNAPSHOT_READER_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,21 +53,62 @@ enum class ReadStatus
      * session closed and its slot was invalidated). */
     NotFound,
     /** Retries exhausted without a stable sequence, but the sequence
-     * *moved* while we watched: a live writer is publishing under us
-     * (or was descheduled between moves).  Transient; try again. */
+     * kept *moving* while we watched: a live writer is publishing
+     * under us (or was descheduled between moves).  Transient; try
+     * again. */
     Torn,
-    /** The slot's sequence was odd — a publish in flight — and never
-     * changed across the entire retry budget.  A live seqlock writer
-     * advances the sequence within a handful of reader iterations, so
-     * a frozen odd sequence means the writer died (or was killed)
+    /** The slot's sequence froze on one odd value — a publish in
+     * flight that never completed.  A live seqlock writer advances
+     * the sequence within a handful of reader iterations, so a
+     * frozen odd sequence means the writer died (or was killed)
      * mid-publish, leaving the slot odd forever.  Persistent until
      * the daemon restarts and reinitialises the segment; consumers
      * should treat the session as lost, not poll it as contended. */
     WriterDead,
+    /** The payload was copied under a stable even sequence but does
+     * not match the slot's checksum: a payload or checksum word was
+     * corrupted in place (bit flip, stray write).  Never returned as
+     * Ok — the snapshot is detected bad and withheld. */
+    Corrupt,
 };
 
 /** Stable identifier of a ReadStatus (logs, tables, tests). */
 const char *readStatusName(ReadStatus status);
+
+/** Why an attach failed (or did not, with AttachStatus::Ok). */
+enum class AttachStatus
+{
+    /** Attached; AttachResult::reader holds the view. */
+    Ok,
+    /** shm_open found no segment of that name.  Retryable — the
+     * daemon may not have created it yet. */
+    NoSegment,
+    /** The segment exists but its magic is still zero: the creator
+     * is between ftruncate and publication.  Retryable. */
+    NotReady,
+    /** The magic word is non-zero but wrong: not a snapshot segment
+     * (or its header was overwritten).  A deployment error — do not
+     * retry. */
+    BadMagic,
+    /** The writer speaks a different layout version.  A deployment
+     * error — rebuild one side. */
+    VersionMismatch,
+    /** Neither copy of the header's geometry words validates against
+     * its checksum, or the copies disagree with the computed layout:
+     * the header is corrupt and no slot address can be trusted. */
+    GeometryCorrupt,
+    /** The segment's fstat size is smaller than its own geometry
+     * claims (truncated, or ftruncate raced): mapping it would trade
+     * reads for SIGBUS, so it is refused. */
+    TooSmall,
+};
+
+/** Stable identifier of an AttachStatus (logs, error tables). */
+const char *attachStatusName(AttachStatus status);
+
+/** Outcome of SnapshotReader::attach (defined after the class — it
+ * carries the reader by value). */
+struct AttachResult;
 
 /** One event's posterior as stored in a slot (bit-identical to the
  * writer's WindowUpdate entry). */
@@ -91,6 +141,39 @@ struct PosteriorSnapshot
 };
 
 /**
+ * Per-reader health accounting: every read()/readSlot() outcome is
+ * counted, plus quarantine activity.  Snapshot via stats(); counters
+ * are cumulative since construction.
+ */
+struct ReaderStats
+{
+    std::uint64_t okReads = 0;       ///< Consistent snapshots served.
+    std::uint64_t notFoundReads = 0; ///< Empty/invalidated slots seen.
+    std::uint64_t tornReads = 0;     ///< Retry budgets exhausted live.
+    std::uint64_t deadReads = 0;     ///< Frozen-odd (writer dead) hits.
+    std::uint64_t corruptReads = 0;  ///< Checksum-mismatch snapshots.
+    /** Scan probes answered from the quarantine table instead of a
+     * fresh retry loop (the skipped-and-counted slots). */
+    std::uint64_t quarantineSkips = 0;
+    /** Slots currently quarantined (Corrupt/WriterDead, sequence has
+     * not moved since). */
+    std::size_t quarantinedSlots = 0;
+};
+
+/** Health of one sessions() scan: how every slot answered. */
+struct ScanHealth
+{
+    std::size_t active = 0;     ///< Slots with a live session id.
+    std::size_t empty = 0;      ///< Never-published / invalidated.
+    std::size_t torn = 0;       ///< Unstable under the retry budget.
+    std::size_t writerDead = 0; ///< Frozen odd (includes quarantined).
+    std::size_t corrupt = 0;    ///< Checksum failures (incl. quarantined).
+
+    /** Slots whose state could not be trusted this scan. */
+    std::size_t degraded() const { return torn + writerDead + corrupt; }
+};
+
+/**
  * Read-only view over a snapshot segment.  Move-only; unmaps an
  * attached segment on destruction (an in-process view borrows the
  * region's mapping and must not outlive it).
@@ -105,13 +188,12 @@ class SnapshotReader
     explicit SnapshotReader(const SnapshotRegion &region);
 
     /**
-     * Attach to a named segment read-only.  nullopt while the segment
-     * does not exist yet or is not fully initialised (attach loops in
-     * consumers simply retry); dies on a geometry/version mismatch —
-     * that is a deployment error, not a race.
+     * Attach to a named segment read-only.  Never dies: every failure
+     * is a typed AttachStatus — NoSegment/NotReady are the normal
+     * boot race (poll again), the rest are deployment errors or
+     * header corruption the caller must surface.
      */
-    static std::optional<SnapshotReader>
-    attach(const std::string &shm_name);
+    static AttachResult attach(const std::string &shm_name);
 
     ~SnapshotReader();
     SnapshotReader(SnapshotReader &&other) noexcept;
@@ -125,8 +207,20 @@ class SnapshotReader
     /** Writer's total publish count (monotone; freshness signal). */
     std::uint64_t publishes() const;
 
-    /** Session ids of every active slot (one consistent read each). */
-    std::vector<std::uint64_t> sessions() const;
+    /** The writer's latest heartbeat stamp (steady-clock nanos). */
+    std::uint64_t writerHeartbeatNanos() const;
+
+    /** Nanoseconds since the writer's last heartbeat, by this
+     * reader's steady clock (0 if the stamp is in the future).  A
+     * bound that keeps growing marks a dead daemon; one that resets
+     * marks an idle-but-alive one. */
+    std::uint64_t writerIdleNanos() const;
+
+    /** Session ids of every active slot (one consistent read each).
+     * With `health`, also reports how every slot answered — so an
+     * enumerating consumer can tell "those sessions are gone" from
+     * "those slots could not be trusted this scan". */
+    std::vector<std::uint64_t> sessions(ScanHealth *health = nullptr) const;
 
     /**
      * Copy the latest snapshot of `session_id` into `out`.  Scans the
@@ -140,14 +234,58 @@ class SnapshotReader
     ReadStatus readSlot(std::size_t slot, PosteriorSnapshot &out,
                         std::size_t max_retries = kDefaultMaxRetries) const;
 
+    /** Cumulative read/quarantine accounting for this reader. */
+    ReaderStats stats() const;
+
+    /**
+     * Disable (or re-enable) payload checksum verification.  Only for
+     * measurement — bench_shim_read uses it to price the verify step;
+     * consumers must leave it on.
+     */
+    void setVerifyChecksums(bool verify) { verifyChecksums_ = verify; }
+
+    /**
+     * Chaos/test instrumentation: invoked at the top of every retry
+     * attempt of readSlot()/peekSlot() with the attempt index.  Lets
+     * a test mutate the slot at a deterministic point mid-scan.  Keep
+     * unset in production (one branch per attempt when unset).
+     */
+    void setRetryProbe(std::function<void(std::size_t)> probe)
+    {
+        retryProbe_ = std::move(probe);
+    }
+
   private:
     SnapshotReader() = default;
 
+    /** Allocate the quarantine table + stats block for slots_. */
+    void initState();
+
     /** Seq-validated read of just a slot's {active, session id} —
      * the cheap probe read()/sessions() scan with, so the full
-     * payload (and its vector) is only copied for the target slot. */
+     * payload vector is only materialised for the target slot.  With
+     * verification on it still folds every payload word into the
+     * checksum (without storing them), so scans detect Corrupt too. */
     ReadStatus peekSlot(std::size_t slot, std::uint64_t &session_id,
                         std::size_t max_retries) const;
+
+    /** readSlot() without stats counting (read() aggregates its own
+     * probe outcomes into one counted result). */
+    ReadStatus readSlotImpl(std::size_t slot, PosteriorSnapshot &out,
+                            std::size_t max_retries) const;
+
+    /** Quarantine fast path: if `slot` is quarantined and its
+     * sequence has not moved, return the quarantined status without
+     * a retry loop.  Clears the entry when the sequence moved. */
+    std::optional<ReadStatus> checkQuarantine(std::size_t slot,
+                                              std::uint64_t seq_now) const;
+
+    /** Record a Corrupt/WriterDead verdict for the slot's current
+     * sequence; scans skip it until the sequence moves. */
+    void quarantine(std::size_t slot, std::uint64_t seq) const;
+
+    /** Bump the ReaderStats counter matching `status`. */
+    void countRead(ReadStatus status) const;
 
     const std::byte *base_ = nullptr;
     RegionLayout layout_;
@@ -155,6 +293,43 @@ class SnapshotReader
     std::size_t maxEvents_ = 0;
     /** Bytes to munmap at destruction; 0 for borrowed mappings. */
     std::size_t mappedBytes_ = 0;
+    bool verifyChecksums_ = true;
+    std::function<void(std::size_t)> retryProbe_;
+
+    /** Mutable read-side state (atomics; moved by pointer). */
+    struct State
+    {
+        /** Per-slot quarantine: the sequence value the slot was
+         * condemned at (parity encodes the verdict: odd = WriterDead,
+         * even = Corrupt), or kNotQuarantined. */
+        std::unique_ptr<std::atomic<std::uint64_t>[]> quarantineSeq;
+        std::atomic<std::uint64_t> okReads{0};
+        std::atomic<std::uint64_t> notFoundReads{0};
+        std::atomic<std::uint64_t> tornReads{0};
+        std::atomic<std::uint64_t> deadReads{0};
+        std::atomic<std::uint64_t> corruptReads{0};
+        std::atomic<std::uint64_t> quarantineSkips{0};
+    };
+    static constexpr std::uint64_t kNotQuarantined = ~0ull;
+    std::unique_ptr<State> state_;
+};
+
+/**
+ * Outcome of SnapshotReader::attach: a typed status plus, on Ok, the
+ * attached reader.  `retryable()` distinguishes "segment not there
+ * yet, poll again" from deployment errors a retry loop must surface.
+ */
+struct AttachResult
+{
+    AttachStatus status = AttachStatus::NoSegment;
+    std::optional<SnapshotReader> reader;
+
+    explicit operator bool() const { return reader.has_value(); }
+    bool retryable() const
+    {
+        return status == AttachStatus::NoSegment ||
+               status == AttachStatus::NotReady;
+    }
 };
 
 } // namespace shim

@@ -2,6 +2,7 @@
 
 #include <errno.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -114,6 +115,24 @@ SnapshotRegion::SnapshotRegion(SnapshotRegionConfig config,
     header->slotStride.store(layout_.slotStride,
                              std::memory_order_relaxed);
     header->publishes.store(0, std::memory_order_relaxed);
+    header->heartbeatNanos.store(steadyNowNanos(),
+                                 std::memory_order_relaxed);
+    // Geometry redundancy: both copies carry the same checksum, so an
+    // attacher can validate each independently and use whichever
+    // survived (a flipped word invalidates exactly one copy).
+    const std::uint64_t geom_sum = geometryChecksum(
+        kSnapshotLayoutVersion, config_.slots, config_.maxEvents,
+        layout_.slotStride);
+    header->geometryChecksum.store(geom_sum, std::memory_order_relaxed);
+    header->layoutVersionDup.store(kSnapshotLayoutVersion,
+                                   std::memory_order_relaxed);
+    header->slotCountDup.store(config_.slots, std::memory_order_relaxed);
+    header->maxEventsDup.store(config_.maxEvents,
+                               std::memory_order_relaxed);
+    header->slotStrideDup.store(layout_.slotStride,
+                                std::memory_order_relaxed);
+    header->geometryChecksumDup.store(geom_sum,
+                                      std::memory_order_relaxed);
     // Magic last, with release: an attacher that sees it sees the
     // whole geometry.
     header->magic.store(kSnapshotMagic, std::memory_order_release);
@@ -151,6 +170,22 @@ SnapshotRegion::publishes() const
 }
 
 void
+SnapshotRegion::heartbeat(std::uint64_t now_nanos)
+{
+    reinterpret_cast<RegionHeader *>(base_)->heartbeatNanos.store(
+        now_nanos, std::memory_order_relaxed);
+}
+
+void
+SnapshotRegion::setFaultInjection(const WriterFaultInjection &faults)
+{
+    faults_ = faults;
+    faults_.armed = faults.dieAtPublish != 0 ||
+                    faults.skipFinalEvenStoreAtPublish != 0 ||
+                    faults.flipAtPublish != 0;
+}
+
+void
 SnapshotRegion::write(std::size_t slot, std::uint64_t session_id,
                       std::uint64_t window_index, std::size_t end_slice,
                       const core::WindowExecution &execution,
@@ -166,41 +201,92 @@ SnapshotRegion::write(std::size_t slot, std::uint64_t session_id,
                                  << posterior.size() << " posteriors");
     SlotHeader *s = slotAt(base_, layout_, slot);
     const std::size_t n = std::min(events.size(), config_.maxEvents);
+    const std::uint64_t publish_no =
+        writeCalls_.fetch_add(1, std::memory_order_relaxed) + 1;
 
-    // Seqlock write: odd sequence -> payload -> even sequence.  The
-    // release fence keeps the payload stores after the odd store; the
-    // final release store keeps them before the even store.
+    // Seqlock write: odd sequence -> payload + checksum -> even
+    // sequence.  The release fence keeps the payload stores after the
+    // odd store; the final release store keeps them before the even
+    // store.  The checksum is folded over the exact word values
+    // stored, inside the critical section, so any bit that flips
+    // after the even store no longer matches it.
+    //
+    // The in-flight marker must be odd even when the previous publish
+    // was abandoned mid-flight and left the sequence odd (a fault-
+    // injected writer, or a future writer resuming a slot): blindly
+    // storing s0 + 1 there would invert the parity protocol and
+    // publish this window under an odd "closing" sequence.
     const std::uint64_t s0 = s->seq.load(std::memory_order_relaxed);
-    s->seq.store(s0 + 1, std::memory_order_relaxed);
+    const std::uint64_t s_open = s0 + 1 + (s0 & 1);
+    s->seq.store(s_open, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
 
-    s->active.store(1, std::memory_order_relaxed);
-    s->sessionId.store(session_id, std::memory_order_relaxed);
-    s->windowIndex.store(window_index, std::memory_order_relaxed);
-    s->endSlice.store(end_slice, std::memory_order_relaxed);
-    s->eventCount.store(n, std::memory_order_relaxed);
-    s->publishNanos.store(publish_nanos, std::memory_order_relaxed);
-    s->engineId.store(execution.engineId, std::memory_order_relaxed);
-    s->queueWaitBits.store(doubleBits(execution.queueWaitSeconds),
-                           std::memory_order_relaxed);
-    s->serviceBits.store(doubleBits(execution.serviceSeconds),
-                         std::memory_order_relaxed);
-    s->transferBits.store(doubleBits(execution.transferSeconds),
-                          std::memory_order_relaxed);
-    s->modeledBits.store(doubleBits(execution.modeledSeconds),
-                         std::memory_order_relaxed);
+    const std::uint64_t fixed[kSlotFixedPayloadWords] = {
+        1, // active
+        session_id,
+        window_index,
+        static_cast<std::uint64_t>(end_slice),
+        static_cast<std::uint64_t>(n),
+        publish_nanos,
+        static_cast<std::uint64_t>(execution.engineId),
+        doubleBits(execution.queueWaitSeconds),
+        doubleBits(execution.serviceSeconds),
+        doubleBits(execution.transferSeconds),
+        doubleBits(execution.modeledSeconds),
+    };
+    s->active.store(fixed[0], std::memory_order_relaxed);
+    s->sessionId.store(fixed[1], std::memory_order_relaxed);
+    s->windowIndex.store(fixed[2], std::memory_order_relaxed);
+    s->endSlice.store(fixed[3], std::memory_order_relaxed);
+    s->eventCount.store(fixed[4], std::memory_order_relaxed);
+    s->publishNanos.store(fixed[5], std::memory_order_relaxed);
+    s->engineId.store(fixed[6], std::memory_order_relaxed);
+    s->queueWaitBits.store(fixed[7], std::memory_order_relaxed);
+    s->serviceBits.store(fixed[8], std::memory_order_relaxed);
+    s->transferBits.store(fixed[9], std::memory_order_relaxed);
+    s->modeledBits.store(fixed[10], std::memory_order_relaxed);
+
+    std::uint64_t acc = chainChecksum(kChecksumSeed, s_open + 1);
+    for (std::size_t i = 0; i < kSlotFixedPayloadWords; ++i)
+        acc = chainChecksum(acc, fixed[i]);
     SlotEvent *entries = s->events();
     for (std::size_t i = 0; i < n; ++i) {
-        entries[i].event.store(events[i], std::memory_order_relaxed);
-        entries[i].meanBits.store(doubleBits(posterior[i].mean),
-                                  std::memory_order_relaxed);
-        entries[i].stddevBits.store(doubleBits(posterior[i].stddev),
-                                    std::memory_order_relaxed);
+        const std::uint64_t ev = events[i];
+        const std::uint64_t mean = doubleBits(posterior[i].mean);
+        const std::uint64_t stddev = doubleBits(posterior[i].stddev);
+        entries[i].event.store(ev, std::memory_order_relaxed);
+        entries[i].meanBits.store(mean, std::memory_order_relaxed);
+        entries[i].stddevBits.store(stddev, std::memory_order_relaxed);
+        acc = chainChecksum(acc, ev);
+        acc = chainChecksum(acc, mean);
+        acc = chainChecksum(acc, stddev);
+    }
+    s->checksum.store(acc, std::memory_order_relaxed);
+
+    if (faults_.armed) {
+        if (faults_.dieAtPublish == publish_no) {
+            // The crash window the chaos suite targets: payload and
+            // checksum stored, closing even store never issued.
+            ::kill(::getpid(), SIGKILL);
+        }
+        if (faults_.skipFinalEvenStoreAtPublish == publish_no)
+            return; // slot left odd, publish uncounted
     }
 
-    s->seq.store(s0 + 2, std::memory_order_release);
-    reinterpret_cast<RegionHeader *>(base_)->publishes.fetch_add(
-        1, std::memory_order_relaxed);
+    s->seq.store(s_open + 1, std::memory_order_release);
+    auto *header = reinterpret_cast<RegionHeader *>(base_);
+    header->publishes.fetch_add(1, std::memory_order_relaxed);
+    header->heartbeatNanos.store(publish_nanos,
+                                 std::memory_order_relaxed);
+
+    if (faults_.armed && faults_.flipAtPublish == publish_no) {
+        // An SEU between two publishes: flip bit(s) of one slot word
+        // after the publish completed.  fetch_xor keeps the injection
+        // itself race-free against concurrent readers.
+        Word *words = reinterpret_cast<Word *>(s);
+        words[faults_.flipWordIndex].fetch_xor(
+            faults_.flipMask, std::memory_order_relaxed);
+    }
 }
 
 void
@@ -211,11 +297,28 @@ SnapshotRegion::invalidate(std::size_t slot)
                                         << config_.slots);
     SlotHeader *s = slotAt(base_, layout_, slot);
     const std::uint64_t s0 = s->seq.load(std::memory_order_relaxed);
-    s->seq.store(s0 + 1, std::memory_order_relaxed);
+    const std::uint64_t s_open = s0 + 1 + (s0 & 1); // odd, see write()
+    s->seq.store(s_open, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
+    // Zero the whole fixed payload (not just active/sessionId) so the
+    // checksum covers one well-defined state: an invalidated slot is
+    // all-zeros with event count 0.
     s->active.store(0, std::memory_order_relaxed);
     s->sessionId.store(0, std::memory_order_relaxed);
-    s->seq.store(s0 + 2, std::memory_order_release);
+    s->windowIndex.store(0, std::memory_order_relaxed);
+    s->endSlice.store(0, std::memory_order_relaxed);
+    s->eventCount.store(0, std::memory_order_relaxed);
+    s->publishNanos.store(0, std::memory_order_relaxed);
+    s->engineId.store(0, std::memory_order_relaxed);
+    s->queueWaitBits.store(0, std::memory_order_relaxed);
+    s->serviceBits.store(0, std::memory_order_relaxed);
+    s->transferBits.store(0, std::memory_order_relaxed);
+    s->modeledBits.store(0, std::memory_order_relaxed);
+    std::uint64_t acc = chainChecksum(kChecksumSeed, s_open + 1);
+    for (std::size_t i = 0; i < kSlotFixedPayloadWords; ++i)
+        acc = chainChecksum(acc, 0);
+    s->checksum.store(acc, std::memory_order_relaxed);
+    s->seq.store(s_open + 1, std::memory_order_release);
 }
 
 } // namespace shim

@@ -19,6 +19,7 @@
 #ifndef BPERF_SHIM_SNAPSHOT_REGION_H
 #define BPERF_SHIM_SNAPSHOT_REGION_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -39,6 +40,37 @@ struct SnapshotRegionConfig
     std::size_t slots = 64;
     /** Posterior entries per slot: the most events per session. */
     std::size_t maxEvents = 32;
+};
+
+/**
+ * Deterministic fault-injection hooks for the chaos suite
+ * (tests/test_shim_chaos.cpp).  All fields default to "off"; the hot
+ * path pays one branch on `armed` when nothing is injected.  Publish
+ * numbers are 1-based counts of write() calls on this region.
+ */
+struct WriterFaultInjection
+{
+    /** Any hook armed?  (Kept explicit so write() checks one flag.) */
+    bool armed = false;
+
+    /** SIGKILL the calling process mid-publish N: after the payload
+     * stores, before the closing even sequence store — exactly the
+     * window a crashing daemon leaves a slot odd forever.  Use from a
+     * forked child. */
+    std::uint64_t dieAtPublish = 0;
+
+    /** Return from publish N without the closing even sequence store
+     * (the in-process stand-in for dieAtPublish: the slot stays odd,
+     * the writer survives to be inspected). */
+    std::uint64_t skipFinalEvenStoreAtPublish = 0;
+
+    /** After publish N completes normally, XOR `flipMask` into the
+     * slot word at index `flipWordIndex` (0 = the slot's seq word;
+     * fixed payload words and SlotEvent words follow in layout
+     * order).  Models an SEU landing between two publishes. */
+    std::uint64_t flipAtPublish = 0;
+    std::size_t flipWordIndex = 0;
+    std::uint64_t flipMask = 1;
 };
 
 /**
@@ -79,6 +111,19 @@ class SnapshotRegion
     std::uint64_t publishes() const;
 
     /**
+     * Stamp the header's writer-liveness word (readers compare it
+     * against their own steady clock to tell a dead daemon from an
+     * idle one).  write() stamps it on every publish; call this
+     * directly from an idle writer's keepalive loop.
+     */
+    void heartbeat(std::uint64_t now_nanos);
+
+    /** Arm (or clear, with a default-constructed value) the chaos
+     * suite's deterministic fault hooks.  Not thread-safe against
+     * concurrent write() — arm before handing the region to writers. */
+    void setFaultInjection(const WriterFaultInjection &faults);
+
+    /**
      * Publish one window's posterior snapshot into `slot` (seqlock
      * write: readers mid-copy retry).  Events beyond maxEvents() are
      * truncated — the publisher refuses such sessions a slot, so this
@@ -111,6 +156,12 @@ class SnapshotRegion
     std::uint64_t shmDev_ = 0;
     std::uint64_t shmIno_ = 0;
     bool shmIdentityValid_ = false;
+
+    /** Chaos-suite fault hooks (all off by default). */
+    WriterFaultInjection faults_;
+    /** write() calls so far (1-based publish numbering for faults_);
+     * atomic because different slots may be written concurrently. */
+    std::atomic<std::uint64_t> writeCalls_{0};
 };
 
 } // namespace shim

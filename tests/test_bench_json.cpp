@@ -174,6 +174,72 @@ TEST(JsonWriter, AccelServiceBenchSchemaIsValid)
             << key;
 }
 
+/** The exact schema bench_shim_read.cpp writes (layout v2: the
+ * `checksum` section carries the verify-off read latencies, the
+ * relative verification overhead, and the corruptReads protocol
+ * assertion — zero in any healthy run). */
+TEST(JsonWriter, ShimReadBenchSchemaIsValid)
+{
+    bench::JsonWriter json;
+    const auto ns_summary = [&](const char *key) {
+        json.beginObject(key)
+            .field("samples", 200000)
+            .field("meanNs", 120.0)
+            .field("p50Ns", 110.0)
+            .field("p95Ns", 160.0)
+            .field("p99Ns", 180.0)
+            .field("maxNs", 9000.0)
+            .endObject();
+    };
+    json.beginObject()
+        .field("bench", "shim_read")
+        .field("quick", false)
+        .beginObject("config")
+        .field("events", 13)
+        .field("directReads", 200000)
+        .field("publishes", 200000)
+        .field("slices", 48)
+        .field("maxRetries", 64)
+        .endObject();
+    for (const char *section : {"uncontended", "hammered"}) {
+        json.beginObject(section);
+        ns_summary("readLatency");
+        ns_summary("staleness");
+        json.field("retriedReads", 12)
+            .field("tornReads", 3)
+            .endObject();
+    }
+    json.beginObject("checksum");
+    ns_summary("uncontendedNoVerify");
+    ns_summary("hammeredNoVerify");
+    json.field("verifyOverheadPctP50", 4.5)
+        .field("verifyOverheadPctP99", 6.1)
+        .field("corruptReads", 0)
+        .endObject();
+    json.beginObject("writer")
+        .field("publishNs", 210.0)
+        .field("serviceOffSeconds", 1.2)
+        .field("serviceOnSeconds", 1.22)
+        .field("overheadPct", 1.7)
+        .endObject();
+    json.beginObject("service").field("windows", 120);
+    ns_summary("subscriptionLag");
+    ns_summary("shimReadAge");
+    json.field("posteriorsBitIdentical", true).endObject();
+    json.endObject();
+
+    const std::string doc = json.str();
+    EXPECT_TRUE(JsonChecker(doc).valid());
+    for (const char *key :
+         {"uncontended", "hammered", "checksum", "uncontendedNoVerify",
+          "hammeredNoVerify", "verifyOverheadPctP50",
+          "verifyOverheadPctP99", "corruptReads", "readLatency",
+          "staleness", "publishNs", "posteriorsBitIdentical"})
+        EXPECT_NE(doc.find('"' + std::string(key) + "\": "),
+                  std::string::npos)
+            << key;
+}
+
 /** The exact schema bench_telemetry_overhead.cpp writes. */
 TEST(JsonWriter, TelemetryBenchSchemaIsValid)
 {

@@ -26,6 +26,7 @@
 #include "shim/snapshot_reader.h"
 #include "shim/snapshot_region.h"
 #include "sim/ground_truth.h"
+#include "telemetry/telemetry.h"
 #include "workloads/hibench.h"
 
 #if defined(__SANITIZE_THREAD__)
@@ -244,10 +245,139 @@ TEST(SnapshotReader, FrozenOddSequenceReportsWriterDead)
     EXPECT_STREQ(readStatusName(ReadStatus::WriterDead), "writer-dead");
 }
 
+TEST(SnapshotReader, OddSequenceFirstSeenMidScanStillReportsWriterDead)
+{
+    // Regression (PR 8): the PR 7 detector armed only on the odd
+    // value observed by attempt 0, so a slot that advanced to a *new*
+    // odd value mid-scan and then froze was reported Torn forever —
+    // recreating the spin-forever loop WriterDead exists to break.
+    SnapshotRegion region(SnapshotRegionConfig{2, 4});
+    auto *slot = slotAt(const_cast<std::byte *>(region.base()),
+                        region.layout(), 1);
+    slot->sessionId.store(9, std::memory_order_relaxed);
+    slot->active.store(1, std::memory_order_relaxed);
+    slot->seq.store(1, std::memory_order_release);
+
+    SnapshotReader reader(region);
+    // Deterministic mid-scan death: attempt 0 sees the slot odd on 1
+    // (arming the old detector on that value), then the writer
+    // "advances" to odd 3 before attempt 1 and dies there.  Every
+    // remaining attempt re-sees 3 — a majority-of-budget freeze.
+    reader.setRetryProbe([&](std::size_t attempt) {
+        if (attempt == 1)
+            slot->seq.store(3, std::memory_order_release);
+    });
+    PosteriorSnapshot snap;
+    EXPECT_EQ(reader.readSlot(1, snap), ReadStatus::WriterDead);
+
+    // The verdict is quarantined: the next probe is answered from the
+    // quarantine table (no fresh retry loop) until the sequence moves.
+    reader.setRetryProbe(nullptr);
+    EXPECT_EQ(reader.read(9, snap), ReadStatus::WriterDead);
+    const ReaderStats stats = reader.stats();
+    EXPECT_EQ(stats.deadReads, 2u);
+    EXPECT_GE(stats.quarantineSkips, 1u);
+    EXPECT_EQ(stats.quarantinedSlots, 1u);
+}
+
+TEST(SnapshotReader, FlippedPayloadWordReadsCorruptNeverOk)
+{
+    SnapshotRegion region(SnapshotRegionConfig{2, 4});
+    const std::vector<sim::EventId> events = {1, 2};
+    const std::vector<core::PosteriorPoint> posterior = {{10.0, 1.0},
+                                                         {20.0, 2.0}};
+    region.write(0, 5, 0, 3, sampleExecution(), events, posterior, 1);
+
+    SnapshotReader reader(region);
+    PosteriorSnapshot snap;
+    ASSERT_EQ(reader.readSlot(0, snap), ReadStatus::Ok);
+
+    // Flip one bit of one posterior word outside any seqlock window:
+    // the sequence stays stable and even, so only the checksum can
+    // catch it — and must, on the by-slot read, the by-session scan,
+    // and the session listing alike.
+    auto *slot = slotAt(const_cast<std::byte *>(region.base()),
+                        region.layout(), 0);
+    slot->events()[0].meanBits.fetch_xor(1ull << 17,
+                                         std::memory_order_relaxed);
+    EXPECT_EQ(reader.readSlot(0, snap), ReadStatus::Corrupt);
+    EXPECT_EQ(reader.read(5, snap), ReadStatus::Corrupt);
+    EXPECT_TRUE(reader.sessions().empty());
+    EXPECT_STREQ(readStatusName(ReadStatus::Corrupt), "corrupt");
+
+    const ReaderStats stats = reader.stats();
+    EXPECT_EQ(stats.corruptReads, 2u);
+    EXPECT_EQ(stats.quarantinedSlots, 1u);
+    EXPECT_GE(stats.quarantineSkips, 1u);
+
+    // The next publish overwrites the flipped word and moves the
+    // sequence, which lifts the quarantine: detection is per-payload,
+    // not a permanent verdict on the slot.
+    region.write(0, 5, 1, 4, sampleExecution(), events, posterior, 2);
+    ASSERT_EQ(reader.readSlot(0, snap), ReadStatus::Ok);
+    EXPECT_EQ(snap.windowIndex, 1u);
+    EXPECT_EQ(reader.stats().quarantinedSlots, 0u);
+}
+
+TEST(SnapshotReader, SessionsReportsScanHealth)
+{
+    // Regression (PR 8): sessions() used to silently drop degraded
+    // slots, so an enumerating consumer concluded those sessions were
+    // gone.  The scan now reports how every slot answered.
+    SnapshotRegion region(SnapshotRegionConfig{4, 4});
+    const std::vector<sim::EventId> events = {1};
+    const std::vector<core::PosteriorPoint> posterior = {{4.0, 0.5}};
+    region.write(0, 5, 0, 3, sampleExecution(), events, posterior, 1);
+    region.write(2, 6, 0, 3, sampleExecution(), events, posterior, 1);
+
+    // Slot 1: frozen odd (writer died mid-publish).  Slot 2: flipped
+    // payload word.  Slot 3: never published.
+    auto *dead = slotAt(const_cast<std::byte *>(region.base()),
+                        region.layout(), 1);
+    dead->seq.store(1, std::memory_order_release);
+    auto *flipped = slotAt(const_cast<std::byte *>(region.base()),
+                           region.layout(), 2);
+    flipped->sessionId.fetch_xor(1ull << 9, std::memory_order_relaxed);
+
+    SnapshotReader reader(region);
+    ScanHealth health;
+    const auto ids = reader.sessions(&health);
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], 5u);
+    EXPECT_EQ(health.active, 1u);
+    EXPECT_EQ(health.empty, 1u);
+    EXPECT_EQ(health.torn, 0u);
+    EXPECT_EQ(health.writerDead, 1u);
+    EXPECT_EQ(health.corrupt, 1u);
+    EXPECT_EQ(health.degraded(), 2u);
+}
+
+TEST(SnapshotReader, WriterHeartbeatTracksPublishes)
+{
+    SnapshotRegion region(SnapshotRegionConfig{1, 2});
+    SnapshotReader reader(region);
+    // Creation stamps the first heartbeat; a publish re-stamps it
+    // with the publish time; an explicit heartbeat() covers idle
+    // writers between publishes.
+    EXPECT_GT(reader.writerHeartbeatNanos(), 0u);
+    const std::vector<sim::EventId> events = {1};
+    const std::vector<core::PosteriorPoint> posterior = {{4.0, 0.5}};
+    region.write(0, 1, 0, 1, sampleExecution(), events, posterior,
+                 steadyNowNanos());
+    EXPECT_LT(reader.writerIdleNanos(), 60ull * 1000000000ull);
+    const std::uint64_t beat = steadyNowNanos();
+    region.heartbeat(beat);
+    EXPECT_EQ(reader.writerHeartbeatNanos(), beat);
+}
+
 TEST(SnapshotReader, AttachToMissingSegmentFails)
 {
-    EXPECT_FALSE(
-        SnapshotReader::attach(uniqueShmName("missing")).has_value());
+    const AttachResult result =
+        SnapshotReader::attach(uniqueShmName("missing"));
+    EXPECT_FALSE(result);
+    EXPECT_TRUE(result.retryable());
+    EXPECT_EQ(result.status, AttachStatus::NoSegment);
+    EXPECT_STREQ(attachStatusName(result.status), "no-segment");
 }
 
 TEST(SnapshotReader, AttachToNamedSegmentSameProcess)
@@ -256,8 +386,10 @@ TEST(SnapshotReader, AttachToNamedSegmentSameProcess)
     SnapshotRegion region(SnapshotRegionConfig{3, 4}, name);
     EXPECT_EQ(region.shmName(), name);
 
-    auto reader = SnapshotReader::attach(name);
-    ASSERT_TRUE(reader.has_value());
+    AttachResult attached = SnapshotReader::attach(name);
+    ASSERT_TRUE(attached);
+    EXPECT_EQ(attached.status, AttachStatus::Ok);
+    auto &reader = attached.reader;
     EXPECT_EQ(reader->slots(), 3u);
     EXPECT_EQ(reader->maxEvents(), 4u);
 
@@ -299,8 +431,10 @@ childReadAndReport(const std::string &name, std::uint64_t session_id,
 {
     std::optional<SnapshotReader> reader;
     for (int i = 0; i < 500 && !reader; ++i) {
-        reader = SnapshotReader::attach(name);
-        if (!reader)
+        AttachResult attach = SnapshotReader::attach(name);
+        if (attach)
+            reader = std::move(attach.reader);
+        else
             ::usleep(2000);
     }
     WireSnapshot wire{};
@@ -597,6 +731,34 @@ TEST(MonitorService, SnapshotTableFullDropsAndCounts)
     ASSERT_EQ(reader.read(third, snap), shim::ReadStatus::Ok);
     daemon.close(third);
     daemon.close(second);
+}
+
+TEST(MonitorService, SelfMetricsPublishRecordsTelemetry)
+{
+    // Regression (PR 8): publishSelfMetrics used to bypass the
+    // publisher's publish() path, bumping shim.publishes itself but
+    // never recording shim.publish_ns — self-metrics publishes are
+    // ordinary publishes and must hit the same telemetry.
+    auto &registry = telemetry::MetricsRegistry::global();
+    const bool was_enabled = telemetry::enabled();
+    telemetry::setEnabled(true);
+    const std::uint64_t counter0 =
+        registry.counterValue("shim.publishes");
+    const std::uint64_t histogram0 =
+        registry.histogramSnapshot("shim.publish_ns").count;
+
+    MonitorService daemon(uarch(), snapshotServiceConfig());
+    EXPECT_TRUE(daemon.publishSelfMetrics());
+    EXPECT_EQ(registry.counterValue("shim.publishes"), counter0 + 1);
+    EXPECT_EQ(registry.histogramSnapshot("shim.publish_ns").count,
+              histogram0 + 1);
+
+    // And the reader sees the metrics as pseudo-session 0.
+    shim::SnapshotReader reader(*daemon.snapshotRegion());
+    shim::PosteriorSnapshot snap;
+    ASSERT_EQ(reader.read(0, snap), shim::ReadStatus::Ok);
+    EXPECT_FALSE(snap.counters.empty());
+    telemetry::setEnabled(was_enabled);
 }
 
 TEST(MonitorService, OversizedEventSetRunsUnexported)
