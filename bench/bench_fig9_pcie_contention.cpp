@@ -7,11 +7,16 @@
  * Paper shape: isolated bandwidth grows from ~0 at 2^8 B messages and
  * saturates near 12 GB/s; contention costs up to ~1.8x at large
  * messages and nothing at tiny ones.
+ *
+ * Writes BENCH_fig9_pcie_contention.json (schema in docs/BENCH.md):
+ * the bandwidth-vs-message-size sweep plus contention summary.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "mlsched/pcie.h"
 
@@ -54,5 +59,32 @@ main()
                 {isolated, contended, slowdown});
     std::cout << "# paper: saturates ~12 GB/s isolated; contention "
                  "costs up to ~1.8x\n";
+
+    // ------------------------------------------------------ JSON output
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("peak_copy_gbps", fabric.config().peakCopyGBps);
+    json.beginArray("points");
+    for (std::size_t i = 0; i < sizes_log2.size(); ++i) {
+        json.beginObject()
+            .field("log2_bytes", sizes_log2[i])
+            .field("isolated_gbps", isolated[i])
+            .field("contended_gbps", contended[i])
+            .field("slowdown_x", slowdown[i])
+            .endObject();
+    }
+    json.endArray();
+    json.beginObject("contention")
+        .field("saturation_gbps", isolated.back())
+        .field("max_slowdown_x",
+               *std::max_element(slowdown.begin(), slowdown.end()))
+        .field("small_message_slowdown_x", slowdown.front())
+        .endObject();
+    json.endObject();
+    if (!json.writeFile("BENCH_fig9_pcie_contention.json")) {
+        std::cerr << "failed to write BENCH_fig9_pcie_contention.json\n";
+        return 1;
+    }
+    std::cout << "wrote BENCH_fig9_pcie_contention.json\n";
     return 0;
 }

@@ -2,68 +2,240 @@
  * @file
  * Example: the section 6.3 feedback loop end to end.
  *
- * Trains the RL-based NIC scheduler twice — once on Linux-quality
- * counter inputs and once on BayesPerf-quality inputs — then compares
- * placement decisions and average shuffle completion against the
+ * Synthetic mode (no --shm) trains the RL-based NIC scheduler twice —
+ * once on Linux-quality counter inputs and once on BayesPerf-quality
+ * inputs — then compares average shuffle completion against the
  * static local-NIC policy.
+ *
+ * Live mode closes the paper's loop across processes: with --shm the
+ * scheduler's observations come from a ShimCounterFeed attached to a
+ * running daemon's posterior snapshot table, so observation quality
+ * (relative error from posterior uncertainty, staleness from snapshot
+ * age) is whatever the estimator achieves *right now*.  Pair it with
+ * the daemon exporting a segment:
+ *
+ *   ./perf_daemon capi 4 --shm=/bperf-demo --linger-ms=10000 &
+ *   ./pcie_scheduler --shm=/bperf-demo --iters=250 --episodes=150
+ *
+ * Usage: pcie_scheduler [--shm=/name] [--iters=N] [--episodes=N]
+ *                       [--seed=N] [--attach-timeout-ms=N]
+ *
+ * In live mode the final "feed stats:" line reports the typed poll
+ * verdicts (ok/not-found/torn/writer-dead/corrupt/stale) and how the
+ * observations were served (live/last-good/fallback).  Exits 0 only
+ * if at least one poll served a live posterior — which is what the CI
+ * cross-process smoke checks.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <thread>
 
 #include "common/table.h"
-#include "mlsched/collab_filter.h"
+#include "example_args.h"
+#include "mlsched/counter_feed.h"
 #include "mlsched/rl_scheduler.h"
 
 using namespace bperf;
+using examples::parseCount;
+using examples::validShmName;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--shm=/name] [--iters=N] [--episodes=N]\n"
+                 "          [--seed=N] [--attach-timeout-ms=N]\n",
+                 argv0);
+}
+
+/** Static baseline: always the NIC local to the data. */
+double
+staticBaseline(std::size_t episodes, std::uint64_t seed)
+{
+    ml::EnvConfig cfg;
+    cfg.noise = ml::FeatureNoise{38.0, 0.5};
+    cfg.seed = seed * 2 + 15;
+    ml::ShuffleEnv env(cfg);
+    double total = 0.0;
+    for (std::size_t i = 0; i < episodes; ++i) {
+        const ml::Episode ep = env.sample();
+        total += env.completionTime(ep, ep.numaNode) /
+                 env.isolatedTime(ep);
+    }
+    return total / static_cast<double>(episodes);
+}
+
+void
+printFeedStats(const ml::FeedStats &stats)
+{
+    std::printf("feed stats: observations=%llu ok-polls=%llu "
+                "not-found=%llu torn=%llu writer-dead=%llu "
+                "corrupt=%llu stale=%llu live=%llu last-good=%llu "
+                "fallback=%llu\n",
+                static_cast<unsigned long long>(stats.observations),
+                static_cast<unsigned long long>(stats.okPolls),
+                static_cast<unsigned long long>(stats.notFoundPolls),
+                static_cast<unsigned long long>(stats.tornPolls),
+                static_cast<unsigned long long>(stats.writerDeadPolls),
+                static_cast<unsigned long long>(stats.corruptPolls),
+                static_cast<unsigned long long>(stats.stalePolls),
+                static_cast<unsigned long long>(stats.liveObservations),
+                static_cast<unsigned long long>(
+                    stats.lastGoodObservations),
+                static_cast<unsigned long long>(
+                    stats.fallbackObservations));
+}
+
+} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::size_t train_iters = 4000;
-    const std::size_t eval_episodes = 800;
+    std::string shm_name;
+    std::size_t train_iters = 4000;
+    std::size_t eval_episodes = 800;
+    std::size_t seed = 31;
+    std::size_t attach_timeout_ms = 5000;
 
-    auto trained_eval = [&](double noise_pct) {
-        ml::EnvConfig env;
-        env.noise.errorPct = noise_pct;
-        env.seed = 31;
-        ml::RlConfig rl;
-        rl.iterations = train_iters;
-        ml::RlScheduler scheduler(env, rl);
-        const auto curve = scheduler.train();
-        std::printf("  noise %4.1f%%: loss %0.3f -> %0.3f over %zu iters\n",
-                    noise_pct, curve.loss.front(), curve.loss.back(),
-                    curve.loss.size());
-        return scheduler.evaluate(eval_episodes);
-    };
-
-    std::puts("training the PCIe-aware RL scheduler...");
-    const double rl_linux = trained_eval(38.0);
-    const double rl_bp = trained_eval(10.0);
-
-    // Static baseline: always use the NIC local to the data.
-    ml::EnvConfig env_cfg;
-    env_cfg.noise.errorPct = 38.0;
-    env_cfg.seed = 77;
-    ml::ShuffleEnv env(env_cfg);
-    double static_time = 0.0;
-    for (std::size_t i = 0; i < eval_episodes; ++i) {
-        const ml::Episode ep = env.sample();
-        static_time += env.completionTime(ep, ep.numaNode) /
-                       env.isolatedTime(ep);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::size_t nval = 0;
+        if (arg.rfind("--shm=", 0) == 0) {
+            shm_name = arg.substr(6);
+            if (!validShmName(shm_name)) {
+                std::fprintf(stderr, "%s: bad shm name %s\n", argv[0],
+                             shm_name.c_str());
+                return 2;
+            }
+        } else if (arg.rfind("--iters=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 8, &nval) || nval == 0) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            train_iters = nval;
+        } else if (arg.rfind("--episodes=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 11, &nval) || nval == 0) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            eval_episodes = nval;
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 7, &nval)) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            seed = nval;
+        } else if (arg.rfind("--attach-timeout-ms=", 0) == 0) {
+            if (!parseCount(arg.c_str() + 20, &nval)) {
+                std::fprintf(stderr, "%s: bad %s\n", argv[0], argv[i]);
+                return 2;
+            }
+            attach_timeout_ms = nval;
+        } else {
+            std::fprintf(stderr, "%s: unknown argument %s\n", argv[0],
+                         argv[i]);
+            usage(argv[0]);
+            return 2;
+        }
     }
-    static_time /= static_cast<double>(eval_episodes);
+
+    const double static_time = staticBaseline(eval_episodes, seed);
+
+    if (shm_name.empty()) {
+        // Synthetic mode: Linux-grade (noisy + stale, the raw
+        // multiplexed-counter profile) vs BayesPerf-grade inputs.
+        auto trained_eval = [&](ml::FeatureNoise noise) {
+            ml::EnvConfig env;
+            env.noise = noise;
+            env.seed = seed;
+            ml::RlConfig rl;
+            rl.iterations = train_iters;
+            ml::RlScheduler scheduler(env, rl);
+            const auto curve = scheduler.train();
+            std::printf(
+                "  noise %4.1f%% stale %0.2f: loss %0.3f -> %0.3f "
+                "over %zu iters\n",
+                noise.errorPct, noise.staleness, curve.loss.front(),
+                curve.loss.back(), curve.loss.size());
+            return scheduler.evaluate(eval_episodes);
+        };
+
+        std::puts("training the PCIe-aware RL scheduler...");
+        const double rl_linux = trained_eval(ml::FeatureNoise{38.0, 0.5});
+        const double rl_bp = trained_eval(ml::FeatureNoise{10.0, 0.0});
+
+        std::cout << "\n";
+        TablePrinter t({"policy", "avg normalized makespan",
+                        "vs static %"});
+        t.addRow({"static (local NIC)", formatDouble(static_time, 3),
+                  "0.0"});
+        t.addRow({"RL + Linux counters", formatDouble(rl_linux, 3),
+                  formatDouble(
+                      100.0 * (static_time - rl_linux) / static_time,
+                      1)});
+        t.addRow({"RL + BayesPerf counters", formatDouble(rl_bp, 3),
+                  formatDouble(
+                      100.0 * (static_time - rl_bp) / static_time, 1)});
+        t.print(std::cout);
+        return 0;
+    }
+
+    // Live mode: attach to the daemon's segment (retrying only the
+    // typed retryable outcomes — segment not created / not ready yet).
+    std::printf("attaching to %s...\n", shm_name.c_str());
+    const auto attach_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(attach_timeout_ms);
+    ml::ShimFeedConfig feed_config;
+    feed_config.seed = seed * 31 + 4;
+    ml::ShimFeedAttach attached =
+        ml::ShimCounterFeed::attach(shm_name, feed_config);
+    while (!attached && attached.retryable() &&
+           std::chrono::steady_clock::now() < attach_deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        attached = ml::ShimCounterFeed::attach(shm_name, feed_config);
+    }
+    if (!attached) {
+        std::fprintf(stderr, "%s: attach failed: %s\n", argv[0],
+                     shim::attachStatusName(attached.status));
+        return 1;
+    }
+    std::printf("attached; polling posteriors per observation\n");
+
+    ml::EnvConfig env;
+    env.seed = seed;
+    env.feed = &*attached.feed;
+    ml::RlConfig rl;
+    rl.iterations = train_iters;
+    ml::RlScheduler scheduler(env, rl);
+    const auto curve = scheduler.train();
+    std::printf("  live feed: loss %0.3f -> %0.3f over %zu iters\n",
+                curve.loss.front(), curve.loss.back(),
+                curve.loss.size());
+    const double rl_live = scheduler.evaluate(eval_episodes);
 
     std::cout << "\n";
-    TablePrinter t({"policy", "avg normalized makespan",
-                    "vs static %"});
-    t.addRow({"static (local NIC)", formatDouble(static_time, 3), "0.0"});
-    t.addRow({"RL + Linux counters", formatDouble(rl_linux, 3),
-              formatDouble(100.0 * (static_time - rl_linux) / static_time,
-                           1)});
-    t.addRow({"RL + BayesPerf counters", formatDouble(rl_bp, 3),
-              formatDouble(100.0 * (static_time - rl_bp) / static_time,
+    TablePrinter t({"policy", "avg normalized makespan", "vs static %"});
+    t.addRow({"static (local NIC)", formatDouble(static_time, 3),
+              "0.0"});
+    t.addRow({"RL + live shim posteriors", formatDouble(rl_live, 3),
+              formatDouble(100.0 * (static_time - rl_live) / static_time,
                            1)});
     t.print(std::cout);
+
+    const ml::FeedStats stats = attached.feed->stats();
+    printFeedStats(stats);
+    if (stats.okPolls == 0) {
+        std::fprintf(stderr,
+                     "%s: no live posterior was ever served\n",
+                     argv[0]);
+        return 1;
+    }
     return 0;
 }

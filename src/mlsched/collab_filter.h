@@ -89,6 +89,11 @@ class CfScheduler
 
     std::size_t numBuckets() const;
 
+    /** The environment (and thus the feed) this scheduler trains
+     * against — lets callers inspect live-feed statistics. */
+    ShuffleEnv &environment() { return env_; }
+    const ShuffleEnv &environment() const { return env_; }
+
   private:
     EnvConfig envConfig_;
     CfConfig cfConfig_;

@@ -141,6 +141,43 @@ Mlp::accumulateGradient(const std::vector<double> &input,
     }
 }
 
+std::vector<double>
+Mlp::inputGradient(const std::vector<double> &input,
+                   const std::vector<double> &grad_output) const
+{
+    bp_assert(input.size() == sizes_.front(), "MLP input size mismatch");
+    bp_assert(grad_output.size() == sizes_.back(),
+              "MLP gradient size mismatch");
+
+    std::vector<std::vector<double>> acts{input};
+    std::vector<std::vector<double>> pres;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        std::vector<double> y(layer.out, 0.0);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            double s = layer.b[o];
+            for (std::size_t i = 0; i < layer.in; ++i)
+                s += layer.w[o * layer.in + i] * acts.back()[i];
+            y[o] = s;
+        }
+        pres.push_back(y);
+        acts.push_back(l + 1 == layers_.size() ? y : activate(y));
+    }
+
+    std::vector<double> grad = grad_output;
+    for (std::size_t li = layers_.size(); li > 0; --li) {
+        const Layer &layer = layers_[li - 1];
+        std::vector<double> grad_in(layer.in, 0.0);
+        for (std::size_t i = 0; i < layer.in; ++i)
+            for (std::size_t o = 0; o < layer.out; ++o)
+                grad_in[i] += layer.w[o * layer.in + i] * grad[o];
+        if (li == 1)
+            return grad_in;
+        grad = activateGrad(pres[li - 2], grad_in);
+    }
+    return grad;
+}
+
 void
 Mlp::adamStep(double learning_rate)
 {

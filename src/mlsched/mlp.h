@@ -46,6 +46,16 @@ class Mlp
      * clear them. */
     void adamStep(double learning_rate);
 
+    /**
+     * d(loss)/d(input) for the given d(loss)/d(output): the full
+     * backward pass continued through the first layer.  Const — the
+     * gradient accumulators are untouched, so a finite-difference
+     * check can interleave with training.
+     */
+    std::vector<double>
+    inputGradient(const std::vector<double> &input,
+                  const std::vector<double> &grad_output) const;
+
     std::size_t inputSize() const { return sizes_.front(); }
     std::size_t outputSize() const { return sizes_.back(); }
     std::size_t parameterCount() const;

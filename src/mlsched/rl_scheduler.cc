@@ -45,7 +45,10 @@ RlScheduler::train()
             const Episode ep = env_.sample();
             const std::vector<double> logits = policy_.forward(ep.features);
             const std::vector<double> probs = softmax(logits);
-            const int action = rng_.bernoulli(probs[1]) ? 1 : 0;
+            const double sample_p =
+                std::clamp(probs[1], rlConfig_.explorationFloor,
+                           1.0 - rlConfig_.explorationFloor);
+            const int action = rng_.bernoulli(sample_p) ? 1 : 0;
 
             const double time = env_.completionTime(ep, action);
             const double iso = env_.isolatedTime(ep);
@@ -56,20 +59,33 @@ RlScheduler::train()
 
             // Critic baseline.
             const double v = value_.forward(ep.features)[0];
-            const double advantage = reward - v;
+            double advantage = reward - v;
+            advantage = std::clamp(advantage, -rlConfig_.advantageClip,
+                                   rlConfig_.advantageClip);
 
-            // Policy gradient: d(-logprob * advantage)/d logits.
+            // Policy gradient: d(-logprob * advantage - beta * H)/d
+            // logits, with H the policy entropy (dH/dz_a =
+            // -p_a (log p_a + H)).
+            double entropy = 0.0;
+            for (int a = 0; a < 2; ++a)
+                if (probs[a] > 0.0)
+                    entropy -= probs[a] * std::log(probs[a]);
             std::vector<double> grad_logits(2);
             for (int a = 0; a < 2; ++a) {
                 const double onehot = a == action ? 1.0 : 0.0;
                 grad_logits[a] = (probs[a] - onehot) * advantage;
+                if (probs[a] > 0.0)
+                    grad_logits[a] += rlConfig_.entropyBonus * probs[a] *
+                                      (std::log(probs[a]) + entropy);
             }
-            policy_.accumulateGradient(ep.features, grad_logits);
+            if (iter >= rlConfig_.criticWarmupIterations)
+                policy_.accumulateGradient(ep.features, grad_logits);
 
             // Critic regression toward the reward.
             value_.accumulateGradient(ep.features, {2.0 * (v - reward)});
         }
-        policy_.adamStep(rlConfig_.policyLearningRate);
+        if (iter >= rlConfig_.criticWarmupIterations)
+            policy_.adamStep(rlConfig_.policyLearningRate);
         value_.adamStep(rlConfig_.valueLearningRate);
 
         batch_loss /= static_cast<double>(rlConfig_.batchSize);

@@ -25,6 +25,39 @@ struct RlConfig
     std::size_t batchSize = 8;
     double policyLearningRate = 2e-3;
     double valueLearningRate = 8e-3;
+    /**
+     * Entropy regularization weight.  Without it the softmax collapses
+     * onto the contention-free NIC early (a decision the noise-free
+     * NUMA feature alone supports) and never explores enough to learn
+     * the counter-dependent refinement — routing locally when the
+     * observed GPU traffic is low — which is exactly the part of the
+     * policy that counter quality gates.
+     */
+    double entropyBonus = 0.03;
+    /**
+     * Training-time exploration floor: actions are sampled from the
+     * policy clamped into [floor, 1-floor] (0 disables).  Off by
+     * default: forced exploration in strongly-decided states injects
+     * large advantage gradients through the shared weights that swamp
+     * the subtler state-dependent signal; the entropy bonus regularizes
+     * without that failure mode.  Greedy evaluation is unaffected.
+     */
+    double explorationFloor = 0.0;
+    /**
+     * Symmetric clip on the critic-baselined advantage.  Contended
+     * placements can be ~1.3 normalized-makespan worse while the
+     * counter-dependent refinement (local NIC under low GPU traffic)
+     * is only ~0.2 better; unclipped, the former's gradients dominate
+     * the shared weights and the refinement is never learned.
+     */
+    double advantageClip = 0.3;
+    /**
+     * Iterations during which only the critic trains (policy frozen).
+     * Starting the policy against an accurate state-dependent baseline
+     * makes the advantage of the counter-dependent refinement visible
+     * from the first policy update, while exploration is still high.
+     */
+    std::size_t criticWarmupIterations = 300;
     /** EWMA factor of the reported loss curve. */
     double lossSmoothing = 0.03;
     std::uint64_t seed = 5;
@@ -60,6 +93,11 @@ class RlScheduler
      * by the isolated time (1.0 = no contention impact).
      */
     double evaluate(std::size_t episodes);
+
+    /** The environment (and thus the feed) this scheduler trains
+     * against — lets callers inspect live-feed statistics. */
+    ShuffleEnv &environment() { return env_; }
+    const ShuffleEnv &environment() const { return env_; }
 
   private:
     EnvConfig envConfig_;

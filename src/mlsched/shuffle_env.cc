@@ -8,12 +8,35 @@
 namespace bperf {
 namespace ml {
 
+namespace {
+
+/** Seed split for the env's default synthetic feed: the episode
+ * stream and the observation noise draw from independent streams, so
+ * two environments with the same seed but different noise profiles
+ * sample identical episodes (raw-vs-corrected runs compare policies
+ * on the same situations). */
+std::uint64_t
+feedSeed(std::uint64_t env_seed)
+{
+    return env_seed * 1000003ull + 17ull;
+}
+
+} // namespace
+
 ShuffleEnv::ShuffleEnv(EnvConfig config)
-    : config_(config), fabric_(config.pcie), rng_(config.seed)
+    : config_(std::move(config)), fabric_(config_.pcie),
+      rng_(config_.seed)
 {
     bp_assert(config_.noise.staleness >= 0.0 &&
                   config_.noise.staleness < 1.0,
               "staleness must be in [0, 1)");
+    if (config_.feed != nullptr) {
+        feed_ = config_.feed;
+    } else {
+        ownedFeed_ = std::make_unique<SyntheticCounterFeed>(
+            config_.noise, feedSeed(config_.seed));
+        feed_ = ownedFeed_.get();
+    }
 }
 
 Episode
@@ -32,69 +55,52 @@ ShuffleEnv::sample()
     ep.shuffleGB = rng_.uniform(0.5, 8.0);
     ep.messageBytes = std::pow(2.0, rng_.uniform(12.0, 22.0));
     ep.numaNode = rng_.bernoulli(0.5) ? 1 : 0;
-    ep.features = makeFeatures(ep, havePrev_ ? &prev_ : nullptr);
-    prev_ = ep;
-    havePrev_ = true;
+    ep.features = makeFeatures(ep);
     return ep;
 }
 
 std::vector<double>
-ShuffleEnv::makeFeatures(const Episode &episode, const Episode *previous)
+ShuffleEnv::makeFeatures(const Episode &episode)
 {
     // True underlying signals, in rough feature-engineering units.
-    auto true_signals = [&](const Episode &ep) {
-        std::vector<double> sig;
-        const double gpu = ep.gpuTrafficGBps;
-        // (a) write-type counters: allocating/full/partial/non-snoop.
-        sig.push_back(gpu * 0.45);
-        sig.push_back(gpu * 0.30);
-        sig.push_back(gpu * 0.15);
-        sig.push_back(gpu * 0.10);
-        // (b) demand code reads, partial/MMIO reads.
-        sig.push_back(gpu * 0.6 + 0.4);
-        sig.push_back(gpu * 0.08 + 0.05);
-        // (c) per-channel DRAM bandwidth (4 channels).
-        for (int c = 0; c < 4; ++c)
-            sig.push_back(gpu * 0.2 + 1.1);
-        // (d) memory-bus utilization.
-        sig.push_back(gpu / 12.0);
-        // (e) shuffle size and NUMA residency.
-        sig.push_back(ep.shuffleGB);
-        sig.push_back(std::log2(ep.messageBytes));
-        sig.push_back(static_cast<double>(ep.numaNode));
-        return sig;
-    };
+    std::vector<double> sig;
+    const double gpu = episode.gpuTrafficGBps;
+    // (a) write-type counters: allocating/full/partial/non-snoop.
+    sig.push_back(gpu * 0.45);
+    sig.push_back(gpu * 0.30);
+    sig.push_back(gpu * 0.15);
+    sig.push_back(gpu * 0.10);
+    // (b) demand code reads, partial/MMIO reads.
+    sig.push_back(gpu * 0.6 + 0.4);
+    sig.push_back(gpu * 0.08 + 0.05);
+    // (c) per-channel DRAM bandwidth (4 channels).
+    for (int c = 0; c < 4; ++c)
+        sig.push_back(gpu * 0.2 + 1.1);
+    // (d) memory-bus utilization.
+    sig.push_back(gpu / 12.0);
+    // (e) shuffle size and NUMA residency.
+    sig.push_back(episode.shuffleGB);
+    sig.push_back(std::log2(episode.messageBytes));
+    sig.push_back(static_cast<double>(episode.numaNode));
 
-    std::vector<double> sig = true_signals(episode);
-    if (previous && config_.noise.staleness > 0.0) {
-        // Stale estimator: part of the observation is the old state.
-        const std::vector<double> old_sig = true_signals(*previous);
-        const double s = config_.noise.staleness;
-        // Shuffle size and NUMA node come from the request itself,
-        // not from HPCs; only HPC-derived signals (all but the last
-        // three) go stale.
-        for (std::size_t i = 0; i + 3 < sig.size(); ++i)
-            sig[i] = (1.0 - s) * sig[i] + s * old_sig[i];
-    }
+    // The estimator reports the HPC-derived signals (all but the last
+    // three — shuffle size and NUMA node come from the request, not
+    // from HPCs); the feed corrupts them the way that estimator
+    // would: staleness mixing with the previous state, then the
+    // measurement error it currently achieves.
+    feed_->observe(sig, sig.size() - 3);
 
-    // Measurement noise on HPC-derived signals.
-    const double rel = config_.noise.errorPct / 100.0;
-    std::vector<double> features;
+    std::vector<double> features = std::move(sig);
     features.reserve(kNumFeatures);
-    for (std::size_t i = 0; i < sig.size(); ++i) {
-        double v = sig[i];
-        if (i + 3 < sig.size()) // HPC-derived
-            v *= std::max(1.0 + rng_.normal(0.0, rel), 0.0);
-        features.push_back(v);
-    }
     // Pad with first/second-order interactions to the 36 inputs the
     // paper's network consumes.
+    const std::size_t base = features.size();
     std::size_t i = 0, j = 1;
     while (features.size() < kNumFeatures) {
         features.push_back(features[i] * features[j] /
                            (1.0 + std::abs(features[j])));
         j += 2;
-        if (j >= sig.size()) {
+        if (j >= base) {
             ++i;
             j = i + 1;
         }

@@ -7,18 +7,21 @@
  *
  * The scheduler observes HPC-derived features (write types, demand
  * and MMIO reads, DRAM/membus bandwidth, shuffle size, NUMA node —
- * the paper's input list), corrupted by the measurement error of
- * whichever estimator feeds the model, and optionally stale by the
- * estimator's inference latency.
+ * the paper's input list) as reported by a CounterFeed: either the
+ * synthetic noise profile of EnvConfig.noise, or a live
+ * ShimCounterFeed polling a running daemon's posterior snapshot
+ * table (see mlsched/counter_feed.h).
  */
 
 #ifndef BPERF_MLSCHED_SHUFFLE_ENV_H
 #define BPERF_MLSCHED_SHUFFLE_ENV_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "mlsched/counter_feed.h"
 #include "mlsched/pcie.h"
 
 namespace bperf {
@@ -26,21 +29,6 @@ namespace ml {
 
 /** Number of scheduler input features (paper: 36-input network). */
 constexpr std::size_t kNumFeatures = 36;
-
-/** Noise profile of the HPC estimator feeding the scheduler. */
-struct FeatureNoise
-{
-    /** Relative error (stddev, %) on HPC-derived features. */
-    double errorPct = 40.0;
-
-    /**
-     * Staleness in [0, 1): fraction of the feature signal that still
-     * reflects the previous system state because the estimator's
-     * inference latency delays fresh values (BayesPerf-CPU vs
-     * accelerator).
-     */
-    double staleness = 0.0;
-};
 
 /** One scheduling situation. */
 struct Episode
@@ -55,13 +43,23 @@ struct Episode
 /** Environment configuration. */
 struct EnvConfig
 {
+    /** Noise profile of the default (synthetic) feed. */
     FeatureNoise noise;
     PcieConfig pcie;
     std::uint64_t seed = 21;
+
+    /**
+     * Observation source override, non-owning (the caller keeps it
+     * alive for the environment's lifetime).  Null builds a
+     * SyntheticCounterFeed from `noise`; a ShimCounterFeed here makes
+     * every sampled episode a live read of the snapshot shim.
+     */
+    CounterFeed *feed = nullptr;
 };
 
 /**
- * Episode generator and completion-time oracle.
+ * Episode generator and completion-time oracle.  Move-only: it owns
+ * its default feed.
  */
 class ShuffleEnv
 {
@@ -82,15 +80,19 @@ class ShuffleEnv
 
     const PcieFabric &fabric() const { return fabric_; }
 
+    /** The active observation source (synthetic or external). */
+    CounterFeed &feed() { return *feed_; }
+    const CounterFeed &feed() const { return *feed_; }
+
   private:
-    std::vector<double> makeFeatures(const Episode &episode,
-                                     const Episode *previous);
+    std::vector<double> makeFeatures(const Episode &episode);
 
     EnvConfig config_;
     PcieFabric fabric_;
     Rng rng_;
-    bool havePrev_ = false;
-    Episode prev_;
+    /** Default synthetic feed (null when config_.feed overrides). */
+    std::unique_ptr<CounterFeed> ownedFeed_;
+    CounterFeed *feed_ = nullptr;
 };
 
 } // namespace ml

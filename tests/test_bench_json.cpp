@@ -268,6 +268,105 @@ TEST(JsonWriter, TelemetryBenchSchemaIsValid)
             << key;
 }
 
+/** The exact schema bench_sec63_decision_quality.cpp writes: per
+ * policy x counter-quality improvement distributions, the
+ * corrected-vs-raw gains, the corrected_beats_raw verdicts the CI
+ * smoke asserts on, and the paper's section 6.3 bars. */
+TEST(JsonWriter, DecisionQualityBenchSchemaIsValid)
+{
+    bench::JsonWriter json;
+    const auto stats_block = [&](const char *key) {
+        json.beginObject(key)
+            .field("mean_pct", 15.1)
+            .field("stddev_pct", 2.2)
+            .field("stderr_pct", 1.0)
+            .field("ci95_pct", 1.96)
+            .field("trials", 5)
+            .endObject();
+    };
+    const auto paper_bar = [&](const char *key) {
+        json.beginObject(key)
+            .field("mean_pct", 22.3)
+            .field("pm_pct", 7.9)
+            .endObject();
+    };
+    json.beginObject()
+        .field("quick", false)
+        .field("trials", 5)
+        .field("eval_episodes", 1500)
+        .field("train_iters", 7000)
+        .beginObject("noise")
+        .field("raw_error_pct", 38.0)
+        .field("raw_staleness", 0.5)
+        .field("corrected_error_pct", 10.0)
+        .field("corrected_staleness", 0.0)
+        .endObject();
+    json.beginObject("improvement_vs_static_pct");
+    for (const char *key : {"cf_raw", "rl_raw", "cf_corrected",
+                            "rl_corrected"})
+        stats_block(key);
+    json.endObject();
+    json.beginObject("corrected_vs_raw_pct");
+    stats_block("cf");
+    stats_block("rl");
+    json.endObject();
+    json.beginObject("corrected_beats_raw")
+        .field("cf", true)
+        .field("rl", true)
+        .endObject();
+    json.beginObject("paper");
+    for (const char *key : {"cf_vs_static", "rl_vs_static",
+                            "cf_corrected_gain", "rl_corrected_gain"})
+        paper_bar(key);
+    json.endObject().endObject();
+
+    const std::string doc = json.str();
+    EXPECT_TRUE(JsonChecker(doc).valid());
+    for (const char *key :
+         {"noise", "raw_error_pct", "raw_staleness",
+          "improvement_vs_static_pct", "cf_raw", "rl_corrected",
+          "corrected_vs_raw_pct", "corrected_beats_raw", "mean_pct",
+          "ci95_pct", "paper", "rl_corrected_gain"})
+        EXPECT_NE(doc.find('"' + std::string(key) + "\": "),
+                  std::string::npos)
+            << key;
+}
+
+/** The exact schema bench_fig9_pcie_contention.cpp writes. */
+TEST(JsonWriter, Fig9PcieContentionBenchSchemaIsValid)
+{
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("peak_copy_gbps", 12.2)
+        .beginArray("points");
+    for (int log2_bytes : {12, 16, 20}) {
+        json.beginObject()
+            .field("log2_bytes", log2_bytes)
+            .field("isolated_gbps", 9.5)
+            .field("contended_gbps", 4.2)
+            .field("slowdown_x", 2.26)
+            .endObject();
+    }
+    json.endArray()
+        .beginObject("contention")
+        .field("saturation_gbps", 11.9)
+        .field("max_slowdown_x", 2.8)
+        .field("small_message_slowdown_x", 2.3)
+        .endObject()
+        .endObject();
+
+    const std::string doc = json.str();
+    EXPECT_TRUE(JsonChecker(doc).valid());
+    for (const char *key :
+         {"peak_copy_gbps", "points", "log2_bytes", "isolated_gbps",
+          "contended_gbps", "slowdown_x", "contention",
+          "saturation_gbps", "max_slowdown_x",
+          "small_message_slowdown_x"})
+        EXPECT_NE(doc.find('"' + std::string(key) + "\": "),
+                  std::string::npos)
+            << key;
+}
+
 TEST(JsonWriter, NonFiniteDoublesSerializeAsNull)
 {
     // Regression: percentiles over an empty sample set (a 0-window

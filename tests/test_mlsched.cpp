@@ -249,6 +249,129 @@ TEST(CollabFilter, TrainedSchedulerBeatsWorstCase)
     EXPECT_LT(sched, worst);
 }
 
+TEST(Mlp, InputGradientMatchesFiniteDifference)
+{
+    Mlp net({5, 6, 4, 2}, Activation::Tanh, 17);
+    const std::vector<double> x = {0.3, -0.7, 1.1, 0.05, -2.2};
+    // Loss = 0.7*y[0] - 1.3*y[1]; analytic d(loss)/d(input) vs central
+    // finite differences, per coordinate.
+    const std::vector<double> grad_out = {0.7, -1.3};
+    const std::vector<double> grad_in = net.inputGradient(x, grad_out);
+    ASSERT_EQ(grad_in.size(), x.size());
+
+    auto loss = [&](const std::vector<double> &in) {
+        const auto y = net.forward(in);
+        return grad_out[0] * y[0] + grad_out[1] * y[1];
+    };
+    const double h = 1e-6;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        std::vector<double> lo = x, hi = x;
+        lo[i] -= h;
+        hi[i] += h;
+        const double fd = (loss(hi) - loss(lo)) / (2.0 * h);
+        EXPECT_NEAR(grad_in[i], fd, 1e-5 * (1.0 + std::abs(fd))) << i;
+    }
+    // Const: the check must not have perturbed training state.
+    net.adamStep(1e-3);
+    const auto y0 = net.forward(x);
+    Mlp fresh({5, 6, 4, 2}, Activation::Tanh, 17);
+    fresh.adamStep(1e-3);
+    const auto y1 = fresh.forward(x);
+    EXPECT_EQ(y0[0], y1[0]);
+    EXPECT_EQ(y0[1], y1[1]);
+}
+
+TEST(Mlp, InputGradientMatchesFiniteDifferenceRelu)
+{
+    Mlp net({4, 8, 1}, Activation::Relu, 29);
+    // Stay clear of ReLU kinks: central differences still straddle a
+    // kink with probability ~0 for this input, and the tolerance
+    // covers the rest.
+    const std::vector<double> x = {0.41, -0.93, 1.27, 0.66};
+    const std::vector<double> grad_in = net.inputGradient(x, {1.0});
+    const double h = 1e-6;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        std::vector<double> lo = x, hi = x;
+        lo[i] -= h;
+        hi[i] += h;
+        const double fd =
+            (net.forward(hi)[0] - net.forward(lo)[0]) / (2.0 * h);
+        EXPECT_NEAR(grad_in[i], fd, 1e-5 * (1.0 + std::abs(fd))) << i;
+    }
+}
+
+TEST(TrainingCurve, NeverConvergesReturnsSize)
+{
+    TrainingCurve curve;
+    curve.loss = {2.0, 1.9, 1.8, 1.7};
+    EXPECT_EQ(curve.iterationsToConverge(1.5), curve.loss.size());
+    TrainingCurve empty;
+    EXPECT_EQ(empty.iterationsToConverge(1.5), 0u);
+}
+
+TEST(TrainingCurve, ConvergedFromTheStartReturnsZero)
+{
+    TrainingCurve curve;
+    curve.loss = {1.0, 0.9, 0.8};
+    EXPECT_EQ(curve.iterationsToConverge(1.5), 0u);
+}
+
+TEST(TrainingCurve, DipThenRecoveryCountsTheLastCrossing)
+{
+    // Dips below at 1, recovers at 3, converges for good at 5.
+    TrainingCurve curve;
+    curve.loss = {2.0, 1.2, 1.3, 1.9, 1.6, 1.2, 1.1, 1.0};
+    EXPECT_EQ(curve.iterationsToConverge(1.5), 5u);
+    // Exactly at threshold does not count as below.
+    TrainingCurve edge;
+    edge.loss = {1.5, 1.4};
+    EXPECT_EQ(edge.iterationsToConverge(1.5), 1u);
+}
+
+TEST(RlScheduler, SeededRunsAreBitIdentical)
+{
+    EnvConfig env;
+    env.seed = 31;
+    RlConfig rl;
+    rl.iterations = 400;
+    rl.seed = 12;
+
+    RlScheduler a(env, rl);
+    RlScheduler b(env, rl);
+    const TrainingCurve ca = a.train();
+    const TrainingCurve cb = b.train();
+    ASSERT_EQ(ca.loss.size(), cb.loss.size());
+    for (std::size_t i = 0; i < ca.loss.size(); ++i)
+        ASSERT_EQ(ca.loss[i], cb.loss[i]) << "diverged at iter " << i;
+    EXPECT_EQ(a.evaluate(200), b.evaluate(200));
+
+    // A different seed must actually change the run.
+    rl.seed = 13;
+    RlScheduler c(env, rl);
+    const TrainingCurve cc = c.train();
+    bool any_diff = false;
+    for (std::size_t i = 0; i < cc.loss.size(); ++i)
+        any_diff |= cc.loss[i] != ca.loss[i];
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(CollabFilter, SeededRunsAreBitIdentical)
+{
+    EnvConfig env;
+    env.seed = 41;
+    CfScheduler a(env, {});
+    CfScheduler b(env, {});
+    a.train(1500);
+    b.train(1500);
+    EXPECT_EQ(a.evaluate(300), b.evaluate(300));
+
+    CfConfig other;
+    other.seed = 99;
+    CfScheduler c(env, other);
+    c.train(1500);
+    EXPECT_NE(c.evaluate(300), a.evaluate(300));
+}
+
 } // namespace
 } // namespace ml
 } // namespace bperf

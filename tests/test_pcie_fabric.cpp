@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Properties of the PCIe fabric model (mlsched/pcie.h): conservation
+ * (per-link shares never exceed capacity, counting traversal
+ * multiplicity), max-min monotonicity (adding a flow never helps an
+ * existing one), the bandwidth-vs-message-size efficiency curve, and
+ * total nodeName coverage.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mlsched/pcie.h"
+
+namespace bperf {
+namespace ml {
+namespace {
+
+/** All node enumerators, by hand — keep in sync with pcie.h. */
+const std::vector<Node> kAllNodes = {
+    Node::Cpu0, Node::Cpu1, Node::SwitchA, Node::SwitchB,
+    Node::Gpu0, Node::Gpu1, Node::Gpu2,    Node::Gpu3,
+    Node::Nic0, Node::Nic1,
+};
+
+/** Endpoints a flow may legally use (switches only forward). */
+const std::vector<Node> kEndpoints = {
+    Node::Cpu0, Node::Cpu1, Node::Gpu0, Node::Gpu1,
+    Node::Gpu2, Node::Gpu3, Node::Nic0, Node::Nic1,
+};
+
+/** Canonical undirected link key. */
+std::pair<Node, Node>
+linkKey(Node a, Node b)
+{
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+/**
+ * Sum each link's allocated bandwidth across all flows, counting a
+ * link once per traversal (a flow routed through a link twice loads
+ * it twice).
+ */
+std::map<std::pair<Node, Node>, double>
+perLinkLoad(const PcieFabric &fabric, const std::vector<Flow> &flows,
+            const std::vector<double> &rates)
+{
+    std::map<std::pair<Node, Node>, double> load;
+    for (std::size_t f = 0; f < flows.size(); ++f)
+        for (const auto &hop : fabric.route(flows[f].src, flows[f].dst))
+            load[linkKey(hop.first, hop.second)] += rates[f];
+    return load;
+}
+
+TEST(PcieFabric, SharesNeverExceedAnyLinkCapacity)
+{
+    PcieFabric fabric;
+    Rng rng(2024);
+
+    for (int round = 0; round < 200; ++round) {
+        std::vector<Flow> flows;
+        const std::size_t n = 1 + rng.uniformInt(5);
+        for (std::size_t i = 0; i < n; ++i) {
+            Flow flow;
+            flow.src = kEndpoints[rng.uniformInt(kEndpoints.size())];
+            do {
+                flow.dst = kEndpoints[rng.uniformInt(kEndpoints.size())];
+            } while (flow.dst == flow.src);
+            flow.demandGBps = rng.uniform(0.1, 40.0);
+            flows.push_back(flow);
+        }
+
+        const std::vector<double> rates = fabric.allocate(flows);
+        ASSERT_EQ(rates.size(), flows.size());
+        for (std::size_t f = 0; f < flows.size(); ++f) {
+            EXPECT_GE(rates[f], 0.0);
+            EXPECT_LE(rates[f], flows[f].demandGBps + 1e-9);
+        }
+        for (const auto &[link, total] :
+             perLinkLoad(fabric, flows, rates)) {
+            EXPECT_LE(total, fabric.linkCapacity(link.first,
+                                                 link.second) +
+                                 1e-6)
+                << nodeName(link.first) << "-" << nodeName(link.second)
+                << " overloaded in round " << round;
+        }
+    }
+}
+
+/*
+ * Max-min fairness is NOT globally monotone under flow addition: a
+ * new flow can throttle an existing flow on one link, and the freed
+ * capacity lets a third flow grow elsewhere.  The property does hold
+ * when every flow crosses the same trunk and the leaf links are
+ * disjoint, so that is the case we pin: cross-socket flows with
+ * distinct sources and destinations all share SwitchA-CPU0, the
+ * socket link, and CPU1-SwitchB, and nothing else.
+ */
+TEST(PcieFabric, AddingATrunkFlowNeverIncreasesAnotherShare)
+{
+    PcieFabric fabric;
+    Rng rng(77);
+    const std::vector<Node> kWestLeaves = {Node::Gpu0, Node::Gpu1,
+                                           Node::Nic0};
+    const std::vector<Node> kEastLeaves = {Node::Gpu2, Node::Gpu3,
+                                           Node::Nic1};
+
+    for (int round = 0; round < 100; ++round) {
+        std::vector<Node> srcs = kWestLeaves;
+        std::vector<Node> dsts = kEastLeaves;
+        rng.shuffle(srcs);
+        rng.shuffle(dsts);
+
+        std::vector<Flow> flows;
+        const std::size_t n = 2 + rng.uniformInt(2); // 2..3 total
+        for (std::size_t i = 0; i < n; ++i) {
+            Flow flow;
+            flow.src = srcs[i];
+            flow.dst = dsts[i];
+            flow.demandGBps = rng.uniform(0.5, 30.0);
+            flows.push_back(flow);
+        }
+
+        std::vector<Flow> fewer(flows.begin(), flows.end() - 1);
+        const std::vector<double> before = fabric.allocate(fewer);
+        const std::vector<double> after = fabric.allocate(flows);
+        for (std::size_t f = 0; f < fewer.size(); ++f)
+            EXPECT_LE(after[f], before[f] + 1e-9)
+                << "flow " << f << " gained from contention in round "
+                << round;
+    }
+}
+
+TEST(PcieFabric, EffectiveBandwidthMonotoneAndSaturating)
+{
+    PcieFabric fabric;
+    const double raw = fabric.config().peakCopyGBps;
+
+    double prev = -1.0;
+    for (double msg = 64.0; msg <= 64.0 * 1024.0 * 1024.0; msg *= 2.0) {
+        const double bw = fabric.effectiveBandwidth(raw, msg);
+        EXPECT_GT(bw, prev) << "not strictly increasing at " << msg;
+        EXPECT_LT(bw, raw) << "exceeds the raw rate at " << msg;
+        prev = bw;
+    }
+    // Saturation: huge messages approach the raw rate...
+    EXPECT_GT(fabric.effectiveBandwidth(raw, 1e9), 0.999 * raw);
+    // ...and the overhead point is exactly half of it.
+    EXPECT_NEAR(fabric.effectiveBandwidth(
+                    raw, fabric.config().messageOverheadBytes),
+                raw / 2.0, 1e-12);
+}
+
+TEST(PcieFabric, NodeNameCoversEveryEnumerator)
+{
+    std::set<std::string> seen;
+    for (Node node : kAllNodes) {
+        const char *name = nodeName(node);
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::strlen(name), 0u);
+        EXPECT_STRNE(name, "?") << "unnamed enumerator";
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate node name " << name;
+    }
+    EXPECT_EQ(seen.size(), kAllNodes.size());
+}
+
+TEST(PcieFabric, RoutesAreSymmetricAndLinkValid)
+{
+    PcieFabric fabric;
+    for (Node src : kEndpoints) {
+        for (Node dst : kEndpoints) {
+            if (src == dst)
+                continue;
+            const auto fwd = fabric.route(src, dst);
+            const auto rev = fabric.route(dst, src);
+            ASSERT_FALSE(fwd.empty());
+            EXPECT_EQ(fwd.size(), rev.size());
+            EXPECT_EQ(fwd.front().first, src);
+            EXPECT_EQ(fwd.back().second, dst);
+            for (const auto &hop : fwd) {
+                // Every hop is a real link: capacity query must not die
+                // and must be positive.
+                EXPECT_GT(fabric.linkCapacity(hop.first, hop.second),
+                          0.0);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ml
+} // namespace bperf

@@ -313,6 +313,11 @@ TEST(ShimChaos, BitFlipsUnderHammeringReaderNeverServeOk)
             exec.modeledSeconds = static_cast<double>(w) * 1e-9;
             region.write(0, /*session_id=*/1, w, /*end_slice=*/w + 3,
                          exec, events, posterior, /*publish_nanos=*/w);
+            // Leave quiescent windows between publishes: on a single
+            // hardware thread a spinning writer starves the reader
+            // into permanent Torn verdicts, which tests the scheduler,
+            // not the seqlock.
+            std::this_thread::sleep_for(std::chrono::microseconds(20));
         }
     });
 
@@ -335,9 +340,12 @@ TEST(ShimChaos, BitFlipsUnderHammeringReaderNeverServeOk)
     std::uint64_t ok_reads = 0;
     std::uint64_t degraded_reads = 0;
     PosteriorSnapshot snap;
+    // Run until the reader has demonstrated progress; the hard cap
+    // only bounds a pathological schedule (CI shares one core).
     const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
-    while (std::chrono::steady_clock::now() < deadline) {
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (ok_reads <= 50u &&
+           std::chrono::steady_clock::now() < deadline) {
         const ReadStatus status = reader.readSlot(0, snap);
         if (status == ReadStatus::Corrupt ||
             status == ReadStatus::Torn ||
